@@ -1,0 +1,42 @@
+# Convenience targets for the radiocolor reproduction.
+
+GO ?= go
+
+.PHONY: all build test short race bench fuzz experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/radio/ .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzReadGraph -fuzztime 30s ./internal/graph/
+	$(GO) test -fuzz FuzzReadDeployment -fuzztime 30s ./internal/topology/
+
+# Regenerate every table recorded in EXPERIMENTS.md (several minutes).
+experiments:
+	$(GO) run ./cmd/experiments -trials 3 -size 1.0 -seed 1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/tdma
+	$(GO) run ./examples/obstacles
+	$(GO) run ./examples/asyncwakeup
+	$(GO) run ./examples/compaction
+	$(GO) run ./examples/datacollection
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,221 @@
+// Command colorsim runs the paper's coloring algorithm once on a chosen
+// topology and prints the outcome: verification verdict, colors used,
+// per-node timing, and channel statistics.
+//
+// Examples:
+//
+//	colorsim -topology udg -n 200 -side 8 -radius 1.2 -wakeup uniform
+//	colorsim -topology big -walls 30 -n 150
+//	colorsim -topology clique -n 24 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/experiment"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/render"
+	"radiocolor/internal/stats"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topology", "udg", "udg | big | corridor | clustered | grid | ring | clique | star | tree")
+		n        = flag.Int("n", 150, "number of nodes")
+		side     = flag.Float64("side", 7, "deployment square side")
+		radius   = flag.Float64("radius", 1.2, "transmission radius")
+		walls    = flag.Int("walls", 20, "wall count for -topology big")
+		wakeup   = flag.String("wakeup", "synchronous", "synchronous | uniform | sequential | bursty | adversarial")
+		seed     = flag.Int64("seed", 1, "master seed")
+		scale    = flag.Float64("scale", 1.0, "scale factor on the practical constants")
+		maxSlots = flag.Int64("max-slots", 0, "slot budget (0 = automatic)")
+		verbose  = flag.Bool("v", false, "print per-node colors")
+		traceN   = flag.Int("trace", 0, "dump the last N radio events")
+		energy   = flag.Bool("energy", false, "print the energy summary (tx=1, listen=0.5 per slot)")
+		saveFile = flag.String("save", "", "write the generated deployment to this file and exit")
+		loadFile = flag.String("load", "", "load the deployment from this file instead of generating")
+		svgFile  = flag.String("svg", "", "render the colored deployment to this SVG file")
+	)
+	flag.Parse()
+
+	var d *topology.Deployment
+	var err error
+	if *loadFile != "" {
+		f, ferr := os.Open(*loadFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", ferr)
+			os.Exit(2)
+		}
+		d, err = topology.ReadDeployment(f)
+		f.Close()
+	} else {
+		d, err = makeDeployment(*topo, *n, *side, *radius, *walls, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "colorsim:", err)
+		os.Exit(2)
+	}
+	if *saveFile != "" {
+		f, ferr := os.Create(*saveFile)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", ferr)
+			os.Exit(1)
+		}
+		if err := topology.WriteDeployment(f, d); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d nodes, %d edges)\n", *saveFile, d.N(), d.G.M())
+		return
+	}
+	par := experiment.MeasureParams(d).Scale(*scale)
+	var wake []int64
+	for _, p := range radio.WakePatterns {
+		if p.Name == *wakeup {
+			wake = p.Make(d.N(), par.WaitSlots(), *seed)
+		}
+	}
+	if wake == nil {
+		fmt.Fprintf(os.Stderr, "colorsim: unknown wakeup pattern %q\n", *wakeup)
+		os.Exit(2)
+	}
+	budget := *maxSlots
+	if budget <= 0 {
+		budget = int64(par.Kappa2+2) * par.Threshold() * 40
+	}
+	var tr *radio.Trace
+	var obs radio.Observer
+	if *traceN > 0 {
+		tr = &radio.Trace{Cap: *traceN}
+		obs = tr
+	}
+	nodes, protos := core.Nodes(d.N(), *seed, par, core.Ablation{})
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: wake,
+		MaxSlots: budget, NEstimate: par.N, Observer: obs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "colorsim:", err)
+		os.Exit(1)
+	}
+	colors := make([]int32, d.N())
+	tcs := make([]int32, d.N())
+	leaders := 0
+	for i, v := range nodes {
+		colors[i] = v.Color()
+		tcs[i] = v.TC()
+		if v.IsLeader() {
+			leaders++
+		}
+	}
+	report := verify.Check(d.G, colors)
+
+	fmt.Printf("topology   : %s (n=%d, m=%d, Δ=%d, κ₁=%d, κ₂=%d)\n",
+		d.Name, d.N(), d.G.M(), par.Delta, par.Kappa1, par.Kappa2)
+	fmt.Printf("parameters : α=%.3g β=%.3g γ=%.3g σ=%.3g  (wait=%d, threshold=%d slots)\n",
+		par.Alpha, par.Beta, par.Gamma, par.Sigma, par.WaitSlots(), par.Threshold())
+	fmt.Printf("wakeup     : %s\n", *wakeup)
+	fmt.Printf("radio      : %v\n", res)
+	fmt.Printf("coloring   : %v\n", report)
+	fmt.Printf("leaders    : %d (color 0)\n", leaders)
+	if res.AllDone {
+		var lat []float64
+		for v := 0; v < d.N(); v++ {
+			lat = append(lat, float64(res.Latency(v)))
+		}
+		s := stats.Summarize(lat)
+		fmt.Printf("latency T_v: mean=%.0f median=%.0f p90=%.0f max=%.0f slots\n",
+			s.Mean, s.Median, s.P90, s.Max)
+	}
+	if viol := verify.CheckLocality(d.G, colors, par.Kappa2); len(viol) == 0 {
+		fmt.Println("locality   : φ_v ≤ (κ₂+1)·θ_v holds at every node (Theorem 4)")
+	} else {
+		fmt.Printf("locality   : %d violations (first: %+v)\n", len(viol), viol[0])
+	}
+	if *energy {
+		per := res.PerNodeEnergy(radio.DefaultEnergyModel())
+		fmt.Printf("energy     : total=%.0f units, %s\n",
+			res.TotalEnergy(radio.DefaultEnergyModel()), summarizeFloats(per))
+	}
+	if *verbose {
+		fmt.Println("colors     :")
+		for v := 0; v < d.N(); v++ {
+			fmt.Printf("  node %4d: color %4d (tc=%d)\n", v, colors[v], tcs[v])
+		}
+	}
+	if tr != nil {
+		fmt.Printf("trace      : last %d radio events\n", len(tr.Events()))
+		if err := tr.Dump(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+		}
+	}
+	if *svgFile != "" {
+		if d.Points == nil {
+			fmt.Fprintln(os.Stderr, "colorsim: -svg needs a geometric topology")
+		} else {
+			f, err := os.Create(*svgFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "colorsim:", err)
+				os.Exit(1)
+			}
+			if err := render.SVG(f, d, colors, render.NewOptions()); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "colorsim:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "colorsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("svg        : wrote %s\n", *svgFile)
+		}
+	}
+	if !res.AllDone || !report.OK() {
+		os.Exit(1)
+	}
+}
+
+func summarizeFloats(xs []float64) string {
+	s := stats.Summarize(xs)
+	return fmt.Sprintf("per node mean=%.0f p90=%.0f max=%.0f", s.Mean, s.P90, s.Max)
+}
+
+func makeDeployment(topo string, n int, side, radius float64, walls int, seed int64) (*topology.Deployment, error) {
+	cfg := topology.UDGConfig{N: n, Side: side, Radius: radius, Seed: seed}
+	switch topo {
+	case "udg":
+		return topology.RandomUDG(cfg), nil
+	case "big":
+		return topology.BIGWithWalls(cfg, walls), nil
+	case "corridor":
+		return topology.CorridorUDG(n, side*4, 2, radius, seed), nil
+	case "clustered":
+		return topology.ClusteredUDG(n/2, n-n/2, side, radius, seed), nil
+	case "grid":
+		k := 1
+		for (k+1)*(k+1) <= n {
+			k++
+		}
+		return topology.GridGraph(k, k, 1, 1.5), nil
+	case "ring":
+		return topology.Ring(n), nil
+	case "clique":
+		return topology.Clique(n), nil
+	case "star":
+		return topology.Star(n), nil
+	case "tree":
+		return topology.RandomTree(n, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", topo)
+	}
+}

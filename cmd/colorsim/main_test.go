@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMakeDeployment(t *testing.T) {
+	cases := []struct {
+		topo string
+		n    int
+	}{
+		{"udg", 30}, {"big", 30}, {"corridor", 30}, {"clustered", 30},
+		{"grid", 25}, {"ring", 12}, {"clique", 8}, {"star", 9}, {"tree", 15},
+	}
+	for _, c := range cases {
+		d, err := makeDeployment(c.topo, c.n, 5, 1.2, 5, 1)
+		if err != nil {
+			t.Errorf("%s: %v", c.topo, err)
+			continue
+		}
+		if d.N() == 0 {
+			t.Errorf("%s: empty deployment", c.topo)
+		}
+		if err := d.G.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", c.topo, err)
+		}
+	}
+	// Grid rounds n down to a square.
+	d, err := makeDeployment("grid", 30, 5, 1.2, 0, 1)
+	if err != nil || d.N() != 25 {
+		t.Errorf("grid sizing: n=%d err=%v", d.N(), err)
+	}
+	if _, err := makeDeployment("nope", 10, 5, 1, 0, 1); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestSummarizeFloats(t *testing.T) {
+	s := summarizeFloats([]float64{1, 2, 3, 4})
+	for _, want := range []string{"mean=", "p90=", "max=4"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command experiments regenerates the paper-reproduction tables E1–E12
+// indexed in DESIGN.md. The output of a full run (the defaults) is
+// recorded in EXPERIMENTS.md.
+//
+// Examples:
+//
+//	experiments                     # full suite
+//	experiments -exp E3,E5          # selected experiments
+//	experiments -size 0.4 -trials 1 # quick pass
+//	experiments -csv out/           # additionally write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"radiocolor/internal/experiment"
+)
+
+func main() {
+	var (
+		exps   = flag.String("exp", "all", "comma-separated experiment ids (e.g. E3,E5) or 'all'")
+		trials = flag.Int("trials", 3, "trials per table cell")
+		size   = flag.Float64("size", 1.0, "network size factor")
+		seed   = flag.Int64("seed", 1, "master seed")
+		csvDir = flag.String("csv", "", "also write one CSV per experiment into this directory")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{Trials: *trials, SizeFactor: *size, Seed: *seed}
+	var selected []experiment.Entry
+	if *exps == "all" {
+		selected = experiment.Registry
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			e := experiment.Lookup(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *e)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("%s — %s\n", e.ID, e.Reproduces)
+		t := e.Run(opts)
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Async wake-up: the model's signature difficulty. Nodes are switched on
+// at adversarially staggered times, so protocol phases interleave
+// arbitrarily — yet every node decides within the same O(Δ log n) band
+// of ITS OWN wake-up, and the coloring stays proper.
+//
+//	go run ./examples/asyncwakeup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/experiment"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/stats"
+	"radiocolor/internal/topology"
+)
+
+func main() {
+	d := topology.RandomUDG(topology.UDGConfig{N: 140, Side: 6.5, Radius: 1.2, Seed: 31})
+	par := experiment.MeasureParams(d)
+	fmt.Printf("deployment: %s, Δ=%d, κ₂=%d\n\n", d.Name, par.Delta, par.Kappa2)
+
+	for _, pat := range radio.WakePatterns {
+		wake := pat.Make(d.N(), par.WaitSlots(), 17)
+		var span int64
+		for _, w := range wake {
+			if w > span {
+				span = w
+			}
+		}
+		budget := int64(par.Kappa2+2)*par.Threshold()*40 + 4*span
+		run, err := experiment.RunCore(d, par, wake, 13, budget, core.Ablation{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var lat []float64
+		for v := 0; v < d.N(); v++ {
+			lat = append(lat, float64(run.Radio.Latency(v)))
+		}
+		s := stats.Summarize(lat)
+		fmt.Printf("%-12s wake span %6d slots | proper=%-5v | T_v mean %6.0f  p90 %6.0f  max %6.0f\n",
+			pat.Name, span, run.Report.Proper && run.Report.Complete, s.Mean, s.P90, s.Max)
+	}
+	fmt.Println("\nper-node latency is measured from each node's own wake-up:")
+	fmt.Println("it stays in the same band no matter how adversarially wake-ups are spread.")
+}

@@ -1,0 +1,49 @@
+// Obstacles: the Fig. 1 scenario. Walls cut radio links, so the network
+// is no longer a unit disk graph — but it remains a bounded independence
+// graph with only modestly larger κ₁/κ₂, and the algorithm keeps working
+// with guarantees degrading gracefully in κ₂.
+//
+//	go run ./examples/obstacles
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/experiment"
+	"radiocolor/internal/graph"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+func main() {
+	cfg := topology.UDGConfig{N: 160, Side: 7, Radius: 1.2, Seed: 21}
+	open := topology.RandomUDG(cfg)
+	walled := topology.BIGWithWalls(cfg, 40)
+
+	fmt.Println("same 160-node placement, without and with 40 wall obstacles:")
+	for _, d := range []*topology.Deployment{open, walled} {
+		k := d.G.Kappa(graph.KappaOptions{Budget: 200_000, MaxNeighborhood: 150})
+		fmt.Printf("\n%s\n", d.Name)
+		fmt.Printf("  links: %d, Δ=%d, κ₁=%d, κ₂=%d\n", d.G.M(), d.G.MaxDegree(), k.K1, k.K2)
+
+		par := experiment.MeasureParams(d)
+		run, err := experiment.RunCore(d, par,
+			radio.WakeSynchronous(d.N()), 5, 0x7FFFFFFF, core.Ablation{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  coloring: %v\n", run.Report)
+		fmt.Printf("  decision time: max T_v = %d slots\n", run.Radio.MaxLatency())
+		if viol := verify.CheckLocality(d.G, run.Colors, par.Kappa2); len(viol) == 0 {
+			fmt.Println("  locality bound holds at every node")
+		} else {
+			fmt.Printf("  locality violations: %d\n", len(viol))
+		}
+	}
+	fmt.Println("\nwalls sever links and deform the disk-shaped transmission ranges,")
+	fmt.Println("so the result is no unit disk graph — but κ₁/κ₂ change only modestly and")
+	fmt.Println("the BIG model absorbs the obstacles without any change to the algorithm.")
+}

@@ -1,0 +1,65 @@
+// TDMA: the paper's motivating application. Color a deployment, derive
+// the periodic transmission schedule, and measure the MAC-layer
+// properties the introduction promises: no direct interference, at most
+// κ₁ hidden-terminal interferers per receiver, and density-proportional
+// local frame lengths (Theorem 4's locality dividend).
+//
+//	go run ./examples/tdma
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"radiocolor"
+)
+
+func main() {
+	// A heterogeneous field: a dense cluster of 40 sensors around a
+	// point of interest plus 40 sparse relays.
+	r := rand.New(rand.NewSource(11))
+	var points [][2]float64
+	for i := 0; i < 40; i++ {
+		points = append(points, [2]float64{
+			6 + r.NormFloat64()*0.7,
+			6 + r.NormFloat64()*0.7,
+		})
+	}
+	for i := 0; i < 40; i++ {
+		points = append(points, [2]float64{r.Float64() * 12, r.Float64() * 12})
+	}
+
+	out, err := radiocolor.ColorUnitDisk(points, 1.4, radiocolor.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !out.OK() {
+		log.Fatalf("coloring failed: proper=%v complete=%v", out.Proper, out.Complete)
+	}
+	schedule, err := out.TDMA()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("TDMA schedule over %d nodes\n", len(schedule.Slots))
+	fmt.Printf("global frame length : %d slots\n", schedule.FrameLen)
+	fmt.Printf("direct conflicts    : %d (a proper coloring guarantees 0)\n", schedule.DirectConflicts)
+	fmt.Printf("hidden interferers  : ≤ %d per receiver (bound: κ₁ = %d)\n",
+		schedule.MaxInterferers, out.Kappa1)
+	fmt.Printf("frame success rate  : %.1f%% clean receptions\n", schedule.SuccessRate*100)
+
+	// Locality: dense-core nodes need long local frames, fringe nodes
+	// short ones — bandwidth follows local density.
+	var coreSum, fringeSum int
+	for v, l := range schedule.LocalFrameLens {
+		if v < 40 {
+			coreSum += l
+		} else {
+			fringeSum += l
+		}
+	}
+	fmt.Printf("mean local frame    : dense core %.1f slots vs sparse fringe %.1f slots\n",
+		float64(coreSum)/40, float64(fringeSum)/40)
+	fmt.Println("fringe nodes transmit more often: colors follow local density (Theorem 4)")
+}

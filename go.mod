@@ -1,0 +1,3 @@
+module radiocolor
+
+go 1.22

@@ -1,0 +1,146 @@
+// Package adversary searches for bad wake-up schedules. The unstructured
+// radio network model quantifies over EVERY wake-up distribution
+// (Sect. 2), so fixed pattern generators (uniform, bursty, staggered)
+// only sample the space. This harness turns the adversary into a search
+// procedure: hill-climbing with random restarts over wake-up schedules,
+// maximizing the protocol's worst per-node latency (and flagging any
+// schedule that breaks correctness outright). Experiment E23 reports the
+// worst schedule the search can find against the standard patterns — an
+// empirical stress test of the "any wake-up pattern" claim.
+package adversary
+
+import (
+	"math/rand"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+// Config parameterizes the search.
+type Config struct {
+	// Evals is the number of protocol executions the adversary may
+	// spend (≥ 1).
+	Evals int
+	// PerturbNodes is how many nodes' wake slots each mutation moves
+	// (0: n/8, at least 1).
+	PerturbNodes int
+	// Span is the window wake slots live in (0: 4× the protocol's
+	// waiting period).
+	Span int64
+	// Restarts is the number of independent starting schedules the
+	// budget is split across (0: 3).
+	Restarts int
+	// Seed drives the search and the protocol runs.
+	Seed int64
+	// MaxSlots bounds each protocol execution (0: generous default).
+	MaxSlots int64
+}
+
+// Result reports the search outcome.
+type Result struct {
+	// BestWake is the worst schedule found (highest max T_v among
+	// correct runs, or any improper run — see Broken).
+	BestWake []int64
+	// BestScore is max_v T_v under BestWake.
+	BestScore int64
+	// Broken counts evaluated schedules that produced an improper or
+	// incomplete coloring — the adversary's jackpot. If > 0, BestWake
+	// is the first such schedule.
+	Broken int
+	// Evals is the number of protocol executions actually spent.
+	Evals int
+}
+
+// Search runs the adversary against the protocol on deployment d with
+// parameters par.
+func Search(d *topology.Deployment, par core.Params, cfg Config) *Result {
+	if cfg.Evals < 1 {
+		cfg.Evals = 16
+	}
+	if cfg.Restarts < 1 {
+		cfg.Restarts = 3
+	}
+	if cfg.PerturbNodes < 1 {
+		cfg.PerturbNodes = d.N() / 8
+		if cfg.PerturbNodes < 1 {
+			cfg.PerturbNodes = 1
+		}
+	}
+	if cfg.Span <= 0 {
+		cfg.Span = 4 * par.WaitSlots()
+	}
+	if cfg.MaxSlots <= 0 {
+		cfg.MaxSlots = int64(par.Kappa2+2)*par.Threshold()*40 + 4*cfg.Span
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &Result{BestScore: -1}
+
+	evaluate := func(wake []int64, runSeed int64) (score int64, broken bool) {
+		nodes, protos := core.Nodes(d.N(), runSeed, par, core.Ablation{})
+		out, err := radio.Run(radio.Config{
+			G: d.G, Protocols: protos, Wake: wake,
+			MaxSlots: cfg.MaxSlots, NEstimate: par.N,
+		})
+		if err != nil {
+			panic(err)
+		}
+		res.Evals++
+		if !out.AllDone {
+			return cfg.MaxSlots, true
+		}
+		colors := make([]int32, d.N())
+		for i, v := range nodes {
+			colors[i] = v.Color()
+		}
+		if !verify.Check(d.G, colors).OK() {
+			return out.MaxLatency(), true
+		}
+		return out.MaxLatency(), false
+	}
+
+	record := func(wake []int64, score int64, broken bool) {
+		if broken {
+			res.Broken++
+			if res.Broken == 1 {
+				res.BestWake = append([]int64(nil), wake...)
+				res.BestScore = score
+			}
+			return
+		}
+		if res.Broken == 0 && score > res.BestScore {
+			res.BestWake = append([]int64(nil), wake...)
+			res.BestScore = score
+		}
+	}
+
+	perEval := 0
+	for r := 0; r < cfg.Restarts && res.Evals < cfg.Evals; r++ {
+		// Start from a random schedule.
+		wake := make([]int64, d.N())
+		for i := range wake {
+			wake[i] = rng.Int63n(cfg.Span)
+		}
+		score, broken := evaluate(wake, cfg.Seed+int64(res.Evals))
+		record(wake, score, broken)
+		best := score
+		// Hill-climb within the restart's share of the budget.
+		share := cfg.Evals / cfg.Restarts
+		for perEval = 0; perEval < share-1 && res.Evals < cfg.Evals; perEval++ {
+			cand := append([]int64(nil), wake...)
+			for k := 0; k < cfg.PerturbNodes; k++ {
+				cand[rng.Intn(len(cand))] = rng.Int63n(cfg.Span)
+			}
+			s, b := evaluate(cand, cfg.Seed+int64(res.Evals))
+			record(cand, s, b)
+			if b || s > best {
+				wake, best = cand, s
+			}
+			if res.Broken > 0 {
+				return res // jackpot: stop searching
+			}
+		}
+	}
+	return res
+}

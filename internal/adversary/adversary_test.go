@@ -1,0 +1,96 @@
+package adversary
+
+import (
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/graph"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+)
+
+func smallDeployment() (*topology.Deployment, core.Params) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 50, Side: 4.5, Radius: 1.2, Seed: 2})
+	delta := d.G.MaxDegree()
+	k := d.G.Kappa(graph.KappaOptions{Budget: 150_000, MaxNeighborhood: 140})
+	return d, core.Practical(d.N(), delta, k.K1, k.K2)
+}
+
+func TestSearchFindsValidSchedule(t *testing.T) {
+	d, par := smallDeployment()
+	res := Search(d, par, Config{Evals: 6, Seed: 3})
+	if res.Evals < 1 || res.Evals > 6 {
+		t.Fatalf("evals = %d", res.Evals)
+	}
+	if len(res.BestWake) != d.N() {
+		t.Fatalf("schedule length %d", len(res.BestWake))
+	}
+	for _, w := range res.BestWake {
+		if w < 0 {
+			t.Fatal("negative wake slot")
+		}
+	}
+	if res.BestScore <= 0 {
+		t.Fatalf("score = %d", res.BestScore)
+	}
+	// The protocol should survive the adversary at practical constants.
+	if res.Broken != 0 {
+		t.Logf("adversary broke the protocol (%d schedules) — acceptable whp event, check constants", res.Broken)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	d, par := smallDeployment()
+	a := Search(d, par, Config{Evals: 5, Seed: 9})
+	b := Search(d, par, Config{Evals: 5, Seed: 9})
+	if a.BestScore != b.BestScore || a.Broken != b.Broken {
+		t.Errorf("search not deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.BestWake {
+		if a.BestWake[i] != b.BestWake[i] {
+			t.Fatal("schedules differ")
+		}
+	}
+}
+
+func TestSearchNotWeakerThanSynchronous(t *testing.T) {
+	// The adversary's best schedule should be at least as bad as the
+	// trivial synchronous one (it can always find staggered trouble).
+	d, par := smallDeployment()
+	nodes, protos := core.Nodes(d.N(), 5, par, core.Ablation{})
+	sync, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 10_000_000, NEstimate: par.N,
+	})
+	if err != nil || !sync.AllDone {
+		t.Fatalf("sync baseline failed: %v", err)
+	}
+	_ = nodes
+	res := Search(d, par, Config{Evals: 10, Seed: 4})
+	if res.Broken == 0 && res.BestScore < sync.MaxLatency()/2 {
+		t.Errorf("adversary best %d far below sync baseline %d", res.BestScore, sync.MaxLatency())
+	}
+}
+
+func TestSearchFindsBreakageWithWeakConstants(t *testing.T) {
+	// With constants scaled far below the safe plateau (E7: < 0.25× is
+	// reliably broken), the adversary should find an improper schedule
+	// quickly — validating that Broken actually fires.
+	d, par := smallDeployment()
+	weak := par.Scale(0.15)
+	res := Search(d, weak, Config{Evals: 8, Seed: 6})
+	if res.Broken == 0 {
+		t.Error("adversary failed to break deliberately unsafe constants")
+	}
+	if len(res.BestWake) != d.N() {
+		t.Error("broken schedule not recorded")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d, par := smallDeployment()
+	res := Search(d, par, Config{Evals: 2, Seed: 1})
+	if res == nil || res.Evals != 2 {
+		t.Fatalf("defaults broken: %+v", res)
+	}
+}

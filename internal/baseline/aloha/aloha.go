@@ -1,0 +1,190 @@
+// Package aloha implements a deliberately naive listen-then-claim
+// coloring protocol in the unstructured radio network model. It is the
+// strawman the paper's design discussion (Sect. 4) argues against:
+// without counters, critical ranges, and competitor lists there is no
+// safe moment to decide, so the protocol trades a fixed listening budget
+// for a correctness gamble.
+//
+// Each node, after waking up:
+//
+//  1. listens for listenSlots slots while recording every color it hears
+//     claimed by neighbors (transmissions are slotted-ALOHA style);
+//  2. claims the smallest color it never heard and keeps announcing it
+//     with probability 1/Δ;
+//  3. if it hears a neighbor announce the same color, the lower id
+//     re-claims the smallest unheard color and restarts its quiet
+//     window;
+//  4. it decides irrevocably after quietSlots conflict-free slots.
+//
+// The protocol is fast and usually correct on small, synchronous
+// networks, but its decision rule is unsound: hidden claimants that were
+// asleep (asynchronous wake-up!) or repeatedly collided are invisible
+// during the quiet window, so adjacent nodes can decide the same color.
+// Experiments E8/E11 quantify this correctness gap against the paper's
+// algorithm.
+package aloha
+
+import (
+	"radiocolor/internal/radio"
+)
+
+// Params configures the strawman.
+type Params struct {
+	// N and Delta are the usual global estimates.
+	N, Delta int
+	// ListenSlots is the initial listening budget.
+	ListenSlots int64
+	// QuietSlots is the conflict-free window before deciding.
+	QuietSlots int64
+}
+
+// DefaultParams returns the parameters used by the experiments: budgets
+// of the same O(Δ log n) order as one phase of the paper's algorithm.
+func DefaultParams(n, delta int) Params {
+	if delta < 2 {
+		delta = 2
+	}
+	logn := int64(1)
+	for v := n - 1; v > 0; v >>= 1 {
+		logn++
+	}
+	if logn < 3 {
+		logn = 3
+	}
+	return Params{
+		N:           n,
+		Delta:       delta,
+		ListenSlots: 2 * int64(delta) * logn,
+		QuietSlots:  2 * int64(delta) * logn,
+	}
+}
+
+// announce is the single message type: "my color is Color".
+type announce struct {
+	From  radio.NodeID
+	Color int32
+}
+
+// Sender implements radio.Message.
+func (a *announce) Sender() radio.NodeID { return a.From }
+
+// Bits implements radio.Message.
+func (a *announce) Bits(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	b := 0
+	for v := n * n * n; v > 0; v >>= 1 {
+		b++
+	}
+	return b + 16
+}
+
+// Node is one strawman participant; it implements radio.Protocol.
+type Node struct {
+	id  radio.NodeID
+	rng radio.Rand
+	par Params
+
+	heard   map[int32]bool
+	listen  int64
+	claim   int32
+	quiet   int64
+	decided bool
+	redraws int64
+}
+
+// New creates a node.
+func New(id radio.NodeID, rng radio.Rand, par Params) *Node {
+	if par.Delta < 2 {
+		par.Delta = 2
+	}
+	if par.ListenSlots < 1 {
+		par.ListenSlots = 1
+	}
+	if par.QuietSlots < 1 {
+		par.QuietSlots = 1
+	}
+	return &Node{id: id, rng: rng, par: par, claim: -1, heard: make(map[int32]bool)}
+}
+
+// Nodes builds one node per vertex with deterministic streams.
+func Nodes(n int, seed int64, par Params) ([]*Node, []radio.Protocol) {
+	nodes := make([]*Node, n)
+	protos := make([]radio.Protocol, n)
+	for i := range nodes {
+		nodes[i] = New(radio.NodeID(i), radio.NodeRand(seed, radio.NodeID(i)), par)
+		protos[i] = nodes[i]
+	}
+	return nodes, protos
+}
+
+// Start implements radio.Protocol.
+func (v *Node) Start(int64) { v.listen = v.par.ListenSlots }
+
+// smallestUnheard returns the lowest color not in v.heard.
+func (v *Node) smallestUnheard() int32 {
+	for c := int32(0); ; c++ {
+		if !v.heard[c] {
+			return c
+		}
+	}
+}
+
+// Send implements radio.Protocol.
+func (v *Node) Send(int64) radio.Message {
+	if v.listen > 0 {
+		v.listen--
+		if v.listen == 0 {
+			v.claim = v.smallestUnheard()
+		}
+		return nil
+	}
+	if !v.decided {
+		v.quiet++
+		if v.quiet >= v.par.QuietSlots {
+			v.decided = true
+		}
+	}
+	if v.rng.Float64() < 1/float64(v.par.Delta) {
+		return &announce{From: v.id, Color: v.claim}
+	}
+	return nil
+}
+
+// Recv implements radio.Protocol.
+func (v *Node) Recv(_ int64, msg radio.Message) {
+	a, ok := msg.(*announce)
+	if !ok {
+		return
+	}
+	v.heard[a.Color] = true
+	if v.claim < 0 || a.Color != v.claim {
+		return
+	}
+	if v.decided {
+		return // irrevocable — possibly wrong, that is the point
+	}
+	if a.From > v.id {
+		// Yield: lower priority re-claims.
+		v.claim = v.smallestUnheard()
+		v.redraws++
+	}
+	v.quiet = 0
+}
+
+// Done implements radio.Protocol.
+func (v *Node) Done() bool { return v.decided }
+
+// Color returns the claimed color, or −1 before the listening phase
+// ends. Unlike the paper's algorithm the value is only trustworthy if no
+// conflict surfaces later.
+func (v *Node) Color() int32 {
+	if !v.decided {
+		return -1
+	}
+	return v.claim
+}
+
+// Redraws returns how many times the node abandoned a claim.
+func (v *Node) Redraws() int64 { return v.redraws }

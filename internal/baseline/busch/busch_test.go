@@ -1,0 +1,133 @@
+package busch
+
+import (
+	"testing"
+
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+func colorsOf(nodes []*Node) []int32 {
+	out := make([]int32, len(nodes))
+	for i, v := range nodes {
+		out[i] = v.Color()
+	}
+	return out
+}
+
+func run(t *testing.T, d *topology.Deployment, seed int64, maxSlots int64) ([]*Node, *radio.Result) {
+	t.Helper()
+	par := DefaultParams(d.N(), d.G.MaxDegree())
+	nodes, protos := Nodes(d.N(), seed, par)
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()), MaxSlots: maxSlots,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, res
+}
+
+func TestBuschColorsSmallUDG(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 60, Side: 5, Radius: 1.2, Seed: 1})
+	nodes, res := run(t, d, 3, 5_000_000)
+	if !res.AllDone {
+		t.Fatalf("did not terminate in %d slots", res.Slots)
+	}
+	rep := verify.Check(d.G, colorsOf(nodes))
+	if !rep.OK() {
+		t.Fatalf("bad coloring: %v", rep)
+	}
+	// Colors are frame slots: bounded by frame length = 2Δ → O(Δ).
+	if int(rep.MaxColor) >= 2*d.G.MaxDegree() {
+		t.Errorf("color %d outside frame of %d", rep.MaxColor, 2*d.G.MaxDegree())
+	}
+}
+
+func TestBuschColorsRing(t *testing.T) {
+	d := topology.Ring(30)
+	nodes, res := run(t, d, 5, 3_000_000)
+	if !res.AllDone {
+		t.Fatal("did not terminate")
+	}
+	if rep := verify.Check(d.G, colorsOf(nodes)); !rep.OK() {
+		t.Fatalf("bad coloring: %v", rep)
+	}
+}
+
+func TestBuschDeterministic(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 40, Side: 4, Radius: 1.2, Seed: 2})
+	a, _ := run(t, d, 7, 3_000_000)
+	b, _ := run(t, d, 7, 3_000_000)
+	for i := range a {
+		if a[i].Color() != b[i].Color() {
+			t.Fatalf("node %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestBuschSlowerThanLinearInDelta(t *testing.T) {
+	// The comparator's verification window alone is Θ(Δ² log n) slots;
+	// doubling Δ must much more than double completion time.
+	small := topology.Clique(6)
+	large := topology.Clique(12)
+	_, resS := run(t, small, 11, 20_000_000)
+	_, resL := run(t, large, 11, 20_000_000)
+	if !resS.AllDone || !resL.AllDone {
+		t.Fatalf("cliques did not terminate: %v / %v", resS.AllDone, resL.AllDone)
+	}
+	ts, tl := resS.MaxLatency(), resL.MaxLatency()
+	if tl < 3*ts {
+		t.Errorf("T(Δ=12) = %d vs T(Δ=6) = %d: expected superlinear growth", tl, ts)
+	}
+}
+
+func TestBuschParamsClamped(t *testing.T) {
+	v := New(0, radio.NodeRand(1, 0), Params{})
+	if v.frame < 2 || v.par.QuietFrames < 1 || v.par.ClaimDuty < 1 {
+		t.Errorf("clamping failed: %+v frame=%d", v.par, v.frame)
+	}
+	if DefaultParams(10, 0).Delta != 2 {
+		t.Error("DefaultParams must clamp Delta")
+	}
+}
+
+func TestBuschMessageBits(t *testing.T) {
+	c := &claim{From: 3, Slot: 9}
+	if c.Sender() != 3 {
+		t.Error("Sender wrong")
+	}
+	if b := c.Bits(1000); b <= 0 || b > 80 {
+		t.Errorf("Bits = %d", b)
+	}
+	if b := c.Bits(1); b <= 0 {
+		t.Errorf("Bits(1) = %d", b)
+	}
+}
+
+func TestBuschRedrawsCounted(t *testing.T) {
+	// In a clique, slot conflicts are guaranteed initially with frame 2Δ
+	// and 12 nodes; someone must redraw.
+	d := topology.Clique(12)
+	nodes, res := run(t, d, 13, 20_000_000)
+	if !res.AllDone {
+		t.Fatal("did not terminate")
+	}
+	var total int64
+	for _, v := range nodes {
+		total += v.Redraws()
+	}
+	if total == 0 {
+		t.Log("no redraws occurred (unlikely but possible); informational only")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct{ n, want int }{{1, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}}
+	for _, c := range cases {
+		if got := log2ceil(c.n); got != c.want {
+			t.Errorf("log2ceil(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package collect implements the canonical sensor-network workload on
+// top of the coloring-derived TDMA schedule: convergecast data
+// collection. Every node generates readings and forwards them hop by hop
+// along a BFS tree toward a sink, transmitting only in its own TDMA slot
+// (so there is never direct interference, per the introduction's
+// motivation for coloring-based MAC layers). Hidden-terminal collisions
+// — same-slot senders two hops apart — still occur under a 1-hop
+// coloring and force retransmissions; a distance-2 coloring eliminates
+// them entirely. Experiment E22 quantifies that trade-off on the
+// application level, completing the chain the paper motivates:
+// initialization → coloring → MAC → working data collection.
+package collect
+
+import (
+	"errors"
+	"fmt"
+
+	"radiocolor/internal/graph"
+	"radiocolor/internal/sched"
+)
+
+// Tree returns the BFS routing tree toward the sink: parent[v] is v's
+// next hop (parent[sink] = -1; unreachable nodes get -2).
+func Tree(g *graph.Graph, sink int) []int32 {
+	parent := make([]int32, g.N())
+	for i := range parent {
+		parent[i] = -2
+	}
+	parent[sink] = -1
+	queue := []int32{int32(sink)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Adj(int(u)) {
+			if parent[w] == -2 {
+				parent[w] = u
+				queue = append(queue, w)
+			}
+		}
+	}
+	return parent
+}
+
+// Config parameterizes a collection run.
+type Config struct {
+	// Sink receives all traffic.
+	Sink int
+	// PacketsPerNode readings are generated at every non-sink node, one
+	// per frame starting at frame 0.
+	PacketsPerNode int
+	// Frames bounds the simulation (0: generous automatic bound).
+	Frames int
+	// QueueCap bounds per-node buffers; arrivals beyond it are dropped
+	// (0: unbounded).
+	QueueCap int
+	// Persistence is the probability a backlogged node actually uses
+	// its slot in a given frame (0: 0.75). Values below 1 are the
+	// classic p-persistence that breaks the standing collisions two
+	// backlogged hidden-terminal senders would otherwise repeat forever
+	// under a 1-hop coloring; under a distance-2 coloring there are no
+	// hidden terminals and 1.0 is optimal.
+	Persistence float64
+	// CoinSeed drives the deterministic persistence coin.
+	CoinSeed int64
+}
+
+// Stats summarizes a collection run.
+type Stats struct {
+	// Generated, Delivered and Dropped count packets; packets still
+	// queued when the frame budget expires are Stranded.
+	Generated, Delivered, Dropped, Stranded int
+	// Retransmissions counts send attempts that failed to hidden-terminal
+	// collisions.
+	Retransmissions int
+	// MeanLatency is the mean delivery time in slots (delivered packets
+	// only).
+	MeanLatency float64
+	// Frames is the number of TDMA frames simulated.
+	Frames int
+}
+
+// DeliveryRate is Delivered/Generated (1 if nothing was generated).
+func (s Stats) DeliveryRate() float64 {
+	if s.Generated == 0 {
+		return 1
+	}
+	return float64(s.Delivered) / float64(s.Generated)
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("generated=%d delivered=%d (%.1f%%) dropped=%d stranded=%d retx=%d meanLatency=%.0f slots",
+		s.Generated, s.Delivered, 100*s.DeliveryRate(), s.Dropped, s.Stranded, s.Retransmissions, s.MeanLatency)
+}
+
+// packet is one reading in flight.
+type packet struct {
+	born int64 // absolute slot of generation
+}
+
+// coin is the stateless p-persistence draw for (seed, frame, node).
+func coin(seed, frame int64, node int32, p float64) bool {
+	if p >= 1 {
+		return true
+	}
+	z := uint64(seed) ^ uint64(frame)*0x9E3779B97F4A7C15 ^ uint64(node)<<32
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11)/float64(1<<53) < p
+}
+
+// Run simulates convergecast over the schedule. The radio semantics per
+// slot s of each frame: every node whose TDMA slot is s and whose queue
+// is nonempty transmits its head packet to its BFS parent; the parent
+// receives iff it is not itself transmitting in s and exactly one of its
+// neighbors transmits in s (the unstructured model's reception rule).
+// Failed transmissions keep the packet for the next frame.
+func Run(g *graph.Graph, s *sched.Schedule, cfg Config) (Stats, error) {
+	n := g.N()
+	if cfg.Sink < 0 || cfg.Sink >= n {
+		return Stats{}, fmt.Errorf("collect: sink %d out of range", cfg.Sink)
+	}
+	if len(s.Slot) != n {
+		return Stats{}, errors.New("collect: schedule size mismatch")
+	}
+	if cfg.PacketsPerNode < 1 {
+		cfg.PacketsPerNode = 1
+	}
+	if cfg.Persistence <= 0 || cfg.Persistence > 1 {
+		cfg.Persistence = 0.75
+	}
+	parent := Tree(g, cfg.Sink)
+	for v := 0; v < n; v++ {
+		if parent[v] == -2 {
+			return Stats{}, fmt.Errorf("collect: node %d cannot reach the sink", v)
+		}
+	}
+	if cfg.Frames <= 0 {
+		// Every packet needs ≤ depth hops; contention can force
+		// retries, so budget generously: packets × (diameter + Δ).
+		cfg.Frames = cfg.PacketsPerNode * (g.Diameter() + g.MaxDegree() + 8) * 4
+	}
+
+	queues := make([][]packet, n)
+	stats := Stats{Frames: cfg.Frames}
+	var latencySum int64
+
+	// senders[slot] lists nodes owning that slot, precomputed.
+	bySlot := make([][]int32, s.FrameLen)
+	for v := 0; v < n; v++ {
+		bySlot[s.Slot[v]] = append(bySlot[s.Slot[v]], int32(v))
+	}
+
+	for frame := 0; frame < cfg.Frames; frame++ {
+		frameBase := int64(frame) * int64(s.FrameLen)
+		for slot := int32(0); slot < s.FrameLen; slot++ {
+			now := frameBase + int64(slot)
+			// Generation: each non-sink node emits one reading per
+			// frame at its own slot until its budget is exhausted.
+			if frame < cfg.PacketsPerNode {
+				for _, v := range bySlot[slot] {
+					if int(v) == cfg.Sink {
+						continue
+					}
+					stats.Generated++
+					if cfg.QueueCap > 0 && len(queues[v]) >= cfg.QueueCap {
+						stats.Dropped++
+						continue
+					}
+					queues[v] = append(queues[v], packet{born: now})
+				}
+			}
+			// Transmissions this slot: slot owners with traffic. The set
+			// is frozen before any packet moves so that interference is
+			// judged against what is actually on the air this slot.
+			var txs []int32
+			transmitting := make(map[int32]bool)
+			for _, v := range bySlot[slot] {
+				if int(v) != cfg.Sink && len(queues[v]) > 0 && coin(cfg.CoinSeed, int64(frame), v, cfg.Persistence) {
+					txs = append(txs, v)
+					transmitting[v] = true
+				}
+			}
+			if len(txs) == 0 {
+				continue
+			}
+			for _, v := range txs {
+				p := parent[v]
+				// The parent never transmits in v's slot (colors are
+				// proper ⇒ different slots); it hears v iff v is its
+				// only transmitting neighbor in this slot.
+				interference := 0
+				for _, w := range g.Adj(int(p)) {
+					if transmitting[w] {
+						interference++
+					}
+				}
+				if interference != 1 {
+					stats.Retransmissions++
+					continue // collision at the parent; retry next frame
+				}
+				pkt := queues[v][0]
+				queues[v] = queues[v][1:]
+				if int(p) == cfg.Sink {
+					stats.Delivered++
+					latencySum += now - pkt.born
+					continue
+				}
+				if cfg.QueueCap > 0 && len(queues[p]) >= cfg.QueueCap {
+					stats.Dropped++
+					continue
+				}
+				queues[p] = append(queues[p], pkt)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		stats.Stranded += len(queues[v])
+	}
+	if stats.Delivered > 0 {
+		stats.MeanLatency = float64(latencySum) / float64(stats.Delivered)
+	}
+	return stats, nil
+}

@@ -1,0 +1,175 @@
+package collect
+
+import (
+	"strings"
+	"testing"
+
+	"radiocolor/internal/graph"
+	"radiocolor/internal/sched"
+	"radiocolor/internal/topology"
+)
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func TestTree(t *testing.T) {
+	g := pathGraph(5)
+	parent := Tree(g, 0)
+	want := []int32{-1, 0, 1, 2, 3}
+	for i := range want {
+		if parent[i] != want[i] {
+			t.Fatalf("parent = %v", parent)
+		}
+	}
+	// Disconnected nodes get -2.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	parent = Tree(b.Build(), 0)
+	if parent[2] != -2 {
+		t.Errorf("unreachable marker = %d", parent[2])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := pathGraph(3)
+	s, _ := sched.FromColoring([]int32{0, 1, 0})
+	if _, err := Run(g, s, Config{Sink: 9}); err == nil {
+		t.Error("bad sink accepted")
+	}
+	bad, _ := sched.FromColoring([]int32{0, 1})
+	if _, err := Run(g, bad, Config{Sink: 0}); err == nil {
+		t.Error("schedule size mismatch accepted")
+	}
+	// Unreachable node.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	s3, _ := sched.FromColoring([]int32{0, 1, 0})
+	if _, err := Run(b.Build(), s3, Config{Sink: 0}); err == nil {
+		t.Error("disconnected deployment accepted")
+	}
+}
+
+func TestPathCollectionDeliversEverything(t *testing.T) {
+	// A path with a distance-2 coloring has zero hidden terminals:
+	// everything must arrive.
+	g := pathGraph(6)
+	colors := g.Square().GreedyColoring()
+	s, err := sched.FromColoring(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(g, s, Config{Sink: 0, PacketsPerNode: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generated != 15 { // 5 non-sink nodes × 3
+		t.Errorf("generated = %d", stats.Generated)
+	}
+	if stats.Delivered != stats.Generated || stats.Stranded != 0 || stats.Dropped != 0 {
+		t.Errorf("stats = %v", stats)
+	}
+	if stats.Retransmissions != 0 {
+		t.Errorf("distance-2 schedule caused %d retransmissions", stats.Retransmissions)
+	}
+	if stats.MeanLatency <= 0 {
+		t.Errorf("latency = %v", stats.MeanLatency)
+	}
+	if !strings.Contains(stats.String(), "delivered=15") {
+		t.Errorf("String() = %q", stats.String())
+	}
+}
+
+func TestOneHopColoringLosesToHiddenTerminalsButRetries(t *testing.T) {
+	// Star-of-paths: two branch nodes share a color under a 1-hop
+	// coloring and both forward to the hub — a hidden-terminal pair.
+	// With retries the frames budget still delivers everything
+	// eventually... except that two always-backlogged same-slot senders
+	// collide forever. With staggered generation (1 packet each), the
+	// second frame drains one side.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	s, _ := sched.FromColoring([]int32{0, 1, 1}) // proper 1-hop, hidden pair
+	// With full persistence, both transmit in the same slot every frame
+	// while backlogged: a permanent collision — the pathology that
+	// p-persistence (or a distance-2 coloring) removes.
+	stats, err := Run(g, s, Config{Sink: 0, PacketsPerNode: 1, Frames: 10, Persistence: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Generated != 2 {
+		t.Fatalf("generated = %d", stats.Generated)
+	}
+	if stats.Delivered != 0 || stats.Retransmissions == 0 {
+		t.Errorf("expected standing collision: %v", stats)
+	}
+	// Default 0.75-persistence breaks the symmetry and drains the queues.
+	statsP, err := Run(g, s, Config{Sink: 0, PacketsPerNode: 1, Frames: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsP.Delivered != 2 {
+		t.Errorf("p-persistence failed to break the collision: %v", statsP)
+	}
+	// The same workload under a distance-2 coloring drains fully.
+	s2, _ := sched.FromColoring(g.Square().GreedyColoring())
+	stats2, err := Run(g, s2, Config{Sink: 0, PacketsPerNode: 1, Frames: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Delivered != 2 || stats2.Retransmissions != 0 {
+		t.Errorf("distance-2 collection: %v", stats2)
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	// Queue capacity 1 on a path funnels everything through node 1 and
+	// must drop overflow rather than grow unboundedly.
+	g := pathGraph(4)
+	s, _ := sched.FromColoring(g.Square().GreedyColoring())
+	stats, err := Run(g, s, Config{Sink: 0, PacketsPerNode: 4, QueueCap: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped == 0 {
+		t.Errorf("no drops despite QueueCap=1: %v", stats)
+	}
+	if stats.Delivered+stats.Dropped+stats.Stranded != stats.Generated {
+		t.Errorf("packet conservation violated: %v", stats)
+	}
+}
+
+func TestCollectionOnRealColoring(t *testing.T) {
+	// End-to-end: UDG → protocol-quality coloring (greedy stands in for
+	// speed) → TDMA → convergecast. Delivery must dominate.
+	d := topology.RandomUDG(topology.UDGConfig{N: 80, Side: 5, Radius: 1.3, Seed: 3})
+	if !d.G.Connected() {
+		t.Skip("disconnected sample")
+	}
+	s, err := sched.FromColoring(d.G.GreedyColoring())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(d.G, s, Config{Sink: 0, PacketsPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeliveryRate() < 0.9 {
+		t.Errorf("delivery rate %.2f too low: %v", stats.DeliveryRate(), stats)
+	}
+	if stats.Delivered+stats.Dropped+stats.Stranded != stats.Generated {
+		t.Errorf("packet conservation violated: %v", stats)
+	}
+}
+
+func TestDeliveryRateEmpty(t *testing.T) {
+	if (Stats{}).DeliveryRate() != 1 {
+		t.Error("empty delivery rate should be 1")
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import "fmt"
+
+// Transition records one state change of a node, refining Fig. 2's
+// diagram with the slot at which each edge was taken.
+type Transition struct {
+	Slot  int64
+	Phase Phase
+	// Class is the verification/color class entered (meaningful for
+	// PhaseWaiting and PhaseColored).
+	Class int32
+}
+
+// String implements fmt.Stringer.
+func (tr Transition) String() string {
+	switch tr.Phase {
+	case PhaseWaiting:
+		return fmt.Sprintf("[%7d] → A_%d (waiting)", tr.Slot, tr.Class)
+	case PhaseActive:
+		return fmt.Sprintf("[%7d] → A_%d (active)", tr.Slot, tr.Class)
+	case PhaseRequest:
+		return fmt.Sprintf("[%7d] → R", tr.Slot)
+	case PhaseColored:
+		return fmt.Sprintf("[%7d] → C_%d (decided)", tr.Slot, tr.Class)
+	default:
+		return fmt.Sprintf("[%7d] → %v", tr.Slot, tr.Phase)
+	}
+}
+
+// EnableHistory makes the node record its state transitions; call before
+// the simulation starts. Recording costs one append per transition (a
+// node makes O(κ₂) of them), so it is cheap enough for full runs, but it
+// is off by default to keep experiment memory flat.
+func (v *Node) EnableHistory() { v.recordHistory = true }
+
+// History returns the recorded transitions in order (nil unless
+// EnableHistory was called).
+func (v *Node) History() []Transition { return v.history }
+
+// logTransition appends to the node's history when enabled. The current
+// slot is tracked by the per-slot entry points (Send/Recv), which stamp
+// v.nowSlot before any transition can occur.
+func (v *Node) logTransition(phase Phase, class int32) {
+	if !v.recordHistory {
+		return
+	}
+	v.history = append(v.history, Transition{Slot: v.nowSlot, Phase: phase, Class: class})
+}

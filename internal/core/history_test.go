@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+)
+
+func TestHistoryRecordsFullLifecycle(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 50, Side: 4.5, Radius: 1.2, Seed: 6})
+	par := paramsFor(d)
+	nodes, protos := core.Nodes(d.N(), 19, par, core.Ablation{})
+	for _, v := range nodes {
+		v.EnableHistory()
+	}
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 5_000_000, NEstimate: par.N,
+	})
+	if err != nil || !res.AllDone {
+		t.Fatalf("run failed: %v %v", err, res)
+	}
+	for i, v := range nodes {
+		h := v.History()
+		if len(h) < 2 {
+			t.Fatalf("node %d: history too short: %v", i, h)
+		}
+		// First transition: entering A₀'s waiting phase at wake-up.
+		if h[0].Phase != core.PhaseWaiting || h[0].Class != 0 {
+			t.Errorf("node %d: first transition %v", i, h[0])
+		}
+		// Last transition: the irrevocable decision, matching the
+		// engine's decide slot and the final color.
+		last := h[len(h)-1]
+		if last.Phase != core.PhaseColored || last.Class != v.Color() {
+			t.Errorf("node %d: last transition %v, color %d", i, last, v.Color())
+		}
+		if last.Slot != res.DecideSlot[i] {
+			t.Errorf("node %d: decided at %d per history, %d per engine", i, last.Slot, res.DecideSlot[i])
+		}
+		// Slots are non-decreasing, strings render.
+		prev := int64(-1)
+		for _, tr := range h {
+			if tr.Slot < prev {
+				t.Fatalf("node %d: history out of order: %v", i, h)
+			}
+			prev = tr.Slot
+			if tr.String() == "" {
+				t.Error("empty transition string")
+			}
+		}
+		// Leaders go A₀(wait) → A₀(active) → C₀; non-leaders pass
+		// through R exactly once per leader association.
+		if v.IsLeader() {
+			for _, tr := range h {
+				if tr.Phase == core.PhaseRequest {
+					t.Errorf("node %d: leader entered R: %v", i, h)
+				}
+			}
+		} else {
+			sawRequest := false
+			for _, tr := range h {
+				if tr.Phase == core.PhaseRequest {
+					sawRequest = true
+				}
+			}
+			if !sawRequest {
+				t.Errorf("node %d: non-leader never entered R: %v", i, h)
+			}
+		}
+	}
+}
+
+func TestHistoryDisabledByDefault(t *testing.T) {
+	v := core.NewNode(0, radio.NodeRand(1, 0), core.Practical(16, 4, 2, 4), core.Ablation{})
+	v.Start(0)
+	for s := int64(1); s < 100; s++ {
+		v.Send(s)
+	}
+	if v.History() != nil {
+		t.Error("history recorded without EnableHistory")
+	}
+}

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+func TestRandomIDSpace(t *testing.T) {
+	if core.RandomIDSpace(10) != 1000 {
+		t.Errorf("space(10) = %d", core.RandomIDSpace(10))
+	}
+	if core.RandomIDSpace(1) != 8 {
+		t.Errorf("space(1) = %d, want clamped floor", core.RandomIDSpace(1))
+	}
+	if core.RandomIDSpace(100_000) != int64(1)<<31-1 {
+		t.Errorf("space must clamp to int32 range, got %d", core.RandomIDSpace(100_000))
+	}
+}
+
+func TestCountIDCollisions(t *testing.T) {
+	if got := core.CountIDCollisions([]radio.NodeID{1, 2, 3}); got != 0 {
+		t.Errorf("collisions = %d", got)
+	}
+	if got := core.CountIDCollisions([]radio.NodeID{1, 2, 1, 1}); got != 3 {
+		t.Errorf("collisions = %d, want 3", got)
+	}
+	if got := core.CountIDCollisions(nil); got != 0 {
+		t.Errorf("collisions(nil) = %d", got)
+	}
+}
+
+func TestRandomIDsUniqueWhp(t *testing.T) {
+	// With the paper's n³ space, 150 nodes collide with probability
+	// ≈ 1/(2·150); one fixed seed should be collision-free.
+	par := core.Practical(150, 10, 4, 9)
+	_, _, ids := core.NodesWithRandomIDs(150, 5, par, core.Ablation{}, 0)
+	if len(ids) != 150 {
+		t.Fatal("wrong id count")
+	}
+	if c := core.CountIDCollisions(ids); c != 0 {
+		t.Errorf("unexpected collisions: %d", c)
+	}
+	for _, id := range ids {
+		if id < 1 {
+			t.Fatalf("id %d outside [1..n³]", id)
+		}
+	}
+}
+
+func TestRandomIDColoringWorks(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 90, Side: 5.5, Radius: 1.2, Seed: 3})
+	par := paramsFor(d)
+	nodes, protos, ids := core.NodesWithRandomIDs(d.N(), 17, par, core.Ablation{}, 0)
+	if c := core.CountIDCollisions(ids); c != 0 {
+		t.Skipf("seed produced %d id collisions; pick another seed", c)
+	}
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 5_000_000, NEstimate: par.N,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDone {
+		t.Fatal("run incomplete")
+	}
+	colors := make([]int32, d.N())
+	for i, v := range nodes {
+		colors[i] = v.Color()
+	}
+	if rep := verify.Check(d.G, colors); !rep.OK() {
+		t.Fatalf("random-ID coloring bad: %v", rep)
+	}
+}
+
+func TestForcedIDCollisionsDegradeGracefully(t *testing.T) {
+	// A tiny ID space forces collisions. The run must still terminate —
+	// correctness may fail (that is the paper's P_ambIDs trade-off), but
+	// nothing may hang or panic.
+	d := topology.RandomUDG(topology.UDGConfig{N: 60, Side: 5, Radius: 1.3, Seed: 4})
+	par := paramsFor(d)
+	_, protos, ids := core.NodesWithRandomIDs(d.N(), 9, par, core.Ablation{}, 8)
+	if core.CountIDCollisions(ids) == 0 {
+		t.Fatal("test setup: expected collisions with id space 8")
+	}
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 8_000_000, NEstimate: par.N,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDone {
+		t.Error("run with colliding ids did not terminate")
+	}
+}

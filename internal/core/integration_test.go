@@ -1,0 +1,316 @@
+package core_test
+
+import (
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/graph"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+// runColoring executes the full protocol on d and returns the nodes and
+// the engine result.
+func runColoring(t *testing.T, d *topology.Deployment, par core.Params, wake []int64, seed int64, maxSlots int64) ([]*core.Node, *radio.Result) {
+	t.Helper()
+	nodes, protos := core.Nodes(d.N(), seed, par, core.Ablation{})
+	res, err := radio.Run(radio.Config{
+		G:         d.G,
+		Protocols: protos,
+		Wake:      wake,
+		MaxSlots:  maxSlots,
+		NEstimate: par.N,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, res
+}
+
+// colorsOf extracts the color vector.
+func colorsOf(nodes []*core.Node) []int32 {
+	out := make([]int32, len(nodes))
+	for i, v := range nodes {
+		out[i] = v.Color()
+	}
+	return out
+}
+
+func tcsOf(nodes []*core.Node) []int32 {
+	out := make([]int32, len(nodes))
+	for i, v := range nodes {
+		out[i] = v.TC()
+	}
+	return out
+}
+
+// paramsFor measures the deployment and produces practical parameters
+// with honest (over-)estimates, as the model prescribes: nodes know
+// rough upper bounds for n and Δ.
+func paramsFor(d *topology.Deployment) core.Params {
+	delta := d.G.MaxDegree()
+	k := d.G.Kappa(graph.KappaOptions{Budget: 200_000, MaxNeighborhood: 160})
+	return core.Practical(d.N(), delta, k.K1, k.K2)
+}
+
+func verifyRun(t *testing.T, d *topology.Deployment, nodes []*core.Node, res *radio.Result, par core.Params) {
+	t.Helper()
+	if !res.AllDone {
+		undecided := 0
+		for v := range nodes {
+			if !nodes[v].Done() {
+				undecided++
+			}
+		}
+		t.Fatalf("%s: %d nodes undecided after %d slots", d.Name, undecided, res.Slots)
+	}
+	colors := colorsOf(nodes)
+	rep := verify.Check(d.G, colors)
+	if !rep.OK() {
+		t.Fatalf("%s: bad coloring: %v (first violations: %v)", d.Name, rep, rep.Violations)
+	}
+	for class, indep := range verify.ClassIndependence(d.G, colors) {
+		if !indep {
+			t.Errorf("%s: color class %d not independent", d.Name, class)
+		}
+	}
+	// Theorem 5 (O(κ₂Δ) colors): intra-cluster colors reach at most
+	// Δ−1, each opening a window of κ₂+1 colors, so the maximum color is
+	// (Δ−1)(κ₂+1)+κ₂ barring re-requests (which the whp analysis rules
+	// out).
+	bound := int32((par.Delta-1)*(par.Kappa2+1) + par.Kappa2)
+	if rep.MaxColor > bound {
+		t.Errorf("%s: max color %d exceeds O(κ₂Δ) bound %d", d.Name, rep.MaxColor, bound)
+	}
+	if viol := verify.CheckLocality(d.G, colors, par.Kappa2); len(viol) > 0 {
+		t.Errorf("%s: locality violations: %v", d.Name, viol[:min(3, len(viol))])
+	}
+	if viol := verify.CheckClusterRanges(colors, tcsOf(nodes), par.Kappa2); len(viol) > 0 {
+		t.Errorf("%s: Corollary 1 range violations: %v", d.Name, viol)
+	}
+}
+
+func TestColoringSmallUDGSynchronous(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 80, Side: 5, Radius: 1.2, Seed: 1})
+	par := paramsFor(d)
+	nodes, res := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 7, 3_000_000)
+	verifyRun(t, d, nodes, res, par)
+}
+
+func TestColoringUDGAsynchronous(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 100, Side: 6, Radius: 1.3, Seed: 2})
+	par := paramsFor(d)
+	wake := radio.WakeUniform(d.N(), 4*par.WaitSlots(), 5)
+	nodes, res := runColoring(t, d, par, wake, 11, 3_000_000)
+	verifyRun(t, d, nodes, res, par)
+}
+
+func TestColoringAdversarialWakeup(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 60, Side: 5, Radius: 1.3, Seed: 3})
+	par := paramsFor(d)
+	wake := radio.WakeAdversarial(d.N(), par.WaitSlots(), 9)
+	nodes, res := runColoring(t, d, par, wake, 13, 4_000_000)
+	verifyRun(t, d, nodes, res, par)
+}
+
+func TestColoringClique(t *testing.T) {
+	// Single-hop worst case: only one leader, everyone else requests.
+	d := topology.Clique(16)
+	par := paramsFor(d)
+	nodes, res := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 17, 3_000_000)
+	verifyRun(t, d, nodes, res, par)
+	leaders := 0
+	for _, v := range nodes {
+		if v.IsLeader() {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("clique has %d leaders, want exactly 1", leaders)
+	}
+}
+
+func TestColoringStarHiddenTerminals(t *testing.T) {
+	d := topology.Star(20)
+	par := paramsFor(d)
+	nodes, res := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 19, 3_000_000)
+	verifyRun(t, d, nodes, res, par)
+}
+
+func TestColoringRing(t *testing.T) {
+	d := topology.Ring(40)
+	par := paramsFor(d)
+	nodes, res := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 23, 3_000_000)
+	verifyRun(t, d, nodes, res, par)
+}
+
+func TestColoringBIGWithObstacles(t *testing.T) {
+	d := topology.BIGWithWalls(topology.UDGConfig{N: 90, Side: 6, Radius: 1.3, Seed: 4}, 25)
+	par := paramsFor(d)
+	nodes, res := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 29, 3_000_000)
+	verifyRun(t, d, nodes, res, par)
+}
+
+func TestColoringDeterministic(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 50, Side: 4, Radius: 1.2, Seed: 5})
+	par := paramsFor(d)
+	a, _ := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 31, 3_000_000)
+	b, _ := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 31, 3_000_000)
+	for i := range a {
+		if a[i].Color() != b[i].Color() {
+			t.Fatalf("node %d: colors differ across identical runs: %d vs %d", i, a[i].Color(), b[i].Color())
+		}
+	}
+}
+
+func TestColoringMessageSizeWithinLogN(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 70, Side: 5, Radius: 1.2, Seed: 6})
+	par := paramsFor(d)
+	_, res := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 37, 3_000_000)
+	// O(log n): generously, 40·log₂(n) bits.
+	limit := 40 * 7 // log₂(70) ≈ 6.2
+	if res.MaxMessageBits > limit {
+		t.Errorf("max message = %d bits, budget %d", res.MaxMessageBits, limit)
+	}
+}
+
+func TestLeadersFormMaximalIndependentSet(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 90, Side: 6, Radius: 1.3, Seed: 8})
+	par := paramsFor(d)
+	nodes, res := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 41, 3_000_000)
+	if !res.AllDone {
+		t.Fatal("run incomplete")
+	}
+	var leaders []int32
+	for i, v := range nodes {
+		if v.IsLeader() {
+			leaders = append(leaders, int32(i))
+		}
+	}
+	if len(leaders) == 0 {
+		t.Fatal("no leaders elected")
+	}
+	if !d.G.IsIndependent(leaders) {
+		t.Error("leader set (color class 0) not independent")
+	}
+	// Maximality: every non-leader must have a leader neighbor
+	// (otherwise it could never have left A₀).
+	isLeader := make(map[int32]bool)
+	for _, l := range leaders {
+		isLeader[l] = true
+	}
+	for v := 0; v < d.N(); v++ {
+		if isLeader[int32(v)] {
+			continue
+		}
+		covered := false
+		for _, u := range d.G.Adj(v) {
+			if isLeader[u] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Errorf("non-leader %d has no leader neighbor", v)
+		}
+	}
+}
+
+func TestClassMovesBoundedByKappa2(t *testing.T) {
+	// Corollary 1: every node visits at most κ₂+1 verification states.
+	d := topology.RandomUDG(topology.UDGConfig{N: 90, Side: 5, Radius: 1.3, Seed: 9})
+	par := paramsFor(d)
+	nodes, res := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 43, 3_000_000)
+	if !res.AllDone {
+		t.Fatal("run incomplete")
+	}
+	for i, v := range nodes {
+		if v.ClassMoves() > int64(par.Kappa2) {
+			t.Errorf("node %d made %d class moves (> κ₂ = %d)", i, v.ClassMoves(), par.Kappa2)
+		}
+	}
+}
+
+func TestColoringWithMessageLoss(t *testing.T) {
+	// Failure injection beyond the model: 20% of deliveries vanish. The
+	// protocol must still terminate with a correct coloring (losses look
+	// like collisions, which it tolerates by design).
+	d := topology.RandomUDG(topology.UDGConfig{N: 60, Side: 5, Radius: 1.3, Seed: 10})
+	par := paramsFor(d)
+	nodes, protos := core.Nodes(d.N(), 47, par, core.Ablation{})
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 5_000_000, DropProb: 0.2, DropSeed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyRun(t, d, nodes, res, par)
+}
+
+func TestDisconnectedGraphColoring(t *testing.T) {
+	// Two disjoint cliques: the protocol runs independently per
+	// component.
+	b := graph.NewBuilder(12)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			b.AddEdge(i, j)
+			b.AddEdge(i+6, j+6)
+		}
+	}
+	d := &topology.Deployment{Name: "two-cliques", G: b.Build()}
+	par := paramsFor(d)
+	nodes, res := runColoring(t, d, par, radio.WakeSynchronous(d.N()), 53, 3_000_000)
+	verifyRun(t, d, nodes, res, par)
+	leaders := 0
+	for _, v := range nodes {
+		if v.IsLeader() {
+			leaders++
+		}
+	}
+	if leaders != 2 {
+		t.Errorf("leaders = %d, want 2 (one per component)", leaders)
+	}
+}
+
+func TestSingletonNetwork(t *testing.T) {
+	d := &topology.Deployment{Name: "singleton", G: graph.NewBuilder(1).Build()}
+	par := core.Practical(1, 2, 1, 2)
+	nodes, res := runColoring(t, d, par, radio.WakeSynchronous(1), 59, 100_000)
+	if !res.AllDone || nodes[0].Color() != 0 {
+		t.Fatalf("singleton: done=%v color=%d", res.AllDone, nodes[0].Color())
+	}
+}
+
+func TestColoringUnalignedClocks(t *testing.T) {
+	// Sect. 2 remark: results carry over to non-aligned slot boundaries.
+	d := topology.RandomUDG(topology.UDGConfig{N: 70, Side: 5, Radius: 1.2, Seed: 12})
+	par := paramsFor(d)
+	nodes, protos := core.Nodes(d.N(), 61, par, core.Ablation{})
+	res, err := radio.RunUnaligned(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 8_000_000, NEstimate: par.N,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyRun(t, d, nodes, res, par)
+}
+
+func TestColoringWithLeaderMemoryUnderLoss(t *testing.T) {
+	// The assignment-memory variant under 30% loss: re-requests re-serve
+	// the original tc, so Corollary 1 windows stay tight and the
+	// coloring stays correct.
+	d := topology.RandomUDG(topology.UDGConfig{N: 60, Side: 5, Radius: 1.3, Seed: 14})
+	par := paramsFor(d)
+	nodes, protos := core.Nodes(d.N(), 71, par, core.Ablation{LeaderAssignmentMemory: true})
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 8_000_000, DropProb: 0.3, DropSeed: 5, NEstimate: par.N,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyRun(t, d, nodes, res, par)
+}

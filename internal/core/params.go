@@ -1,0 +1,216 @@
+// Package core implements the paper's primary contribution: the
+// randomized vertex-coloring algorithm for unstructured radio networks
+// (Algorithms 1–3 of Moscibroda & Wattenhofer). Each network node runs a
+// Node, a state machine over the states of Fig. 2:
+//
+//	Z (asleep) → A₀ → { C₀ (leader) | R (requesting) }
+//	R → A_{tc·(κ₂+1)} → A_{i+1} → … → C_i (colored)
+//
+// Nodes communicate only through the radio channel of internal/radio and
+// never observe the topology, exactly as in the unstructured radio
+// network model.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params collects the algorithm's four tunable constants (α, β, γ, σ of
+// Sect. 4) together with the global estimates every node is assumed to
+// know: n (network size), Δ (maximum degree, paper convention δ_v
+// includes the node) and the bounded-independence parameters κ₁, κ₂.
+type Params struct {
+	// Alpha scales the waiting period ⌈αΔ log n⌉ a node observes upon
+	// entering any state A_i before it starts competing.
+	Alpha float64
+	// Beta scales the ⌈β log n⌉ window a leader spends answering one
+	// intra-cluster color request.
+	Beta float64
+	// Gamma scales the critical range ⌈γζ_i log n⌉ within which
+	// competing counters force a reset.
+	Gamma float64
+	// Sigma scales the decision threshold ⌈σΔ log n⌉ a counter must
+	// reach before its node irrevocably joins C_i.
+	Sigma float64
+	// N is the nodes' estimate of the network size.
+	N int
+	// Delta is the nodes' estimate of the maximum degree Δ.
+	Delta int
+	// Kappa1 and Kappa2 are the bounded-independence parameters.
+	Kappa1, Kappa2 int
+}
+
+// logN returns the log n factor used throughout the algorithm (base-2,
+// clamped so tiny networks still get nonzero phases).
+func (p Params) logN() float64 {
+	return math.Log2(math.Max(4, float64(p.N)))
+}
+
+// zeta returns ζ_i: 1 for the leader-election class 0 and Δ for every
+// higher class (Algorithm 1, line 2).
+func (p Params) zeta(class int32) float64 {
+	if class == 0 {
+		return 1
+	}
+	return float64(p.Delta)
+}
+
+// WaitSlots returns the waiting period ⌈αΔ log n⌉.
+func (p Params) WaitSlots() int64 {
+	return int64(math.Ceil(p.Alpha * float64(p.Delta) * p.logN()))
+}
+
+// Threshold returns the decision threshold ⌈σΔ log n⌉.
+func (p Params) Threshold() int64 {
+	return int64(math.Ceil(p.Sigma * float64(p.Delta) * p.logN()))
+}
+
+// CriticalRange returns ⌈γζ_i log n⌉ for verification class i.
+func (p Params) CriticalRange(class int32) int64 {
+	return int64(math.Ceil(p.Gamma * p.zeta(class) * p.logN()))
+}
+
+// ServeSlots returns the leader's per-request response window
+// ⌈β log n⌉.
+func (p Params) ServeSlots() int64 {
+	return int64(math.Ceil(p.Beta * p.logN()))
+}
+
+// PSend returns the sending probability of competing (A_i), requesting
+// (R) and colored non-leader (C_i, i>0) nodes: 1/(κ₂Δ).
+func (p Params) PSend() float64 {
+	return 1 / (float64(p.Kappa2) * float64(p.Delta))
+}
+
+// PLeader returns the leaders' sending probability 1/κ₂.
+func (p Params) PLeader() float64 {
+	return 1 / float64(p.Kappa2)
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("core: N = %d", p.N)
+	}
+	if p.Delta < 2 {
+		return fmt.Errorf("core: Delta = %d (need ≥ 2)", p.Delta)
+	}
+	if p.Kappa1 < 1 || p.Kappa2 < p.Kappa1 {
+		return fmt.Errorf("core: kappa1 = %d, kappa2 = %d", p.Kappa1, p.Kappa2)
+	}
+	if p.Alpha <= 0 || p.Beta <= 0 || p.Gamma <= 0 || p.Sigma <= 0 {
+		return fmt.Errorf("core: non-positive constants α=%g β=%g γ=%g σ=%g",
+			p.Alpha, p.Beta, p.Gamma, p.Sigma)
+	}
+	return nil
+}
+
+// Scale returns a copy with α, β, γ, σ multiplied by s — the knob the
+// parameter-sweep experiment (E7) turns to locate the point where the
+// paper's "significantly smaller values suffice" claim breaks down.
+func (p Params) Scale(s float64) Params {
+	q := p
+	q.Alpha *= s
+	q.Beta *= s
+	q.Gamma *= s
+	q.Sigma *= s
+	return q
+}
+
+// Theoretical returns the constants proved sufficient in Sect. 4/5:
+//
+//	γ = 5κ₂ / ( [e⁻¹(1−1/κ₂)]^{κ₁/κ₂} · [e⁻¹(1−1/(κ₂Δ))]^{1/κ₂} )
+//	σ = 10e²κ₂ / ((1−1/κ₂)(1−1/(κ₂Δ)))
+//	β ≥ γ                        (Lemma 8)
+//	α > 2γκ₂ + σ + 1             (Lemma 7)
+//
+// These are enormously conservative (γ ≈ 127, σ ≈ 1409 for UDG values
+// κ₁ = 5, κ₂ = 18); the paper itself notes that simulations need far
+// smaller values — see Practical.
+func Theoretical(n, delta, kappa1, kappa2 int) Params {
+	if kappa2 < 2 {
+		kappa2 = 2 // the paper's formulas assume κ₂ ≥ 2 (divisions by 1−1/κ₂)
+	}
+	if kappa1 < 1 {
+		kappa1 = 1
+	}
+	if delta < 2 {
+		delta = 2
+	}
+	k1, k2, d := float64(kappa1), float64(kappa2), float64(delta)
+	inner1 := math.Pow((1/math.E)*(1-1/k2), k1/k2)
+	inner2 := math.Pow((1/math.E)*(1-1/(k2*d)), 1/k2)
+	gamma := 5 * k2 / (inner1 * inner2)
+	sigma := 10 * math.E * math.E * k2 / ((1 - 1/k2) * (1 - 1/(k2*d)))
+	return Params{
+		Alpha:  2*gamma*k2 + sigma + 2,
+		Beta:   gamma,
+		Gamma:  gamma,
+		Sigma:  sigma,
+		N:      n,
+		Delta:  delta,
+		Kappa1: kappa1,
+		Kappa2: kappa2,
+	}
+}
+
+// Practical returns the scaled-down constants used by the experiments.
+// Sect. 4 of the paper: "Simulation results show that in networks whose
+// nodes are uniformly distributed at random significantly smaller values
+// suffice. In fact, the constants are sufficiently small to yield a
+// practically efficient coloring algorithm."
+//
+// The structure mirrors the theoretical formulas — γ grows linearly in
+// κ₂ (a decided node notifies its critically-close neighbors at rate
+// ≈ 1/κ₂ per slot, so the safety margin must scale with κ₂), σ exceeds
+// 2γ (the Theorem 2 proof needs counters unresettable across a full
+// critical range before the threshold), and β = γ (Lemma 8) — but the
+// multipliers are an order of magnitude smaller than the proved ones.
+// Experiment E7 sweeps a scale factor around these values to locate the
+// correctness/runtime trade-off empirically.
+func Practical(n, delta, kappa1, kappa2 int) Params {
+	if kappa2 < 2 {
+		kappa2 = 2
+	}
+	if kappa1 < 1 {
+		kappa1 = 1
+	}
+	if delta < 2 {
+		delta = 2
+	}
+	gamma := float64(kappa2) + 2
+	return Params{
+		Alpha:  2,
+		Beta:   gamma,
+		Gamma:  gamma,
+		Sigma:  2*gamma + 4,
+		N:      n,
+		Delta:  delta,
+		Kappa1: kappa1,
+		Kappa2: kappa2,
+	}
+}
+
+// Ablation disables individual safeguards of the algorithm so the
+// experiments can demonstrate why they are needed (Sect. 4 discusses the
+// failure modes at length).
+type Ablation struct {
+	// NoCompetitorList replaces χ(P_v) by 0: resets ignore the locally
+	// stored competitor counters. Sect. 4 predicts nodes then reset into
+	// each other's critical ranges, re-enabling cascading resets.
+	NoCompetitorList bool
+	// NaiveReset replaces the critical-range rule with the naive scheme
+	// the paper rejects: reset whenever a received counter is larger
+	// than one's own. Predicts starvation in some network regions.
+	NaiveReset bool
+	// LeaderAssignmentMemory departs from the pseudocode in the
+	// opposite, strengthening direction: a leader remembers which
+	// intra-cluster color it assigned to each requester and re-serves
+	// the SAME tc on a re-request (Algorithm 3 as written hands out a
+	// fresh, higher tc, which inflates the palette in the rare case a
+	// node misses its entire ⌈β log n⌉ response window). Harmless to
+	// correctness either way; this variant keeps Corollary 1's windows
+	// tight even under heavy loss.
+	LeaderAssignmentMemory bool
+}

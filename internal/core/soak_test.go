@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+// TestSoakLargeNetwork runs the full pipeline at n = 1000 with
+// asynchronous wake-up — the scale of a real sensor deployment — and
+// validates every guarantee at once. Skipped under -short.
+func TestSoakLargeNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	d := topology.UDGWithTargetDegree(1000, 12, 77)
+	par := paramsFor(d)
+	wake := radio.WakeUniform(d.N(), 2*par.WaitSlots(), 7)
+	nodes, protos := core.Nodes(d.N(), 99, par, core.Ablation{})
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: wake,
+		MaxSlots: 50_000_000, NEstimate: par.N,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyRun(t, d, nodes, res, par)
+
+	// Scale sanity: maxT within a generous multiple of the
+	// κ₂⁴Δ log n-flavored budget.
+	if res.MaxLatency() > 20*int64(par.Kappa2)*par.Threshold() {
+		t.Errorf("latency %d looks superlinear (threshold %d, κ₂ %d)",
+			res.MaxLatency(), par.Threshold(), par.Kappa2)
+	}
+	// Every node's energy is positive and accounted.
+	energy := res.PerNodeEnergy(radio.DefaultEnergyModel())
+	for v, e := range energy {
+		if e <= 0 {
+			t.Fatalf("node %d has energy %v", v, e)
+		}
+	}
+	// Message budget holds at n = 1000 too.
+	if res.MaxMessageBits > 40*10 {
+		t.Errorf("max message %d bits", res.MaxMessageBits)
+	}
+}
+
+// TestSoakTheoreticalConstants runs a small network with the paper's
+// PROVED constants (γ ≈ 100+, σ ≈ 1400+) end to end: slow, but it
+// exercises the exact parameter regime of Sect. 5's analysis. Skipped
+// under -short.
+func TestSoakTheoreticalConstants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	d := topology.Ring(8)
+	// Theoretical constants with the ring's measured values (κ₂ = 3,
+	// Δ = 3) and a small n estimate to keep log n low.
+	par := core.Theoretical(8, d.G.MaxDegree(), 2, 3)
+	nodes, protos := core.Nodes(d.N(), 3, par, core.Ablation{})
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 100_000_000, NEstimate: par.N,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDone {
+		t.Fatalf("theoretical-constants run incomplete after %d slots", res.Slots)
+	}
+	colors := colorsOf(nodes)
+	if rep := verify.Check(d.G, colors); !rep.OK() {
+		t.Fatalf("theoretical-constants coloring bad: %v", rep)
+	}
+}

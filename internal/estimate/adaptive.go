@@ -1,0 +1,225 @@
+package estimate
+
+import (
+	"math"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/radio"
+)
+
+// phase of the adaptive pipeline.
+type phase uint8
+
+const (
+	phaseProbe phase = iota
+	phaseSpread1
+	phaseSpread2
+	phaseRun
+)
+
+// AdaptiveNode runs the estimator pipeline and then delegates to the
+// coloring protocol with the locally estimated Δ. It implements
+// radio.Protocol.
+type AdaptiveNode struct {
+	id  radio.NodeID
+	rng radio.Rand
+	cfg Config
+	abl core.Ablation
+
+	ph    phase
+	local int64 // slots since wake-up
+
+	// Probe phase.
+	recvPerRound []int64
+	distinct     map[radio.NodeID]bool
+
+	// Spread phases.
+	deltaLocal int32 // δ̂: own-degree estimate (paper convention: incl. self)
+	max1       int32 // max δ̂ heard (1-hop wave)
+	max2       int32 // max of max1 heard (2-hop wave)
+
+	// Run phase.
+	inner *core.Node
+	// DeltaUsed is the Δ handed to the coloring protocol (exported via
+	// accessor for experiments).
+	deltaUsed int
+}
+
+// NewAdaptive creates an adaptive node.
+func NewAdaptive(id radio.NodeID, rng radio.Rand, cfg Config, abl core.Ablation) *AdaptiveNode {
+	cfg = cfg.normalized()
+	return &AdaptiveNode{
+		id:           id,
+		rng:          rng,
+		cfg:          cfg,
+		abl:          abl,
+		recvPerRound: make([]int64, cfg.Rounds),
+		distinct:     make(map[radio.NodeID]bool),
+	}
+}
+
+// AdaptiveNodes builds one adaptive node per vertex.
+func AdaptiveNodes(n int, masterSeed int64, cfg Config, abl core.Ablation) ([]*AdaptiveNode, []radio.Protocol) {
+	nodes := make([]*AdaptiveNode, n)
+	protos := make([]radio.Protocol, n)
+	for i := range nodes {
+		nodes[i] = NewAdaptive(radio.NodeID(i), radio.NodeRand(masterSeed, radio.NodeID(i)), cfg, abl)
+		protos[i] = nodes[i]
+	}
+	return nodes, protos
+}
+
+// Start implements radio.Protocol.
+func (v *AdaptiveNode) Start(int64) {}
+
+// probeLen returns the total probe-phase length.
+func (v *AdaptiveNode) probeLen() int64 {
+	return int64(v.cfg.Rounds) * v.cfg.RoundSlots
+}
+
+// Send implements radio.Protocol.
+func (v *AdaptiveNode) Send(slot int64) radio.Message {
+	t := v.local
+	v.local++
+	switch v.ph {
+	case phaseProbe:
+		round := t / v.cfg.RoundSlots
+		if t+1 >= v.probeLen() {
+			v.finishProbe()
+			v.ph = phaseSpread1
+		}
+		if v.rng.Float64() < math.Pow(2, -float64(round)) {
+			return &MsgProbe{From: v.id}
+		}
+		return nil
+
+	case phaseSpread1:
+		if t+1 >= v.probeLen()+v.cfg.SpreadSlots {
+			v.ph = phaseSpread2
+		}
+		if v.rng.Float64() < v.spreadProb() {
+			return &MsgEstimate{From: v.id, Hop: 1, Est: v.deltaLocal}
+		}
+		return nil
+
+	case phaseSpread2:
+		if t+1 >= v.probeLen()+2*v.cfg.SpreadSlots {
+			v.beginRun(slot)
+			// The inner node's waiting phase begins next slot; this
+			// slot stays silent (its Start was just called).
+			return nil
+		}
+		if v.rng.Float64() < v.spreadProb() {
+			return &MsgEstimate{From: v.id, Hop: 2, Est: v.max1}
+		}
+		return nil
+
+	default:
+		return v.inner.Send(slot)
+	}
+}
+
+// Recv implements radio.Protocol.
+func (v *AdaptiveNode) Recv(slot int64, msg radio.Message) {
+	switch v.ph {
+	case phaseProbe:
+		round := int(v.local / v.cfg.RoundSlots)
+		if round >= len(v.recvPerRound) {
+			round = len(v.recvPerRound) - 1
+		}
+		v.recvPerRound[round]++
+		v.distinct[msg.Sender()] = true
+
+	case phaseSpread1, phaseSpread2:
+		if m, ok := msg.(*MsgEstimate); ok {
+			switch m.Hop {
+			case 1:
+				if m.Est > v.max1 {
+					v.max1 = m.Est
+				}
+			case 2:
+				if m.Est > v.max2 {
+					v.max2 = m.Est
+				}
+			}
+		}
+		// Probes from late-waking neighbors still reveal their
+		// existence.
+		v.distinct[msg.Sender()] = true
+
+	default:
+		v.inner.Recv(slot, msg)
+	}
+}
+
+// finishProbe converts the probe observations into δ̂.
+func (v *AdaptiveNode) finishProbe() {
+	// Capture-curve estimate: the round with the most receptions has
+	// transmission probability closest to 1/δ, so δ ≈ 2^{r*}.
+	best, bestCount := 0, int64(-1)
+	for r, c := range v.recvPerRound {
+		if c > bestCount {
+			best, bestCount = r, c
+		}
+	}
+	capture := int32(1) << uint(best)
+	// Census lower bound: distinct senders heard, plus self (paper's
+	// degree convention counts the node).
+	census := int32(len(v.distinct)) + 1
+	v.deltaLocal = capture
+	if census > v.deltaLocal {
+		v.deltaLocal = census
+	}
+	if v.deltaLocal < 2 {
+		v.deltaLocal = 2
+	}
+	v.max1 = v.deltaLocal
+	v.max2 = v.deltaLocal
+}
+
+// spreadProb is the transmission probability during the spread phases:
+// 1/(2δ̂), the contention-safe rate for the node's own neighborhood
+// estimate.
+func (v *AdaptiveNode) spreadProb() float64 {
+	return 1 / (2 * float64(v.deltaLocal))
+}
+
+// beginRun instantiates the coloring protocol with the estimated Δ.
+func (v *AdaptiveNode) beginRun(slot int64) {
+	if v.max2 > v.max1 {
+		v.max1 = v.max2
+	}
+	delta := int(math.Ceil(v.cfg.SafetyFactor * float64(v.max1)))
+	if delta < 2 {
+		delta = 2
+	}
+	v.deltaUsed = delta
+	par := core.Practical(v.cfg.N, delta, v.cfg.Kappa1, v.cfg.Kappa2).Scale(v.cfg.Scale)
+	v.inner = core.NewNode(v.id, v.rng, par, v.abl)
+	v.inner.Start(slot)
+	v.ph = phaseRun
+}
+
+// Done implements radio.Protocol.
+func (v *AdaptiveNode) Done() bool {
+	return v.ph == phaseRun && v.inner.Done()
+}
+
+// Color returns the decided color, or −1.
+func (v *AdaptiveNode) Color() int32 {
+	if v.inner == nil {
+		return -1
+	}
+	return v.inner.Color()
+}
+
+// DeltaEstimate returns the node's own-degree estimate δ̂ (0 before the
+// probe phase completes).
+func (v *AdaptiveNode) DeltaEstimate() int32 { return v.deltaLocal }
+
+// DeltaUsed returns the Δ handed to the coloring protocol (0 before the
+// run phase).
+func (v *AdaptiveNode) DeltaUsed() int { return v.deltaUsed }
+
+// Inner exposes the wrapped coloring node (nil before the run phase).
+func (v *AdaptiveNode) Inner() *core.Node { return v.inner }

@@ -1,0 +1,147 @@
+// Package estimate implements the future-work direction of the paper's
+// conclusion (Sect. 6): removing the assumption that nodes know the
+// global maximum degree Δ by letting each node estimate its local
+// neighborhood size from channel observations, in the spirit of the
+// energy-efficient size-approximation protocols for single-hop networks
+// the paper cites ([9], Jurdzinski–Kutylowski–Zatopianski) adapted to
+// the asynchronous multi-hop setting.
+//
+// The estimator exploits the slotted-ALOHA capture curve: if a node's δ
+// neighbors each transmit with probability p per slot, the node receives
+// a message with probability δp(1−p)^{δ−1}, which peaks near p = 1/δ at
+// rate ≈ 1/e. Sweeping p through powers of two and watching where the
+// reception rate peaks therefore reveals log₂ δ — without any collision
+// detection, using only the information the unstructured radio network
+// model provides (receive / not receive).
+//
+// The full pipeline has three phases per node, all of fixed length so it
+// runs under asynchronous wake-up:
+//
+//  1. probe: rounds r = 0,1,2,…, transmitting with probability 2^{−r};
+//     the node records its reception count per round;
+//  2. spread: nodes exchange their local estimates δ̂ and take maxima,
+//     twice, approximating the maximum degree within two hops (the
+//     quantity Theorem 4 calls θ_v);
+//  3. run: the node instantiates the coloring protocol of
+//     internal/core with Δ := SafetyFactor·(2-hop max estimate) and
+//     delegates to it.
+//
+// Experiment E14 measures the accuracy of the estimates and the
+// correctness/latency of the adaptive protocol against the known-Δ
+// baseline.
+package estimate
+
+import (
+	"radiocolor/internal/radio"
+)
+
+// Config parameterizes the estimator pipeline.
+type Config struct {
+	// N is the network-size estimate (for log n factors and message
+	// accounting; the paper keeps this assumption — only Δ is dropped).
+	N int
+	// Kappa1, Kappa2 are the bounded-independence parameters; these are
+	// properties of the deployment class (e.g. ≤ 5/18 for any UDG), not
+	// of the instance, so nodes may reasonably know them.
+	Kappa1, Kappa2 int
+	// Rounds is the number of probe rounds (round r transmits with
+	// probability 2^{−r}); it bounds the largest estimable degree by
+	// 2^{Rounds−1}.
+	Rounds int
+	// RoundSlots is the length of each probe round.
+	RoundSlots int64
+	// SpreadSlots is the length of each of the two estimate-exchange
+	// phases.
+	SpreadSlots int64
+	// SafetyFactor inflates the final Δ estimate before it is handed to
+	// the coloring protocol (≥ 1; underestimating Δ is dangerous,
+	// overestimating merely slows the node down).
+	SafetyFactor float64
+	// Scale multiplies the practical protocol constants (default 1).
+	Scale float64
+}
+
+// DefaultConfig sizes the pipeline for a network of at most n nodes.
+func DefaultConfig(n, kappa1, kappa2 int) Config {
+	logn := 1
+	for v := n - 1; v > 0; v >>= 1 {
+		logn++
+	}
+	if logn < 4 {
+		logn = 4
+	}
+	return Config{
+		N:            n,
+		Kappa1:       kappa1,
+		Kappa2:       kappa2,
+		Rounds:       logn + 2,
+		RoundSlots:   int64(24 * logn),
+		SpreadSlots:  int64(48 * logn),
+		SafetyFactor: 2,
+		Scale:        1,
+	}
+}
+
+func (c Config) normalized() Config {
+	if c.N < 2 {
+		c.N = 2
+	}
+	if c.Kappa1 < 1 {
+		c.Kappa1 = 1
+	}
+	if c.Kappa2 < c.Kappa1 {
+		c.Kappa2 = c.Kappa1 + 1
+	}
+	if c.Rounds < 2 {
+		c.Rounds = 2
+	}
+	if c.RoundSlots < 8 {
+		c.RoundSlots = 8
+	}
+	if c.SpreadSlots < 8 {
+		c.SpreadSlots = 8
+	}
+	if c.SafetyFactor < 1 {
+		c.SafetyFactor = 1
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// MsgProbe is the probe-phase beacon.
+type MsgProbe struct {
+	From radio.NodeID
+}
+
+// Sender implements radio.Message.
+func (m *MsgProbe) Sender() radio.NodeID { return m.From }
+
+// Bits implements radio.Message: just an identifier.
+func (m *MsgProbe) Bits(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	b := 0
+	for v := int64(n) * int64(n) * int64(n); v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// MsgEstimate carries a node's current degree estimate during the
+// spread phases. Hop distinguishes the 1-hop from the 2-hop wave.
+type MsgEstimate struct {
+	From radio.NodeID
+	Hop  uint8
+	Est  int32
+}
+
+// Sender implements radio.Message.
+func (m *MsgEstimate) Sender() radio.NodeID { return m.From }
+
+// Bits implements radio.Message.
+func (m *MsgEstimate) Bits(n int) int {
+	return (&MsgProbe{}).Bits(n) + 1 + 16
+}

@@ -1,0 +1,175 @@
+package estimate
+
+import (
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/graph"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+func TestConfigNormalization(t *testing.T) {
+	c := (Config{}).normalized()
+	if c.N < 2 || c.Kappa1 < 1 || c.Kappa2 <= c.Kappa1-1 || c.Rounds < 2 ||
+		c.RoundSlots < 8 || c.SpreadSlots < 8 || c.SafetyFactor < 1 || c.Scale != 1 {
+		t.Errorf("normalized = %+v", c)
+	}
+	d := DefaultConfig(256, 4, 9)
+	if d.Rounds < 8 || d.RoundSlots < 100 {
+		t.Errorf("default config too small: %+v", d)
+	}
+}
+
+func TestMessageBits(t *testing.T) {
+	p := &MsgProbe{From: 3}
+	e := &MsgEstimate{From: 3, Hop: 2, Est: 17}
+	if p.Sender() != 3 || e.Sender() != 3 {
+		t.Error("senders wrong")
+	}
+	if p.Bits(1000) <= 0 || e.Bits(1000) <= p.Bits(1000) {
+		t.Errorf("bits: probe=%d est=%d", p.Bits(1000), e.Bits(1000))
+	}
+	if p.Bits(0) <= 0 {
+		t.Error("Bits(0) non-positive")
+	}
+}
+
+// runAdaptive executes the adaptive pipeline on a deployment.
+func runAdaptive(t *testing.T, d *topology.Deployment, seed int64) ([]*AdaptiveNode, *radio.Result) {
+	t.Helper()
+	k := d.G.Kappa(graph.KappaOptions{Budget: 150_000, MaxNeighborhood: 140})
+	cfg := DefaultConfig(d.N(), k.K1, k.K2)
+	nodes, protos := AdaptiveNodes(d.N(), seed, cfg, core.Ablation{})
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 20_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, res
+}
+
+func TestDegreeEstimateAccuracy(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 120, Side: 6, Radius: 1.3, Seed: 3})
+	nodes, res := runAdaptive(t, d, 7)
+	if !res.AllDone {
+		t.Fatal("adaptive run incomplete")
+	}
+	// Estimates must be positive and within a generous factor of the
+	// true degree: the capture curve is flat near the peak, so allow
+	// [δ/4, 8δ].
+	low, high := 0, 0
+	for v, node := range nodes {
+		est := int(node.DeltaEstimate())
+		deg := d.G.Degree(v)
+		if est < 2 {
+			t.Fatalf("node %d estimate %d", v, est)
+		}
+		if est*4 < deg {
+			low++
+		}
+		if est > deg*8 {
+			high++
+		}
+	}
+	if low > d.N()/10 {
+		t.Errorf("%d/%d estimates badly low", low, d.N())
+	}
+	if high > d.N()/10 {
+		t.Errorf("%d/%d estimates badly high", high, d.N())
+	}
+}
+
+func TestAdaptiveColoringCorrect(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 100, Side: 6, Radius: 1.2, Seed: 5})
+	nodes, res := runAdaptive(t, d, 11)
+	if !res.AllDone {
+		t.Fatal("adaptive run incomplete")
+	}
+	colors := make([]int32, d.N())
+	for i, v := range nodes {
+		colors[i] = v.Color()
+	}
+	rep := verify.Check(d.G, colors)
+	if !rep.OK() {
+		t.Fatalf("adaptive coloring bad: %v", rep)
+	}
+	// The Δ each node used must be at least its own true degree —
+	// otherwise palettes could be too small — for the vast majority of
+	// nodes (the safety factor covers estimation noise).
+	under := 0
+	for v, node := range nodes {
+		if node.DeltaUsed() < d.G.Degree(v) {
+			under++
+		}
+	}
+	if under > d.N()/10 {
+		t.Errorf("%d/%d nodes used Δ below their true degree", under, d.N())
+	}
+}
+
+func TestAdaptiveSparseFasterThanDense(t *testing.T) {
+	// The point of local estimates (Sect. 6): sparse regions do not pay
+	// for the dense core's Δ. Compare the waiting thresholds actually
+	// used in a clustered deployment.
+	d := topology.ClusteredUDG(60, 60, 16, 1.0, 9)
+	nodes, res := runAdaptive(t, d, 13)
+	if !res.AllDone {
+		t.Fatal("adaptive run incomplete")
+	}
+	coreSum, fringeSum := 0, 0
+	for v, node := range nodes {
+		if v < 60 {
+			coreSum += node.DeltaUsed()
+		} else {
+			fringeSum += node.DeltaUsed()
+		}
+	}
+	if coreSum <= fringeSum {
+		t.Errorf("dense core used ΣΔ=%d, fringe ΣΔ=%d: estimates not local", coreSum, fringeSum)
+	}
+}
+
+func TestAdaptiveLoneNode(t *testing.T) {
+	d := &topology.Deployment{Name: "lone", G: graph.NewBuilder(1).Build()}
+	cfg := DefaultConfig(1, 1, 2)
+	nodes, protos := AdaptiveNodes(1, 3, cfg, core.Ablation{})
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(1), MaxSlots: 5_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDone || nodes[0].Color() != 0 {
+		t.Fatalf("lone adaptive node: done=%v color=%d", res.AllDone, nodes[0].Color())
+	}
+	if nodes[0].DeltaEstimate() != 2 {
+		t.Errorf("lone estimate = %d, want clamped 2", nodes[0].DeltaEstimate())
+	}
+}
+
+func TestAdaptiveAccessorsBeforeRun(t *testing.T) {
+	v := NewAdaptive(0, radio.NodeRand(1, 0), DefaultConfig(64, 4, 9), core.Ablation{})
+	if v.Color() != -1 || v.Done() || v.Inner() != nil || v.DeltaUsed() != 0 {
+		t.Error("pre-run accessors wrong")
+	}
+	v.Start(0)
+	if v.Send(0) == nil {
+		// Round 0 transmits with probability 1: a nil here is a bug.
+		t.Error("round-0 probe must always transmit")
+	}
+}
+
+func TestAdaptiveDeterministic(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 60, Side: 5, Radius: 1.2, Seed: 2})
+	a, _ := runAdaptive(t, d, 21)
+	b, _ := runAdaptive(t, d, 21)
+	for i := range a {
+		if a[i].Color() != b[i].Color() || a[i].DeltaUsed() != b[i].DeltaUsed() {
+			t.Fatalf("node %d differs across identical runs", i)
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package experiment
+
+import (
+	"fmt"
+
+	"radiocolor/internal/baseline/aloha"
+	"radiocolor/internal/baseline/busch"
+	"radiocolor/internal/baseline/luby"
+	"radiocolor/internal/core"
+	"radiocolor/internal/geom"
+	"radiocolor/internal/msgpass"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/stats"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+// E7ParamSweep reproduces the explicit empirical claim of Sect. 4:
+// "Simulation results show that in networks whose nodes are uniformly
+// distributed at random significantly smaller values suffice." It scales
+// the practical constants up and down and reports where correctness
+// starts to fail and how running time pays for safety margin.
+func E7ParamSweep(o Options) *stats.Table {
+	o = o.normalized()
+	t := stats.NewTable("E7: constant scaling sweep (Sect. 4 claim: small constants suffice)",
+		"scale ×practical", "γ", "σ", "correct", "mean maxT (slots)", "vs theoretical γ")
+	n := o.scale(150, 50)
+	trials := o.Trials * 2 // failure rates need more repetitions
+	for ci, scale := range []float64{0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0} {
+		correct := 0
+		var ts []float64
+		var gamma, sigma, thGamma float64
+		for trial := 0; trial < trials; trial++ {
+			seed := trialSeed(o.Seed, 400+ci, trial)
+			d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
+			par := MeasureParams(d).Scale(scale)
+			gamma, sigma = par.Gamma, par.Sigma
+			thGamma = core.Theoretical(par.N, par.Delta, par.Kappa1, par.Kappa2).Gamma
+			run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+			if err != nil {
+				panic(err)
+			}
+			if run.Correct() {
+				correct++
+				ts = append(ts, float64(run.Radio.MaxLatency()))
+			}
+		}
+		t.AddRow(scale, gamma, sigma, fmt.Sprintf("%d/%d", correct, trials),
+			stats.Mean(ts), fmt.Sprintf("γ/γ_th = %.3f", gamma/thGamma))
+	}
+	return t
+}
+
+// E8Baselines reproduces the Sect. 3 comparison: the paper's algorithm
+// versus the Busch-style frame comparator (restricted to 1-hop coloring,
+// O(Δ³ log n)) and the naive listen-then-claim strawman, on identical
+// unit disk deployments. The headline shape: both produce O(Δ) colors,
+// but the comparator's time grows polynomially faster in Δ, and the
+// strawman trades away correctness. The message-passing Luby coloring is
+// included (in rounds, not slots) to show what the classic model charges
+// for the same task.
+func E8Baselines(o Options) *stats.Table {
+	o = o.normalized()
+	t := stats.NewTable("E8: comparison vs baselines (Sect. 3; ours O(κ₂⁴Δ log n) vs Busch-style O(Δ³ log n))",
+		"algorithm", "target Δ", "correct", "mean time", "unit", "mean #colors")
+	n := o.scale(150, 50)
+	targets := []int{6, 10, 14, 18}
+	type series struct{ xs, ys []float64 }
+	fits := map[string]*series{"ours": {}, "busch": {}}
+	for ci, target := range targets {
+		cells := map[string]*e8cell{"ours": {}, "busch": {}, "aloha": {}, "luby(mp)": {}}
+		measuredDelta := 0
+		for trial := 0; trial < o.Trials; trial++ {
+			seed := trialSeed(o.Seed, 500+ci, trial)
+			d := topology.UDGWithTargetDegree(n, target, seed)
+			delta := d.G.MaxDegree()
+			measuredDelta = delta
+
+			par := MeasureParams(d)
+			run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+			if err != nil {
+				panic(err)
+			}
+			cells["ours"].record(run.Correct(), float64(run.Radio.MaxLatency()), run.Report)
+
+			bp := busch.DefaultParams(d.N(), delta)
+			bNodes, bProtos := busch.Nodes(d.N(), seed+1, bp)
+			bRes, err := radio.Run(radio.Config{G: d.G, Protocols: bProtos,
+				Wake: radio.WakeSynchronous(d.N()), MaxSlots: 80_000_000})
+			if err != nil {
+				panic(err)
+			}
+			bColors := make([]int32, d.N())
+			for i, v := range bNodes {
+				bColors[i] = v.Color()
+			}
+			bRep := verify.Check(d.G, bColors)
+			cells["busch"].record(bRes.AllDone && bRep.OK(), float64(bRes.MaxLatency()), bRep)
+
+			ap := aloha.DefaultParams(d.N(), delta)
+			aNodes, aProtos := aloha.Nodes(d.N(), seed+2, ap)
+			aRes, err := radio.Run(radio.Config{G: d.G, Protocols: aProtos,
+				Wake: radio.WakeSynchronous(d.N()), MaxSlots: 10_000_000})
+			if err != nil {
+				panic(err)
+			}
+			aColors := make([]int32, d.N())
+			for i, v := range aNodes {
+				aColors[i] = v.Color()
+			}
+			aRep := verify.Check(d.G, aColors)
+			cells["aloha"].record(aRes.AllDone && aRep.OK(), float64(aRes.MaxLatency()), aRep)
+
+			lNodes, lProtos := luby.Nodes(d.N(), delta, seed+3)
+			lRes, err := msgpass.Run(d.G, lProtos, 1_000_000)
+			if err != nil {
+				panic(err)
+			}
+			lColors := make([]int32, d.N())
+			for i, v := range lNodes {
+				lColors[i] = v.Color()
+			}
+			lRep := verify.Check(d.G, lColors)
+			cells["luby(mp)"].record(lRes.AllDone && lRep.OK(), float64(lRes.Rounds), lRep)
+		}
+		for _, name := range []string{"ours", "busch", "aloha", "luby(mp)"} {
+			c := cells[name]
+			unit := "slots"
+			if name == "luby(mp)" {
+				unit = "rounds"
+			}
+			t.AddRow(name, fmt.Sprintf("%d (Δ=%d)", target, measuredDelta),
+				fmt.Sprintf("%d/%d", c.correct, o.Trials),
+				stats.Mean(c.times), unit, stats.Mean(c.colors))
+			if s, tracked := fits[name]; tracked && stats.Mean(c.times) > 0 {
+				s.xs = append(s.xs, float64(measuredDelta))
+				s.ys = append(s.ys, stats.Mean(c.times))
+			}
+		}
+	}
+	for _, name := range []string{"ours", "busch"} {
+		s := fits[name]
+		if len(s.xs) >= 2 {
+			exp, r2 := stats.PowerFit(s.xs, s.ys)
+			t.AddRow(name+" fit", "", "", fmt.Sprintf("T ∝ Δ^%.2f", exp),
+				fmt.Sprintf("R²=%.3f", r2), "")
+		}
+	}
+	return t
+}
+
+// e8cell accumulates one algorithm's results at one Δ target.
+type e8cell struct {
+	correct int
+	times   []float64
+	colors  []float64
+}
+
+func (c *e8cell) record(ok bool, time float64, rep *verify.Report) {
+	if ok {
+		c.correct++
+		c.times = append(c.times, time)
+		c.colors = append(c.colors, float64(rep.NumColors))
+	}
+}
+
+// E9Wakeup reproduces the asynchronous wake-up claim of Sect. 2: the
+// per-node decision latency T_v (measured from each node's own wake-up)
+// stays in the same O(Δ log n) band for every wake-up pattern, including
+// adversarially staggered ones.
+func E9Wakeup(o Options) *stats.Table {
+	o = o.normalized()
+	t := stats.NewTable("E9: per-node latency under wake-up patterns (Sect. 2: any distribution)",
+		"wakeup", "correct", "mean T_v", "p90 T_v", "max T_v", "span of wake slots")
+	n := o.scale(130, 40)
+	for pi, pat := range radio.WakePatterns {
+		correct := 0
+		var all []float64
+		var span int64
+		for trial := 0; trial < o.Trials; trial++ {
+			seed := trialSeed(o.Seed, 600+pi, trial)
+			d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
+			par := MeasureParams(d)
+			wake := pat.Make(d.N(), par.WaitSlots(), seed)
+			for _, w := range wake {
+				if w > span {
+					span = w
+				}
+			}
+			run, err := RunCore(d, par, wake, seed, defaultBudget(par)+4*span, core0)
+			if err != nil {
+				panic(err)
+			}
+			if run.Correct() {
+				correct++
+				for v := 0; v < d.N(); v++ {
+					all = append(all, float64(run.Radio.Latency(v)))
+				}
+			}
+		}
+		s := stats.Summarize(all)
+		t.AddRow(pat.Name, fmt.Sprintf("%d/%d", correct, o.Trials),
+			s.Mean, s.P90, s.Max, span)
+	}
+	return t
+}
+
+// E10UnitBall reproduces Lemma 9 / Corollary 3: unit ball graphs over
+// metrics of growing doubling dimension have larger κ₂, and the
+// algorithm pays for it in colors and time but stays correct.
+func E10UnitBall(o Options) *stats.Table {
+	o = o.normalized()
+	t := stats.NewTable("E10: unit ball graphs over general metrics (Lemma 9 / Corollary 3)",
+		"metric", "Δ", "κ₁", "κ₂", "correct", "mean #colors", "mean maxT")
+	n := o.scale(140, 50)
+	metrics := []geom.Metric{
+		geom.Euclidean{},
+		geom.Manhattan{},
+		geom.Chebyshev{},
+		geom.SnappedMetric{Base: geom.Euclidean{}, Step: 0.5},
+		geom.HubMetric{Hub: geom.Point{X: 3.5, Y: 3.5}, Factor: 0.35},
+	}
+	for mi, m := range metrics {
+		correct := 0
+		var colors, ts []float64
+		var par core.Params
+		for trial := 0; trial < o.Trials; trial++ {
+			seed := trialSeed(o.Seed, 700+mi, trial)
+			d := topology.UnitBallGraph(topology.UDGConfig{N: n, Side: 7, Radius: 1, Seed: seed}, m)
+			par = MeasureParams(d)
+			run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+			if err != nil {
+				panic(err)
+			}
+			if run.Correct() {
+				correct++
+				colors = append(colors, float64(run.Report.NumColors))
+				ts = append(ts, float64(run.Radio.MaxLatency()))
+			}
+		}
+		t.AddRow(m.Name(), par.Delta, par.Kappa1, par.Kappa2,
+			fmt.Sprintf("%d/%d", correct, o.Trials), stats.Mean(colors), stats.Mean(ts))
+	}
+	return t
+}
+
+// E11Ablation reproduces the design rationale of Sect. 4: removing the
+// competitor list (χ ≡ 0) re-enables cascading resets, and the naive
+// reset rule starves regions of the network. Measured via reset counts,
+// timeouts and correctness on corridor networks under adversarial
+// wake-up, where chained competition is strongest.
+func E11Ablation(o Options) *stats.Table {
+	o = o.normalized()
+	t := stats.NewTable("E11: ablations of the counter machinery (Sect. 4 design rationale)",
+		"variant", "correct", "timed out", "mean maxT", "mean resets/node", "max resets/node")
+	n := o.scale(110, 40)
+	variants := []struct {
+		name string
+		abl  core.Ablation
+	}{
+		{"full algorithm", core.Ablation{}},
+		{"no competitor list (χ≡0)", core.Ablation{NoCompetitorList: true}},
+		{"naive reset rule", core.Ablation{NaiveReset: true}},
+	}
+	for vi, variant := range variants {
+		correct, timeouts := 0, 0
+		var ts, meanResets []float64
+		maxResets := int64(0)
+		for trial := 0; trial < o.Trials; trial++ {
+			seed := trialSeed(o.Seed, 800+vi, trial)
+			d := topology.CorridorUDG(n, 22, 2, 1.2, seed)
+			par := MeasureParams(d)
+			wake := radio.WakeAdversarial(d.N(), par.WaitSlots(), seed)
+			// A tight budget makes starvation measurable as timeout.
+			budget := defaultBudget(par)
+			run, err := RunCore(d, par, wake, seed, budget, variant.abl)
+			if err != nil {
+				panic(err)
+			}
+			if !run.Radio.AllDone {
+				timeouts++
+			}
+			if run.Correct() {
+				correct++
+				ts = append(ts, float64(run.Radio.MaxLatency()))
+			}
+			var total int64
+			for _, node := range run.Nodes {
+				total += node.Resets()
+				if node.Resets() > maxResets {
+					maxResets = node.Resets()
+				}
+			}
+			meanResets = append(meanResets, float64(total)/float64(d.N()))
+		}
+		t.AddRow(variant.name, fmt.Sprintf("%d/%d", correct, o.Trials),
+			fmt.Sprintf("%d/%d", timeouts, o.Trials),
+			stats.Mean(ts), stats.Mean(meanResets), maxResets)
+	}
+	return t
+}
+
+// E12Messages reproduces the model constraint of Sect. 2 (messages carry
+// O(log n) bits) and the structural guarantees of Corollary 1: observed
+// maximum message size scales logarithmically with n, every node visits
+// at most κ₂+1 verification states, and every final color lies in its
+// intra-cluster window.
+func E12Messages(o Options) *stats.Table {
+	o = o.normalized()
+	t := stats.NewTable("E12: message size (Sect. 2) and color windows (Corollary 1)",
+		"n", "max msg bits", "bits/log₂(n)", "max class moves (≤κ₂)", "κ₂", "window violations")
+	for ci, base := range []int{64, 256, 1024} {
+		n := o.scale(base, 32)
+		seed := trialSeed(o.Seed, 900+ci, 0)
+		d := topology.UDGWithTargetDegree(n, 10, seed)
+		par := MeasureParams(d)
+		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+		if err != nil {
+			panic(err)
+		}
+		maxMoves := int64(0)
+		for _, v := range run.Nodes {
+			if v.ClassMoves() > maxMoves {
+				maxMoves = v.ClassMoves()
+			}
+		}
+		viol := verify.CheckClusterRanges(run.Colors, run.TCs, par.Kappa2)
+		t.AddRow(n, run.Radio.MaxMessageBits,
+			float64(run.Radio.MaxMessageBits)/logn(n),
+			maxMoves, par.Kappa2, len(viol))
+	}
+	return t
+}

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"radiocolor/internal/stats"
+)
+
+// Entry couples an experiment id with its generator.
+type Entry struct {
+	// ID is the experiment identifier used in DESIGN.md/EXPERIMENTS.md.
+	ID string
+	// Reproduces states which part of the paper the experiment covers.
+	Reproduces string
+	// Run generates the experiment's table.
+	Run func(Options) *stats.Table
+}
+
+// Registry lists all experiments in suite order.
+var Registry = []Entry{
+	{"E1", "Fig. 1 / Sect. 2: κ₁, κ₂ across graph families", E1Kappa},
+	{"E2", "Theorems 2 & 5: correctness and completeness", E2Correctness},
+	{"E3", "Theorem 3 / Corollary 2: time linear in Δ", E3TimeVsDelta},
+	{"E4", "Theorem 3 / Corollary 2: time logarithmic in n", E4TimeVsN},
+	{"E5", "Theorem 5 / Corollary 2: O(Δ) colors", E5Colors},
+	{"E6", "Theorem 4: locality of color assignment", E6Locality},
+	{"E7", "Sect. 4: small constants suffice in random networks", E7ParamSweep},
+	{"E8", "Sect. 3: comparison vs Busch-style / naive / message-passing", E8Baselines},
+	{"E9", "Sect. 2: arbitrary wake-up distributions", E9Wakeup},
+	{"E10", "Lemma 9 / Corollary 3: unit ball graphs, doubling dimension", E10UnitBall},
+	{"E11", "Sect. 4: ablations (cascading resets, starvation)", E11Ablation},
+	{"E12", "Sect. 2 / Corollary 1: message size and color windows", E12Messages},
+	{"E13", "Extension (introduction): distance-2 coloring for collision-free TDMA", E13Distance2},
+	{"E14", "Extension (Sect. 6 future work): local degree estimation instead of Δ", E14AdaptiveDelta},
+	{"E15", "Extension (Sect. 2): random identifiers from [1..n³]", E15RandomIDs},
+	{"E16", "Extension: robustness to message loss beyond the model", E16MessageLoss},
+	{"E17", "Sect. 2 remark: non-aligned slot boundaries", E17Unaligned},
+	{"E18", "Related work [13, 21]: MIS/clustering substructure from scratch", E18MISFromScratch},
+	{"E19", "Extension: post-initialization color compaction", E19ColorReduction},
+	{"E20", "Extension: capture effect (deviation above the model)", E20CaptureEffect},
+	{"E21", "Sect. 2: multiple channels ([13, 14] assumption) vs the single-channel model", E21MultiChannel},
+	{"E22", "Introduction end-to-end: data collection over the coloring-derived TDMA", E22DataCollection},
+	{"E23", "Sect. 2 stress test: adversarial wake-up schedule search", E23AdversarySearch},
+}
+
+// Lookup finds an experiment by id, or nil.
+func Lookup(id string) *Entry {
+	for i := range Registry {
+		if Registry[i].ID == id {
+			return &Registry[i]
+		}
+	}
+	return nil
+}
+
+// RunAll executes every experiment and renders the tables to w.
+func RunAll(w io.Writer, o Options) error {
+	for _, e := range Registry {
+		if _, err := fmt.Fprintf(w, "%s — %s\n", e.ID, e.Reproduces); err != nil {
+			return err
+		}
+		t := e.Run(o)
+		if err := t.Render(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+// Package geom provides the geometric substrate used to generate wireless
+// network topologies: points in the plane, distance metrics (including
+// non-Euclidean doubling metrics for unit ball graphs), line-segment
+// obstacles with visibility tests, and a spatial hash grid for efficient
+// range queries.
+//
+// The package is intentionally self-contained and allocation-conscious:
+// topology generation for large deployments calls into these routines in
+// tight loops.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the Euclidean plane.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q componentwise.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q componentwise.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product p·q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z-component of the cross product p×q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of the vector p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root and is the preferred comparison primitive in hot loops.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4f, %.4f)", p.X, p.Y) }
+
+// Metric computes a distance between two points. Implementations must
+// satisfy the metric axioms (non-negativity, identity, symmetry, triangle
+// inequality); unit ball graph generation and the doubling-dimension
+// analysis of Lemma 9 rely on them.
+type Metric interface {
+	// Dist returns the distance between a and b.
+	Dist(a, b Point) float64
+	// Name identifies the metric in experiment tables.
+	Name() string
+}
+
+// Euclidean is the standard L2 plane metric. Unit ball graphs under
+// Euclidean are exactly unit disk graphs.
+type Euclidean struct{}
+
+// Dist implements Metric.
+func (Euclidean) Dist(a, b Point) float64 { return a.Dist(b) }
+
+// Name implements Metric.
+func (Euclidean) Name() string { return "euclidean" }
+
+// Manhattan is the L1 metric. Its unit balls are diamonds; doubling
+// dimension is 2, like Euclidean, but κ constants differ slightly.
+type Manhattan struct{}
+
+// Dist implements Metric.
+func (Manhattan) Dist(a, b Point) float64 {
+	return math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y)
+}
+
+// Name implements Metric.
+func (Manhattan) Name() string { return "manhattan" }
+
+// Chebyshev is the L∞ metric; unit balls are axis-aligned squares.
+type Chebyshev struct{}
+
+// Dist implements Metric.
+func (Chebyshev) Dist(a, b Point) float64 {
+	return math.Max(math.Abs(a.X-b.X), math.Abs(a.Y-b.Y))
+}
+
+// Name implements Metric.
+func (Chebyshev) Name() string { return "chebyshev" }
+
+// SnappedMetric quantizes an underlying metric to multiples of Step. The
+// quantization preserves the metric axioms when the base is a metric and
+// Step > 0 (rounding up preserves the triangle inequality:
+// ⌈a⌉+⌈b⌉ ≥ ⌈a+b⌉ ≥ ⌈c⌉ whenever a+b ≥ c). Snapping inflates the
+// doubling dimension, which makes it a useful stress metric for the unit
+// ball graph experiments (E10).
+type SnappedMetric struct {
+	Base Metric
+	Step float64
+}
+
+// Dist implements Metric.
+func (m SnappedMetric) Dist(a, b Point) float64 {
+	if a == b {
+		return 0
+	}
+	d := m.Base.Dist(a, b)
+	return math.Ceil(d/m.Step) * m.Step
+}
+
+// Name implements Metric.
+func (m SnappedMetric) Name() string {
+	return fmt.Sprintf("snapped(%s,%g)", m.Base.Name(), m.Step)
+}
+
+// HubMetric models a deployment with a long-range relay (e.g. a base
+// station): the distance between two points is the minimum of travelling
+// directly and routing through the hub at a discount Factor per unit
+// length, d(a,b) = min(|ab|, Factor·(|aH| + |Hb|)).
+//
+// For 0 < Factor ≤ 1 this is a true metric: symmetry and identity are
+// immediate, and for the triangle inequality note that in every case the
+// concatenation of an optimal a→b path and an optimal b→c path is a valid
+// (possibly suboptimal) a→c path because |bc| ≥ Factor·|bc| lets a direct
+// leg be spliced into a hub route. Its doubling dimension grows as Factor
+// shrinks — a hub-ball of radius r contains a Euclidean disk of radius
+// r/Factor whose far-apart points are mutually distant — which makes it a
+// good stressor for the unit ball graph analysis of Corollary 3.
+type HubMetric struct {
+	Hub    Point
+	Factor float64
+}
+
+// Dist implements Metric.
+func (m HubMetric) Dist(a, b Point) float64 {
+	direct := a.Dist(b)
+	viaHub := m.Factor * (a.Dist(m.Hub) + m.Hub.Dist(b))
+	return math.Min(direct, viaHub)
+}
+
+// Name implements Metric.
+func (m HubMetric) Name() string {
+	return fmt.Sprintf("hub(%s,f=%g)", m.Hub, m.Factor)
+}
+
+// Segment is a closed line segment between A and B, used to model wall
+// obstacles that block radio links.
+type Segment struct {
+	A, B Point
+}
+
+// Length returns the Euclidean length of the segment.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// orientation classifies the turn a→b→c: >0 counter-clockwise,
+// <0 clockwise, 0 collinear (within eps).
+func orientation(a, b, c Point) int {
+	v := b.Sub(a).Cross(c.Sub(a))
+	const eps = 1e-12
+	switch {
+	case v > eps:
+		return 1
+	case v < -eps:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// onSegment reports whether collinear point p lies on segment s.
+func onSegment(s Segment, p Point) bool {
+	return math.Min(s.A.X, s.B.X)-1e-12 <= p.X && p.X <= math.Max(s.A.X, s.B.X)+1e-12 &&
+		math.Min(s.A.Y, s.B.Y)-1e-12 <= p.Y && p.Y <= math.Max(s.A.Y, s.B.Y)+1e-12
+}
+
+// Intersects reports whether segments s and t share at least one point.
+// Standard orientation-based test with collinear handling.
+func (s Segment) Intersects(t Segment) bool {
+	o1 := orientation(s.A, s.B, t.A)
+	o2 := orientation(s.A, s.B, t.B)
+	o3 := orientation(t.A, t.B, s.A)
+	o4 := orientation(t.A, t.B, s.B)
+	if o1 != o2 && o3 != o4 {
+		return true
+	}
+	if o1 == 0 && onSegment(s, t.A) {
+		return true
+	}
+	if o2 == 0 && onSegment(s, t.B) {
+		return true
+	}
+	if o3 == 0 && onSegment(t, s.A) {
+		return true
+	}
+	if o4 == 0 && onSegment(t, s.B) {
+		return true
+	}
+	return false
+}
+
+// Obstacles is a set of wall segments. A radio link between two points
+// exists only if the straight line between them crosses no wall; this is
+// how the BIG topologies of Fig. 1 (walls destroying disk-shaped
+// transmission ranges) are generated.
+type Obstacles struct {
+	Walls []Segment
+}
+
+// Blocked reports whether the straight line from a to b crosses any wall.
+func (o *Obstacles) Blocked(a, b Point) bool {
+	if o == nil {
+		return false
+	}
+	link := Segment{a, b}
+	for _, w := range o.Walls {
+		if link.Intersects(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of wall segments.
+func (o *Obstacles) Count() int {
+	if o == nil {
+		return 0
+	}
+	return len(o.Walls)
+}
+
+// Rect is an axis-aligned rectangle [MinX,MaxX]×[MinY,MaxY].
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether p lies inside the rectangle (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// Width returns the horizontal extent.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns the vertical extent.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }

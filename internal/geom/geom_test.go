@@ -1,0 +1,284 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if got := p.Add(q); got != (Point{4, 1}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 1 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := p.Cross(q); got != -7 {
+		t.Errorf("Cross = %v", got)
+	}
+}
+
+func TestDistMatchesDist2(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := Point{r.Float64() * 10, r.Float64() * 10}
+		q := Point{r.Float64() * 10, r.Float64() * 10}
+		d := p.Dist(q)
+		if math.Abs(d*d-p.Dist2(q)) > 1e-9 {
+			t.Fatalf("Dist²(%v,%v) mismatch: %v vs %v", p, q, d*d, p.Dist2(q))
+		}
+	}
+}
+
+func TestMetricsAxioms(t *testing.T) {
+	metrics := []Metric{
+		Euclidean{},
+		Manhattan{},
+		Chebyshev{},
+		SnappedMetric{Base: Euclidean{}, Step: 0.25},
+		HubMetric{Hub: Point{5, 5}, Factor: 0.3},
+	}
+	r := rand.New(rand.NewSource(2))
+	pts := make([]Point, 40)
+	for i := range pts {
+		pts[i] = Point{r.Float64() * 10, r.Float64() * 10}
+	}
+	for _, m := range metrics {
+		for i := range pts {
+			if d := m.Dist(pts[i], pts[i]); d != 0 {
+				t.Errorf("%s: d(p,p)=%v, want 0", m.Name(), d)
+			}
+			for j := range pts {
+				dij := m.Dist(pts[i], pts[j])
+				dji := m.Dist(pts[j], pts[i])
+				if math.Abs(dij-dji) > 1e-9 {
+					t.Errorf("%s: asymmetric %v vs %v", m.Name(), dij, dji)
+				}
+				if i != j && dij <= 0 {
+					t.Errorf("%s: non-positive distance %v between distinct points", m.Name(), dij)
+				}
+				for k := range pts {
+					if m.Dist(pts[i], pts[k]) > dij+m.Dist(pts[j], pts[k])+1e-9 {
+						t.Errorf("%s: triangle inequality violated at (%d,%d,%d)", m.Name(), i, j, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSnappedMetricQuantizes(t *testing.T) {
+	m := SnappedMetric{Base: Euclidean{}, Step: 0.5}
+	d := m.Dist(Point{0, 0}, Point{0.3, 0})
+	if d != 0.5 {
+		t.Errorf("snapped distance = %v, want 0.5", d)
+	}
+	d = m.Dist(Point{0, 0}, Point{0.5, 0})
+	if d != 0.5 {
+		t.Errorf("snapped distance = %v, want 0.5", d)
+	}
+}
+
+func TestHubShortcut(t *testing.T) {
+	m := HubMetric{Hub: Point{5, 0}, Factor: 0.1}
+	a := Point{0, 0}
+	b := Point{10, 0}
+	d := m.Dist(a, b)
+	want := 0.1 * (5 + 5) // ride through the hub
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("hub distance = %v, want %v", d, want)
+	}
+	// Short hops should not use the hub.
+	c := Point{0.2, 0}
+	if got := m.Dist(a, c); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("short hop = %v, want 0.2", got)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	cases := []struct {
+		s, t Segment
+		want bool
+	}{
+		{Segment{Point{0, 0}, Point{2, 2}}, Segment{Point{0, 2}, Point{2, 0}}, true},
+		{Segment{Point{0, 0}, Point{1, 0}}, Segment{Point{2, 0}, Point{3, 0}}, false},
+		{Segment{Point{0, 0}, Point{2, 0}}, Segment{Point{1, 0}, Point{3, 0}}, true}, // collinear overlap
+		{Segment{Point{0, 0}, Point{1, 1}}, Segment{Point{1, 1}, Point{2, 0}}, true}, // shared endpoint
+		{Segment{Point{0, 0}, Point{0, 1}}, Segment{Point{1, 0}, Point{1, 1}}, false},
+		{Segment{Point{0, 0}, Point{4, 0}}, Segment{Point{2, -1}, Point{2, 1}}, true},
+		{Segment{Point{0, 0}, Point{4, 0}}, Segment{Point{2, 0.5}, Point{2, 1}}, false},
+	}
+	for i, c := range cases {
+		if got := c.s.Intersects(c.t); got != c.want {
+			t.Errorf("case %d: Intersects = %v, want %v", i, got, c.want)
+		}
+		if got := c.t.Intersects(c.s); got != c.want {
+			t.Errorf("case %d (swapped): Intersects = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestObstaclesBlocked(t *testing.T) {
+	o := &Obstacles{Walls: []Segment{{Point{1, -1}, Point{1, 1}}}}
+	if !o.Blocked(Point{0, 0}, Point{2, 0}) {
+		t.Error("link through wall should be blocked")
+	}
+	if o.Blocked(Point{0, 0}, Point{0.5, 0.5}) {
+		t.Error("link clear of wall should not be blocked")
+	}
+	var nilObs *Obstacles
+	if nilObs.Blocked(Point{0, 0}, Point{1, 1}) {
+		t.Error("nil obstacles must block nothing")
+	}
+	if nilObs.Count() != 0 {
+		t.Error("nil obstacles count should be 0")
+	}
+	if o.Count() != 1 {
+		t.Errorf("Count = %d, want 1", o.Count())
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := Rect{0, 0, 4, 2}
+	if !r.Contains(Point{1, 1}) || r.Contains(Point{5, 1}) {
+		t.Error("Contains misclassifies")
+	}
+	if r.Width() != 4 || r.Height() != 2 || r.Area() != 8 {
+		t.Errorf("dims wrong: %v %v %v", r.Width(), r.Height(), r.Area())
+	}
+}
+
+// TestGridNeighborsMatchesBruteForce cross-checks the spatial hash against
+// an O(n²) scan.
+func TestGridNeighborsMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Point{r.Float64() * 5, r.Float64() * 5}
+	}
+	const radius = 1.0
+	g := NewGrid(pts, radius)
+	for i := range pts {
+		got := g.Neighbors(i, radius, nil)
+		seen := make(map[int]bool, len(got))
+		for _, j := range got {
+			if seen[j] {
+				t.Fatalf("duplicate neighbor %d for %d", j, i)
+			}
+			seen[j] = true
+		}
+		for j := range pts {
+			within := i != j && pts[i].Dist(pts[j]) <= radius
+			if within != seen[j] {
+				t.Fatalf("point %d neighbor %d: grid=%v brute=%v", i, j, seen[j], within)
+			}
+		}
+	}
+}
+
+func TestGridCandidatePairsCoverage(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := make([]Point, 200)
+	for i := range pts {
+		pts[i] = Point{r.Float64() * 3, r.Float64() * 3}
+	}
+	const radius = 0.8
+	g := NewGrid(pts, radius)
+	count := make(map[[2]int]int)
+	g.CandidatePairs(func(i, j int) {
+		if i >= j {
+			t.Fatalf("pair not ordered: (%d,%d)", i, j)
+		}
+		count[[2]int{i, j}]++
+	})
+	for pair, c := range count {
+		if c != 1 {
+			t.Fatalf("pair %v visited %d times", pair, c)
+		}
+	}
+	// Every within-radius pair must be a candidate.
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) <= radius && count[[2]int{i, j}] == 0 {
+				t.Fatalf("close pair (%d,%d) missed", i, j)
+			}
+		}
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive cell size")
+		}
+	}()
+	NewGrid(nil, 0)
+}
+
+func TestGridRadiusPanic(t *testing.T) {
+	g := NewGrid([]Point{{0, 0}, {1, 1}}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for radius > cell size")
+		}
+	}()
+	g.Neighbors(0, 2, nil)
+}
+
+func TestGridLen(t *testing.T) {
+	g := NewGrid([]Point{{0, 0}, {1, 1}, {2, 2}}, 1)
+	if g.Len() != 3 {
+		t.Errorf("Len = %d, want 3", g.Len())
+	}
+}
+
+// Property: segment intersection is symmetric.
+func TestQuickIntersectSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int8) bool {
+		s := Segment{Point{float64(ax), float64(ay)}, Point{float64(bx), float64(by)}}
+		u := Segment{Point{float64(cx), float64(cy)}, Point{float64(dx), float64(dy)}}
+		return s.Intersects(u) == u.Intersects(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a segment always intersects itself and shares endpoints.
+func TestQuickIntersectSelf(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		s := Segment{Point{float64(ax), float64(ay)}, Point{float64(bx), float64(by)}}
+		return s.Intersects(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringersAndLength(t *testing.T) {
+	if (Point{1, 2}).String() == "" {
+		t.Error("Point.String empty")
+	}
+	for _, m := range []Metric{
+		Euclidean{}, Manhattan{}, Chebyshev{},
+		SnappedMetric{Base: Euclidean{}, Step: 0.5},
+		HubMetric{Hub: Point{1, 1}, Factor: 0.5},
+	} {
+		if m.Name() == "" {
+			t.Errorf("%T has empty name", m)
+		}
+	}
+	s := Segment{Point{0, 0}, Point{3, 4}}
+	if s.Length() != 5 {
+		t.Errorf("Length = %v", s.Length())
+	}
+}

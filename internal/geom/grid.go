@@ -1,0 +1,99 @@
+package geom
+
+import "math"
+
+// Grid is a spatial hash over a point set: points are bucketed into square
+// cells of side CellSize, so that all points within distance r ≤ CellSize
+// of a query point are found by scanning the 3×3 block of cells around it.
+// Topology generators use it to build unit disk / unit ball graphs in
+// near-linear time instead of O(n²).
+type Grid struct {
+	cellSize float64
+	cells    map[cellKey][]int
+	points   []Point
+}
+
+type cellKey struct{ cx, cy int }
+
+// NewGrid indexes points into cells of the given size. cellSize must be
+// positive; it should be at least the largest query radius for Neighbors
+// to be exhaustive.
+func NewGrid(points []Point, cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("geom: cell size must be positive")
+	}
+	g := &Grid{
+		cellSize: cellSize,
+		cells:    make(map[cellKey][]int, len(points)),
+		points:   points,
+	}
+	for i, p := range points {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+func (g *Grid) key(p Point) cellKey {
+	return cellKey{int(math.Floor(p.X / g.cellSize)), int(math.Floor(p.Y / g.cellSize))}
+}
+
+// Neighbors appends to dst the indices of all points within Euclidean
+// distance r of points[i], excluding i itself, and returns the extended
+// slice. r must be ≤ the grid cell size for the scan to be exhaustive.
+func (g *Grid) Neighbors(i int, r float64, dst []int) []int {
+	if r > g.cellSize {
+		panic("geom: query radius exceeds grid cell size")
+	}
+	p := g.points[i]
+	k := g.key(p)
+	r2 := r * r
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, j := range g.cells[cellKey{k.cx + dx, k.cy + dy}] {
+				if j != i && p.Dist2(g.points[j]) <= r2 {
+					dst = append(dst, j)
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// CandidatePairs invokes fn for every unordered pair (i, j), i < j, whose
+// points lie in the same or adjacent cells — a superset of all pairs
+// within distance cellSize. Generators apply their own distance or metric
+// predicate on top. The enumeration visits each candidate pair exactly
+// once.
+func (g *Grid) CandidatePairs(fn func(i, j int)) {
+	// For each cell, pair within the cell, and pair against the four
+	// "forward" neighbor cells (E, NE, N, NW) so each adjacent cell pair
+	// is considered exactly once.
+	offsets := [...]cellKey{{1, 0}, {1, 1}, {0, 1}, {-1, 1}}
+	for k, members := range g.cells {
+		for a := 0; a < len(members); a++ {
+			for b := a + 1; b < len(members); b++ {
+				i, j := members[a], members[b]
+				if i > j {
+					i, j = j, i
+				}
+				fn(i, j)
+			}
+		}
+		for _, off := range offsets {
+			other := g.cells[cellKey{k.cx + off.cx, k.cy + off.cy}]
+			for _, i := range members {
+				for _, j := range other {
+					a, b := i, j
+					if a > b {
+						a, b = b, a
+					}
+					fn(a, b)
+				}
+			}
+		}
+	}
+}
+
+// Len returns the number of indexed points.
+func (g *Grid) Len() int { return len(g.points) }

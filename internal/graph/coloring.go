@@ -1,0 +1,57 @@
+package graph
+
+import "sort"
+
+// GreedyColoring returns a centralized greedy vertex coloring in
+// Welsh–Powell order (vertices by non-increasing degree, each taking the
+// smallest color unused by its already-colored neighbors). It uses at
+// most Δ colors in the paper's degree convention (δ_v counts the node,
+// so a vertex has ≤ Δ−1 neighbors) and serves as the quality reference
+// the experiments compare the distributed palette against: no
+// distributed algorithm in the radio model can be expected to beat the
+// centralized greedy count.
+func (g *Graph) GreedyColoring() []int32 {
+	order := make([]int32, g.n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(g.adj[order[a]]) > len(g.adj[order[b]])
+	})
+	colors := make([]int32, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var taken []bool
+	for _, v := range order {
+		taken = taken[:0]
+		for len(taken) <= len(g.adj[v]) {
+			taken = append(taken, false)
+		}
+		for _, u := range g.adj[v] {
+			c := colors[u]
+			if c >= 0 && int(c) < len(taken) {
+				taken[c] = true
+			}
+		}
+		for c := range taken {
+			if !taken[c] {
+				colors[v] = int32(c)
+				break
+			}
+		}
+	}
+	return colors
+}
+
+// NumColors returns the number of distinct non-negative colors in the
+// vector.
+func NumColors(colors []int32) int {
+	seen := make(map[int32]bool)
+	for _, c := range colors {
+		if c >= 0 {
+			seen[c] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func properColoring(g *Graph, colors []int32) bool {
+	for v := 0; v < g.N(); v++ {
+		if colors[v] < 0 {
+			return false
+		}
+		for _, u := range g.Adj(v) {
+			if colors[u] == colors[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestGreedyColoringProper(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(50, 0.15, seed)
+		colors := g.GreedyColoring()
+		if !properColoring(g, colors) {
+			t.Fatalf("seed %d: improper greedy coloring", seed)
+		}
+		// At most Δ colors (paper convention: Δ counts the node, so a
+		// vertex has ≤ Δ−1 neighbors and color index ≤ Δ−1).
+		if NumColors(colors) > g.MaxDegree() {
+			t.Errorf("seed %d: %d colors > Δ = %d", seed, NumColors(colors), g.MaxDegree())
+		}
+	}
+}
+
+func TestGreedyColoringKnown(t *testing.T) {
+	if got := NumColors(complete(6).GreedyColoring()); got != 6 {
+		t.Errorf("K6: %d colors", got)
+	}
+	if got := NumColors(cycle(6).GreedyColoring()); got != 2 {
+		t.Errorf("C6: %d colors", got)
+	}
+	if got := NumColors(star(10).GreedyColoring()); got != 2 {
+		t.Errorf("star: %d colors", got)
+	}
+	if got := NumColors(NewBuilder(4).Build().GreedyColoring()); got != 1 {
+		t.Errorf("edgeless: %d colors", got)
+	}
+	if got := len(NewBuilder(0).Build().GreedyColoring()); got != 0 {
+		t.Errorf("empty graph: %d entries", got)
+	}
+}
+
+func TestNumColors(t *testing.T) {
+	if NumColors([]int32{0, 2, 2, -1}) != 2 {
+		t.Error("NumColors wrong")
+	}
+	if NumColors(nil) != 0 {
+		t.Error("NumColors(nil) wrong")
+	}
+}
+
+// Property: greedy colorings are always proper.
+func TestQuickGreedyProper(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(25, 0.2, seed)
+		return properColoring(g, g.GreedyColoring())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"radiocolor/internal/graph"
+)
+
+// ExampleGraph_Kappa measures the bounded-independence parameters of a
+// 6-cycle: any 1-hop neighborhood (a 3-path) has 2 independent nodes,
+// any 2-hop neighborhood (a 5-path) has 3.
+func ExampleGraph_Kappa() {
+	b := graph.NewBuilder(6)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(i, (i+1)%6)
+	}
+	g := b.Build()
+	k := g.Kappa(graph.KappaOptions{})
+	fmt.Printf("κ₁=%d κ₂=%d exact=%v\n", k.K1, k.K2, k.Exact)
+	// Output:
+	// κ₁=2 κ₂=3 exact=true
+}
+
+// ExampleGraph_Square shows the distance-2 graph of a path: vertices two
+// apart become adjacent.
+func ExampleGraph_Square() {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	sq := b.Build().Square()
+	fmt.Println(sq.HasEdge(0, 2), sq.HasEdge(0, 3))
+	// Output:
+	// true false
+}
+
+// ExampleGraph_GreedyColoring colors a star with two colors.
+func ExampleGraph_GreedyColoring() {
+	b := graph.NewBuilder(5)
+	for i := 1; i < 5; i++ {
+		b.AddEdge(0, i)
+	}
+	colors := b.Build().GreedyColoring()
+	fmt.Println(graph.NumColors(colors), colors[0] != colors[1])
+	// Output:
+	// 2 true
+}

@@ -1,0 +1,38 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadGraph hardens the edge-list parser: arbitrary input must never
+// panic, and any input it accepts must round-trip to an identical graph.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("n 3 2\n0 1\n1 2\n")
+	f.Add("# comment\nn 0 0\n")
+	f.Add("n 2 1\n0 1\n")
+	f.Add("n -1 0\n")
+	f.Add("garbage")
+	f.Add("n 4 0\n\n\n")
+	f.Add("n 2 1\n1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadGraph(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var b strings.Builder
+		if _, err := g.WriteTo(&b); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadGraph(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round-trip changed shape: %d/%d vs %d/%d", back.N(), back.M(), g.N(), g.M())
+		}
+	})
+}

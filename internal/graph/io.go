@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Text serialization in the ubiquitous edge-list format:
+//
+//	# optional comments
+//	n <vertices> <edges>
+//	<u> <v>
+//	...
+//
+// WriteTo/ReadGraph round-trip exactly; cmd tools use the format to
+// exchange topologies with external tools.
+
+// maxReadEntities caps vertex/edge counts accepted by ReadGraph so a
+// corrupted or hostile header cannot trigger an enormous allocation.
+const maxReadEntities = 1 << 22
+
+// WriteTo writes g in edge-list format.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "n %d %d\n", g.n, g.M())
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for v := 0; v < g.n; v++ {
+		for _, u := range g.adj[v] {
+			if int(u) > v {
+				n, err := fmt.Fprintf(bw, "%d %d\n", v, u)
+				total += int64(n)
+				if err != nil {
+					return total, err
+				}
+			}
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadGraph parses the edge-list format produced by WriteTo. Lines
+// starting with '#' and blank lines are skipped.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var b *Builder
+	edges, wantEdges := 0, -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if len(text) == 0 || text[0] == '#' {
+			continue
+		}
+		if b == nil {
+			var n, m int
+			if _, err := fmt.Sscanf(text, "n %d %d", &n, &m); err != nil {
+				return nil, fmt.Errorf("graph: line %d: expected header 'n <vertices> <edges>': %w", line, err)
+			}
+			if n < 0 || m < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative header values", line)
+			}
+			if n > maxReadEntities || m > maxReadEntities {
+				return nil, fmt.Errorf("graph: line %d: header sizes %d/%d exceed limit %d", line, n, m, maxReadEntities)
+			}
+			b = NewBuilder(n)
+			wantEdges = m
+			continue
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(text, "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: line %d: expected edge '<u> <v>': %w", line, err)
+		}
+		if u < 0 || u >= bN(b) || v < 0 || v >= bN(b) {
+			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range", line, u, v)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: line %d: self-loop", line)
+		}
+		b.AddEdge(u, v)
+		edges++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: missing header")
+	}
+	if wantEdges >= 0 && edges != wantEdges {
+		return nil, fmt.Errorf("graph: header promises %d edges, found %d", wantEdges, edges)
+	}
+	return b.Build(), nil
+}
+
+// bN exposes the builder size for validation.
+func bN(b *Builder) int { return b.n }

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := randomGraph(40, 0.1, seed)
+		var b strings.Builder
+		if _, err := g.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadGraph(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("seed %d: %d/%d vs %d/%d", seed, back.N(), back.M(), g.N(), g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			for u := 0; u < g.N(); u++ {
+				if g.HasEdge(v, u) != back.HasEdge(v, u) {
+					t.Fatalf("seed %d: edge (%d,%d) mismatch", seed, v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestReadGraphCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nn 3 2\n0 1\n# interior comment\n1 2\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Errorf("parsed %d/%d", g.N(), g.M())
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := []string{
+		"",             // missing header
+		"bogus\n",      // bad header
+		"n -1 0\n",     // negative
+		"n 2 1\nzzz\n", // bad edge line
+		"n 2 1\n0 5\n", // out of range
+		"n 2 1\n1 1\n", // self-loop
+		"n 3 2\n0 1\n", // edge count mismatch
+		"n 2 0\n0 1\n", // more edges than promised
+	}
+	for i, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestWriteEmptyGraph(t *testing.T) {
+	var b strings.Builder
+	if _, err := NewBuilder(0).Build().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadGraph(strings.NewReader(b.String()))
+	if err != nil || g.N() != 0 {
+		t.Errorf("empty round-trip: %v %v", g, err)
+	}
+}

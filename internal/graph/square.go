@@ -1,0 +1,56 @@
+package graph
+
+// Square returns G²: the graph on the same vertices with an edge between
+// any two distinct vertices within distance ≤ 2 in g.
+//
+// The paper's introduction discusses that an entirely collision-free
+// TDMA schedule is typically argued to need a coloring of the *square*
+// of the graph (distance-2 coloring) [2,12,27]. Running the coloring
+// algorithm on Square(g) — with the radio simulation still executing on
+// g — yields exactly that: nodes two hops apart receive distinct colors,
+// eliminating hidden-terminal collisions entirely (at the price of more
+// colors). The distance-2 experiment (E13) quantifies the trade-off.
+func (g *Graph) Square() *Graph {
+	b := NewBuilder(g.n)
+	seen := make([]bool, g.n)
+	for v := 0; v < g.n; v++ {
+		// Mark the 2-hop neighborhood of v and add edges v→u for u > v.
+		var marked []int32
+		mark := func(u int32) {
+			if u != int32(v) && !seen[u] {
+				seen[u] = true
+				marked = append(marked, u)
+			}
+		}
+		for _, u := range g.adj[v] {
+			mark(u)
+			for _, w := range g.adj[u] {
+				mark(w)
+			}
+		}
+		for _, u := range marked {
+			seen[u] = false
+			if int(u) > v {
+				b.AddEdge(v, int(u))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Power returns G^k: edges between vertices within graph distance ≤ k.
+// Power(1) copies the graph; Power(2) equals Square.
+func (g *Graph) Power(k int) *Graph {
+	if k < 1 {
+		panic("graph: power requires k ≥ 1")
+	}
+	b := NewBuilder(g.n)
+	for v := 0; v < g.n; v++ {
+		for _, u := range g.KHop(v, k) {
+			if int(u) > v {
+				b.AddEdge(v, int(u))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSquarePath(t *testing.T) {
+	g := path(5) // 0-1-2-3-4
+	sq := g.Square()
+	wantEdges := [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}}
+	if sq.M() != len(wantEdges) {
+		t.Fatalf("M = %d, want %d", sq.M(), len(wantEdges))
+	}
+	for _, e := range wantEdges {
+		if !sq.HasEdge(e[0], e[1]) {
+			t.Errorf("missing edge %v", e)
+		}
+	}
+	if sq.HasEdge(0, 3) || sq.HasEdge(0, 4) {
+		t.Error("distance-3 edge present")
+	}
+}
+
+func TestSquareMatchesTwoHop(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		g := randomGraph(40, 0.08, seed)
+		sq := g.Square()
+		for v := 0; v < g.N(); v++ {
+			within := make(map[int32]bool)
+			for _, u := range g.TwoHop(v) {
+				if u != int32(v) {
+					within[u] = true
+				}
+			}
+			for u := 0; u < g.N(); u++ {
+				if sq.HasEdge(v, u) != within[int32(u)] {
+					t.Fatalf("seed %d: square edge (%d,%d)=%v, two-hop=%v",
+						seed, v, u, sq.HasEdge(v, u), within[int32(u)])
+				}
+			}
+		}
+	}
+}
+
+func TestPower(t *testing.T) {
+	g := path(6)
+	if p1 := g.Power(1); p1.M() != g.M() {
+		t.Errorf("Power(1) M = %d, want %d", p1.M(), g.M())
+	}
+	p2 := g.Power(2)
+	sq := g.Square()
+	if p2.M() != sq.M() {
+		t.Errorf("Power(2) M = %d, Square M = %d", p2.M(), sq.M())
+	}
+	p5 := g.Power(5)
+	if p5.M() != 6*5/2 {
+		t.Errorf("Power(5) of P6 should be complete: M = %d", p5.M())
+	}
+}
+
+func TestPowerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	path(3).Power(0)
+}
+
+func TestSquareOfCliqueIsClique(t *testing.T) {
+	g := complete(7)
+	sq := g.Square()
+	if sq.M() != g.M() {
+		t.Errorf("square of clique changed: %d vs %d", sq.M(), g.M())
+	}
+}
+
+func TestSquareEmptyAndSingleton(t *testing.T) {
+	if NewBuilder(0).Build().Square().N() != 0 {
+		t.Error("empty square broken")
+	}
+	if NewBuilder(1).Build().Square().M() != 0 {
+		t.Error("singleton square has edges")
+	}
+}
+
+// Property: the square's max degree is at most κ₂·Δ of the base graph
+// (Lemma 1: every node has at most κ₂Δ 2-hop neighbors).
+func TestQuickSquareDegreeBound(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(25, 0.12, seed)
+		k := g.Kappa(KappaOptions{Budget: 100_000})
+		bound := k.K2 * g.MaxDegree()
+		return g.Square().MaxDegree() <= bound+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

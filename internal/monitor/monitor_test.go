@@ -1,0 +1,99 @@
+package monitor
+
+import (
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/graph"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+)
+
+func TestMonitorCleanRun(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 70, Side: 5, Radius: 1.2, Seed: 2})
+	delta := d.G.MaxDegree()
+	k := d.G.Kappa(graph.KappaOptions{Budget: 150_000, MaxNeighborhood: 140})
+	par := core.Practical(d.N(), delta, k.K1, k.K2)
+	nodes, protos := core.Nodes(d.N(), 7, par, core.Ablation{})
+	m := New(d.G, nodes)
+	m.StallSlots = 10 * par.Threshold()
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 5_000_000, Observer: m,
+	})
+	if err != nil || !res.AllDone {
+		t.Fatalf("run failed: %v %v", err, res)
+	}
+	if len(m.Violations()) != 0 {
+		t.Errorf("online violations: %v", m.Violations())
+	}
+	if len(m.Stalls()) != 0 {
+		t.Errorf("stalls: %v", m.Stalls())
+	}
+	if m.Decided() != d.N() {
+		t.Errorf("decided = %d", m.Decided())
+	}
+}
+
+func TestMonitorCatchesViolationOnline(t *testing.T) {
+	// Force a violation: scale the constants way down so neighbors
+	// decide the same class before hearing each other. The monitor must
+	// report at decision time.
+	d := topology.Clique(8)
+	par := core.Practical(d.N(), d.G.MaxDegree(), 1, 2).Scale(0.1)
+	nodes, protos := core.Nodes(d.N(), 3, par, core.Ablation{NoCompetitorList: true, NaiveReset: false})
+	m := New(d.G, nodes)
+	_, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 400_000, Observer: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// End-state check must agree with the online view.
+	conflict := false
+	for v := 0; v < d.N(); v++ {
+		for _, u := range d.G.Adj(v) {
+			if nodes[v].Color() >= 0 && nodes[v].Color() == nodes[u].Color() {
+				conflict = true
+			}
+		}
+	}
+	if conflict != (len(m.Violations()) > 0) {
+		t.Errorf("online/offline disagreement: conflict=%v, monitor=%v", conflict, m.Violations())
+	}
+	for _, viol := range m.Violations() {
+		if viol.String() == "" {
+			t.Error("empty violation string")
+		}
+	}
+}
+
+func TestMonitorStallDetection(t *testing.T) {
+	// A node that never decides: stall warnings fire periodically.
+	g := graph.NewBuilder(1).Build()
+	par := core.Practical(1, 2, 1, 2)
+	nodes, _ := core.Nodes(1, 1, par, core.Ablation{})
+	m := New(g, nodes)
+	m.StallSlots = 10
+	for slot := int64(0); slot < 100; slot++ {
+		m.OnSlot(slot)
+	}
+	if len(m.Stalls()) == 0 {
+		t.Fatal("no stall warnings for a silent run")
+	}
+	// Warnings are rate-limited to one per StallSlots window.
+	if len(m.Stalls()) > 11 {
+		t.Errorf("too many stall warnings: %d", len(m.Stalls()))
+	}
+}
+
+func TestMonitorPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	g := graph.NewBuilder(2).Build()
+	New(g, nil)
+}

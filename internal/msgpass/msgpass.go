@@ -1,0 +1,93 @@
+// Package msgpass implements the classic synchronous message-passing
+// model (LOCAL-style) the related-work section of the paper contrasts
+// with: nodes know their neighbors, every node broadcasts one message to
+// all neighbors per round, and delivery is reliable and collision-free —
+// an underlying MAC layer is assumed. The baselines of Sect. 3 (Luby-MIS
+// based (Δ+1)-coloring) run on this substrate, quantifying how much of
+// the paper's difficulty comes purely from the radio model.
+package msgpass
+
+import (
+	"errors"
+	"fmt"
+
+	"radiocolor/internal/graph"
+)
+
+// Protocol is a per-node algorithm in the message-passing model.
+type Protocol interface {
+	// Round is called once per synchronous round. inbox maps neighbor
+	// index → the payload that neighbor broadcast in the previous round
+	// (empty in round 0). The return value is broadcast to all
+	// neighbors for delivery next round; nil broadcasts nothing.
+	Round(round int, inbox map[int32]any) any
+	// Done reports whether the node has terminated. Done nodes stop
+	// being scheduled (their last broadcast remains visible in the next
+	// round's inboxes).
+	Done() bool
+}
+
+// Result summarizes a message-passing run.
+type Result struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// AllDone reports whether every node terminated within the limit.
+	AllDone bool
+	// DecideRound[i] is the round node i's Done() first held, or −1.
+	DecideRound []int
+	// Messages counts total broadcast payloads.
+	Messages int64
+}
+
+// Run executes the protocols over g for at most maxRounds rounds.
+func Run(g *graph.Graph, protos []Protocol, maxRounds int) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("msgpass: nil graph")
+	}
+	n := g.N()
+	if len(protos) != n {
+		return nil, fmt.Errorf("msgpass: %d protocols for %d nodes", len(protos), n)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 1 << 20
+	}
+	res := &Result{DecideRound: make([]int, n)}
+	for i := range res.DecideRound {
+		res.DecideRound[i] = -1
+	}
+	outbox := make([]any, n)
+	numDone := 0
+	done := make([]bool, n)
+	for r := 0; r < maxRounds; r++ {
+		res.Rounds = r + 1
+		next := make([]any, n)
+		for v := 0; v < n; v++ {
+			if done[v] {
+				next[v] = outbox[v] // terminated nodes keep their last word visible
+				continue
+			}
+			inbox := make(map[int32]any)
+			for _, u := range g.Adj(v) {
+				if m := outbox[u]; m != nil {
+					inbox[u] = m
+				}
+			}
+			out := protos[v].Round(r, inbox)
+			next[v] = out
+			if out != nil {
+				res.Messages++
+			}
+			if protos[v].Done() {
+				done[v] = true
+				numDone++
+				res.DecideRound[v] = r
+			}
+		}
+		outbox = next
+		if numDone == n {
+			res.AllDone = true
+			return res, nil
+		}
+	}
+	return res, nil
+}

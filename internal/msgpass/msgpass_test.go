@@ -1,0 +1,152 @@
+package msgpass
+
+import (
+	"testing"
+
+	"radiocolor/internal/graph"
+)
+
+func path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// echoProto broadcasts its index for k rounds, recording everything it
+// hears, then terminates.
+type echoProto struct {
+	idx    int32
+	rounds int
+	k      int
+	heard  map[int32][]any
+}
+
+func (p *echoProto) Round(r int, inbox map[int32]any) any {
+	for from, m := range inbox {
+		p.heard[from] = append(p.heard[from], m)
+	}
+	p.rounds++
+	return p.idx
+}
+func (p *echoProto) Done() bool { return p.rounds >= p.k }
+
+func TestRunDeliversToNeighbors(t *testing.T) {
+	g := path(3)
+	protos := make([]Protocol, 3)
+	nodes := make([]*echoProto, 3)
+	for i := range protos {
+		nodes[i] = &echoProto{idx: int32(i), k: 3, heard: make(map[int32][]any)}
+		protos[i] = nodes[i]
+	}
+	res, err := Run(g, protos, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDone || res.Rounds != 3 {
+		t.Fatalf("res = %+v", res)
+	}
+	// Node 1 hears 0 and 2 (from round 1 on, payloads of round 0).
+	if len(nodes[1].heard[0]) == 0 || len(nodes[1].heard[2]) == 0 {
+		t.Errorf("node 1 heard %v", nodes[1].heard)
+	}
+	// Node 0 never hears node 2 (not adjacent).
+	if len(nodes[0].heard[2]) != 0 {
+		t.Error("non-neighbor message delivered")
+	}
+	// All broadcasts counted: 3 nodes × 3 rounds.
+	if res.Messages != 9 {
+		t.Errorf("messages = %d", res.Messages)
+	}
+	for i, r := range res.DecideRound {
+		if r != 2 {
+			t.Errorf("node %d decided at round %d", i, r)
+		}
+	}
+}
+
+// silentProto never broadcasts and terminates immediately.
+type silentProto struct{ done bool }
+
+func (p *silentProto) Round(int, map[int32]any) any { p.done = true; return nil }
+func (p *silentProto) Done() bool                   { return p.done }
+
+func TestRunSilentNodes(t *testing.T) {
+	g := path(2)
+	res, err := Run(g, []Protocol{&silentProto{}, &silentProto{}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDone || res.Messages != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+// stubborn never terminates.
+type stubborn struct{}
+
+func (stubborn) Round(int, map[int32]any) any { return nil }
+func (stubborn) Done() bool                   { return false }
+
+func TestRunRoundLimit(t *testing.T) {
+	g := path(2)
+	res, err := Run(g, []Protocol{stubborn{}, stubborn{}}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllDone || res.Rounds != 7 {
+		t.Errorf("res = %+v", res)
+	}
+	if res.DecideRound[0] != -1 {
+		t.Error("undecided node has decide round")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, nil, 1); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Run(path(3), make([]Protocol, 2), 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// lastWord terminates in round 0 broadcasting a token; the neighbor must
+// still see that token in round 1 (terminated nodes keep their last
+// broadcast visible).
+type lastWord struct{ done bool }
+
+func (p *lastWord) Round(int, map[int32]any) any { p.done = true; return "token" }
+func (p *lastWord) Done() bool                   { return p.done }
+
+type listener struct {
+	sawToken bool
+	rounds   int
+}
+
+func (p *listener) Round(r int, inbox map[int32]any) any {
+	for _, m := range inbox {
+		if m == "token" {
+			p.sawToken = true
+		}
+	}
+	p.rounds++
+	return nil
+}
+func (p *listener) Done() bool { return p.rounds >= 3 }
+
+func TestTerminatedNodesRemainVisible(t *testing.T) {
+	g := path(2)
+	l := &listener{}
+	res, err := Run(g, []Protocol{&lastWord{}, l}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDone {
+		t.Fatalf("res = %+v", res)
+	}
+	if !l.sawToken {
+		t.Error("terminated node's last broadcast was lost")
+	}
+}

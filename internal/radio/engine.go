@@ -1,0 +1,291 @@
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"radiocolor/internal/graph"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// G is the communication graph (required).
+	G *graph.Graph
+	// Protocols holds one Protocol per node (required, len == G.N()).
+	Protocols []Protocol
+	// Wake holds each node's wake-up slot (required, len == G.N(),
+	// non-negative). Generate with the schedules in wakeup.go.
+	Wake []int64
+	// MaxSlots aborts the run after this many slots (default 50M).
+	MaxSlots int64
+	// Observer receives trace events (optional).
+	Observer Observer
+	// NEstimate is the network-size estimate used for message-size
+	// accounting (default G.N()).
+	NEstimate int
+	// DropProb injects message loss beyond the model: each successful
+	// delivery is independently suppressed with this probability.
+	// Deliveries suppressed this way are indistinguishable from
+	// collisions to the receiver. Used by failure-injection tests.
+	DropProb float64
+	// DropSeed seeds the deterministic drop and capture coins.
+	DropSeed int64
+	// CaptureProb models the capture effect, a deviation ABOVE the
+	// model: when exactly two neighbors transmit simultaneously, the
+	// stronger signal (deterministically, the lower-indexed transmitter)
+	// is still decoded with this probability instead of being lost to
+	// the collision. Real radios often exhibit capture; the model
+	// assumes none. Used by robustness experiments.
+	CaptureProb float64
+	// Workers > 1 runs the per-slot Send phase on that many goroutines.
+	// Results are bit-identical to the sequential engine because every
+	// node owns an independent random stream.
+	Workers int
+}
+
+// Engine executes a Config slot by slot. Use Run for the common case;
+// the step-wise API supports protocols that need outside inspection
+// between slots (tests, visualizers).
+type Engine struct {
+	cfg     Config
+	n       int
+	slot    int64
+	awake   []bool
+	out     []Message
+	order   []int32 // node ids sorted by wake slot
+	next    int     // index into order of the next node to wake
+	numDone int
+	decided []bool
+	res     Result
+
+	// Per-slot scratch, reset via the touched list.
+	recvCount []int32
+	recvMsg   []Message
+	touched   []int32
+}
+
+// NewEngine validates the configuration and prepares a run.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.G == nil {
+		return nil, errors.New("radio: nil graph")
+	}
+	n := cfg.G.N()
+	if len(cfg.Protocols) != n {
+		return nil, fmt.Errorf("radio: %d protocols for %d nodes", len(cfg.Protocols), n)
+	}
+	if len(cfg.Wake) != n {
+		return nil, fmt.Errorf("radio: %d wake slots for %d nodes", len(cfg.Wake), n)
+	}
+	for i, w := range cfg.Wake {
+		if w < 0 {
+			return nil, fmt.Errorf("radio: node %d has negative wake slot %d", i, w)
+		}
+	}
+	if cfg.MaxSlots <= 0 {
+		cfg.MaxSlots = 50_000_000
+	}
+	if cfg.Observer == nil {
+		cfg.Observer = NopObserver{}
+	}
+	if cfg.NEstimate <= 0 {
+		cfg.NEstimate = n
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	e := &Engine{
+		cfg:       cfg,
+		n:         n,
+		awake:     make([]bool, n),
+		out:       make([]Message, n),
+		decided:   make([]bool, n),
+		recvCount: make([]int32, n),
+		recvMsg:   make([]Message, n),
+	}
+	e.order = make([]int32, n)
+	for i := range e.order {
+		e.order[i] = int32(i)
+	}
+	sort.SliceStable(e.order, func(a, b int) bool {
+		return cfg.Wake[e.order[a]] < cfg.Wake[e.order[b]]
+	})
+	e.res = Result{
+		WakeSlot:   append([]int64(nil), cfg.Wake...),
+		DecideSlot: make([]int64, n),
+		PerNodeTx:  make([]int64, n),
+	}
+	for i := range e.res.DecideSlot {
+		e.res.DecideSlot[i] = -1
+	}
+	return e, nil
+}
+
+// splitmix64 advances a SplitMix64 state; used for the stateless drop
+// coin so that drops are a pure function of (seed, slot, receiver).
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (e *Engine) dropped(slot int64, receiver int32) bool {
+	if e.cfg.DropProb <= 0 {
+		return false
+	}
+	h := splitmix64(splitmix64(uint64(e.cfg.DropSeed)^uint64(slot)) ^ uint64(receiver))
+	return float64(h>>11)/float64(1<<53) < e.cfg.DropProb
+}
+
+func (e *Engine) captured(slot int64, receiver int32) bool {
+	if e.cfg.CaptureProb <= 0 {
+		return false
+	}
+	h := splitmix64(splitmix64(uint64(e.cfg.DropSeed)^uint64(slot)*0x9E3779B9) ^ uint64(receiver) ^ 0xCA97)
+	return float64(h>>11)/float64(1<<53) < e.cfg.CaptureProb
+}
+
+// Step simulates one slot. It returns false when the run is over
+// (everyone decided or the slot limit was reached).
+func (e *Engine) Step() bool {
+	t := e.slot
+	obs := e.cfg.Observer
+	// Wake-ups scheduled for this slot.
+	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
+		id := e.order[e.next]
+		e.awake[id] = true
+		e.cfg.Protocols[id].Start(t)
+		e.next++
+	}
+
+	// Send phase: every awake node ticks and chooses transmit/listen.
+	if e.cfg.Workers > 1 {
+		e.parallelSend(t)
+	} else {
+		for i := 0; i < e.n; i++ {
+			if e.awake[i] {
+				e.out[i] = e.cfg.Protocols[i].Send(t)
+			}
+		}
+	}
+
+	// Resolve phase: count transmitting neighbors at each node.
+	for i := 0; i < e.n; i++ {
+		msg := e.out[i]
+		if msg == nil {
+			continue
+		}
+		e.res.Transmissions++
+		e.res.PerNodeTx[i]++
+		if bits := msg.Bits(e.cfg.NEstimate); bits > e.res.MaxMessageBits {
+			e.res.MaxMessageBits = bits
+		}
+		obs.OnTransmit(t, NodeID(i), msg)
+		for _, u := range e.cfg.G.Adj(i) {
+			if e.recvCount[u] == 0 {
+				e.touched = append(e.touched, u)
+				e.recvMsg[u] = msg
+			}
+			e.recvCount[u]++
+		}
+	}
+
+	// Deliver phase: exactly-one rule at awake listeners.
+	for _, u := range e.touched {
+		count := e.recvCount[u]
+		e.recvCount[u] = 0
+		msg := e.recvMsg[u]
+		e.recvMsg[u] = nil
+		if !e.awake[u] || e.out[u] != nil {
+			continue // asleep, or transmitting: hears nothing
+		}
+		if count >= 2 {
+			if count == 2 && e.captured(t, u) {
+				// Capture effect: the first-recorded (lowest-indexed)
+				// transmitter's signal survives the two-way collision.
+				e.res.Deliveries++
+				e.res.Captures++
+				obs.OnDeliver(t, NodeID(u), msg)
+				e.cfg.Protocols[u].Recv(t, msg)
+				continue
+			}
+			e.res.Collisions++
+			obs.OnCollision(t, NodeID(u), int(count))
+			continue
+		}
+		if e.dropped(t, u) {
+			continue
+		}
+		e.res.Deliveries++
+		obs.OnDeliver(t, NodeID(u), msg)
+		e.cfg.Protocols[u].Recv(t, msg)
+	}
+	e.touched = e.touched[:0]
+	for i := 0; i < e.n; i++ {
+		e.out[i] = nil
+	}
+
+	// Decision detection.
+	for i := 0; i < e.n; i++ {
+		if !e.decided[i] && e.awake[i] && e.cfg.Protocols[i].Done() {
+			e.decided[i] = true
+			e.numDone++
+			e.res.DecideSlot[i] = t
+			obs.OnDecide(t, NodeID(i))
+		}
+	}
+	obs.OnSlot(t)
+	e.slot++
+	e.res.Slots = e.slot
+	if e.numDone == e.n {
+		e.res.AllDone = true
+		return false
+	}
+	return e.slot < e.cfg.MaxSlots
+}
+
+func (e *Engine) parallelSend(t int64) {
+	workers := e.cfg.Workers
+	chunk := (e.n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > e.n {
+			hi = e.n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if e.awake[i] {
+					e.out[i] = e.cfg.Protocols[i].Send(t)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Result returns the statistics accumulated so far. It is valid after
+// the run finishes (Step returned false) and between steps.
+func (e *Engine) Result() *Result { return &e.res }
+
+// Slot returns the next slot to be simulated.
+func (e *Engine) Slot() int64 { return e.slot }
+
+// Run executes the configuration to completion and returns the result.
+func Run(cfg Config) (*Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for e.Step() {
+	}
+	return e.Result(), nil
+}

@@ -1,0 +1,99 @@
+package radio
+
+import "testing"
+
+func TestMultiChannelValidation(t *testing.T) {
+	g := line(2)
+	_, cfg := buildScripted(g, [][]bool{nil, nil}, WakeSynchronous(2))
+	if _, err := RunMultiChannel(cfg, 0, 1); err == nil {
+		t.Error("0 channels accepted")
+	}
+	if _, err := RunMultiChannel(Config{}, 2, 1); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestSingleChannelEqualsRun(t *testing.T) {
+	build := func() Config {
+		g := line(30)
+		protos := make([]Protocol, g.N())
+		for i := range protos {
+			protos[i] = &randProto{id: NodeID(i), rng: NodeRand(5, NodeID(i)), p: 0.25, limit: 300}
+		}
+		return Config{G: g, Protocols: protos, Wake: WakeUniform(g.N(), 20, 3)}
+	}
+	a, err := Run(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMultiChannel(build(), 1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Transmissions != b.Transmissions || a.Deliveries != b.Deliveries ||
+		a.Collisions != b.Collisions || a.Slots != b.Slots {
+		t.Errorf("k=1 diverges from Run: %v vs %v", a, b)
+	}
+}
+
+func TestMultiChannelSeparatesColliders(t *testing.T) {
+	// 0-1-2 path with 0 and 2 transmitting every slot: on one channel,
+	// node 1 never receives (permanent collision). On 8 channels the
+	// transmitters frequently land on different channels, and node 1
+	// must eventually share a channel with exactly one of them.
+	g := line(3)
+	script := make([]bool, 64)
+	for i := range script {
+		script[i] = true
+	}
+	protos, cfg := buildScripted(g, [][]bool{script, make([]bool, 64), script}, WakeSynchronous(3))
+	res, err := RunMultiChannel(cfg, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(protos[1].received) == 0 {
+		t.Error("8 channels never separated the colliders in 64 slots")
+	}
+	if res.Deliveries != int64(len(protos[1].received)) {
+		t.Errorf("delivery accounting: %d vs %d", res.Deliveries, len(protos[1].received))
+	}
+}
+
+func TestMultiChannelReceiverMustMatch(t *testing.T) {
+	// A lone transmitter on k channels reaches its neighbor only when
+	// their hops coincide: expect roughly 1/k of the slots, and never
+	// the slots where they differ.
+	g := line(2)
+	script := make([]bool, 400)
+	for i := range script {
+		script[i] = true
+	}
+	protos, cfg := buildScripted(g, [][]bool{script, make([]bool, 400)}, WakeSynchronous(2))
+	cfg.MaxSlots = 400
+	_, err := RunMultiChannel(cfg, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(protos[1].received)
+	if got < 400/8 || got > 400/2 {
+		t.Errorf("deliveries = %d over 400 slots on 4 channels, expected ≈ 100", got)
+	}
+}
+
+func TestMultiChannelDeterministic(t *testing.T) {
+	run := func() int64 {
+		g := line(25)
+		protos := make([]Protocol, g.N())
+		for i := range protos {
+			protos[i] = &randProto{id: NodeID(i), rng: NodeRand(9, NodeID(i)), p: 0.3, limit: 200}
+		}
+		res, err := RunMultiChannel(Config{G: g, Protocols: protos, Wake: WakeSynchronous(g.N())}, 3, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Deliveries*1000003 + res.Collisions
+	}
+	if run() != run() {
+		t.Error("multi-channel engine not deterministic")
+	}
+}

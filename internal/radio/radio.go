@@ -1,0 +1,170 @@
+// Package radio implements the unstructured radio network model of
+// Sect. 2 of the paper as a discrete-time simulator:
+//
+//   - time is divided into synchronized slots;
+//   - in each slot an awake node either transmits or listens;
+//   - a listening node receives a message iff EXACTLY ONE of its graph
+//     neighbors transmits in that slot — otherwise it hears nothing and
+//     cannot distinguish silence from collision (no collision detection);
+//   - a transmitting node receives nothing in that slot;
+//   - nodes wake up asynchronously per an arbitrary schedule, and
+//     sleeping nodes neither send nor receive;
+//   - there is a single communication channel.
+//
+// Protocols are written against the Protocol interface and are strictly
+// message-driven: they never see the graph, their neighbor count, or
+// global time, exactly as in the model.
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NodeID identifies a node. IDs are indices into the network graph, but
+// protocols must treat them as opaque identifiers (the paper requires
+// only that a receiver can tell two senders apart).
+type NodeID int32
+
+// Message is a frame on the radio channel. Implementations carry the
+// protocol-specific payload.
+type Message interface {
+	// Sender returns the transmitting node's identifier.
+	Sender() NodeID
+	// Bits returns the encoded payload size in bits given the network
+	// size estimate n; the model requires O(log n) bits per message and
+	// the engine records the maximum observed.
+	Bits(n int) int
+}
+
+// Protocol is the behavior of a single node. The engine drives each
+// awake node through one Send and (if it listened) one Recv call per
+// slot. Implementations own all their state; the engine guarantees that
+// calls to a single node's methods are never concurrent.
+type Protocol interface {
+	// Start is invoked once, in the slot the node wakes up, before the
+	// node's first Send of that slot.
+	Start(slot int64)
+	// Send is invoked every slot while the node is awake. Returning a
+	// non-nil message transmits it; returning nil listens. Send is the
+	// node's per-slot tick: counter increments and timeouts live here.
+	Send(slot int64) Message
+	// Recv is invoked only in slots the node actually receives a
+	// message, i.e. it listened and exactly one of its neighbors
+	// transmitted. Silence and collision are indistinguishable to the
+	// node (no collision detection) and produce no call at all; a node
+	// that transmitted never receives in the same slot.
+	Recv(slot int64, msg Message)
+	// Done reports whether the node has made its irrevocable final
+	// decision. Done nodes keep being scheduled (e.g. leaders continue
+	// beaconing); Done only feeds termination detection and the
+	// per-node time complexity T_v.
+	Done() bool
+}
+
+// Observer receives simulation events for tracing and statistics.
+// Implementations must be fast; the engine calls them in hot loops.
+type Observer interface {
+	// OnSlot is called once per slot after all sends/receives resolved.
+	OnSlot(slot int64)
+	// OnTransmit is called for each transmission.
+	OnTransmit(slot int64, from NodeID, msg Message)
+	// OnDeliver is called when a listener successfully receives.
+	OnDeliver(slot int64, to NodeID, msg Message)
+	// OnCollision is called when a listener had ≥ 2 transmitting
+	// neighbors (the node itself observes nothing; this is a
+	// god's-eye-view event).
+	OnCollision(slot int64, at NodeID, transmitters int)
+	// OnDecide is called once per node, in the slot its Done() first
+	// reports true.
+	OnDecide(slot int64, node NodeID)
+}
+
+// NopObserver is an Observer that ignores all events; embed it to
+// implement only the events of interest.
+type NopObserver struct{}
+
+// OnSlot implements Observer.
+func (NopObserver) OnSlot(int64) {}
+
+// OnTransmit implements Observer.
+func (NopObserver) OnTransmit(int64, NodeID, Message) {}
+
+// OnDeliver implements Observer.
+func (NopObserver) OnDeliver(int64, NodeID, Message) {}
+
+// OnCollision implements Observer.
+func (NopObserver) OnCollision(int64, NodeID, int) {}
+
+// OnDecide implements Observer.
+func (NopObserver) OnDecide(int64, NodeID) {}
+
+// Rand is the source of per-node randomness. Each node receives its own
+// deterministic stream derived from (master seed, node id), so results
+// are identical across engine implementations and scheduling orders.
+type Rand = *rand.Rand
+
+// NodeRand derives node i's random stream from the master seed. The
+// SplitMix64-style mixing decorrelates streams of adjacent ids.
+func NodeRand(masterSeed int64, id NodeID) Rand {
+	z := uint64(masterSeed) + 0x9E3779B97F4A7C15*uint64(uint32(id)+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Slots is the number of slots simulated.
+	Slots int64
+	// AllDone reports whether every node decided before the slot limit.
+	AllDone bool
+	// WakeSlot[i] is the slot node i woke up.
+	WakeSlot []int64
+	// DecideSlot[i] is the slot node i's Done() first became true, or -1.
+	DecideSlot []int64
+	// Transmissions, Deliveries and Collisions count channel events:
+	// Collisions counts (listener, slot) pairs with ≥ 2 transmitting
+	// neighbors.
+	Transmissions, Deliveries, Collisions int64
+	// Captures counts deliveries that survived a two-way collision via
+	// the capture effect (0 unless Config.CaptureProb > 0; included in
+	// Deliveries).
+	Captures int64
+	// PerNodeTx[i] counts node i's transmissions (an energy proxy).
+	PerNodeTx []int64
+	// MaxMessageBits is the largest message payload observed.
+	MaxMessageBits int
+}
+
+// Latency returns T_v for node v: slots between wake-up and decision
+// (the paper's per-node time complexity), or -1 if v never decided.
+func (r *Result) Latency(v int) int64 {
+	if r.DecideSlot[v] < 0 {
+		return -1
+	}
+	return r.DecideSlot[v] - r.WakeSlot[v]
+}
+
+// MaxLatency returns max_v T_v, the algorithm's time complexity, or -1
+// if some node never decided.
+func (r *Result) MaxLatency() int64 {
+	max := int64(0)
+	for v := range r.DecideSlot {
+		l := r.Latency(v)
+		if l < 0 {
+			return -1
+		}
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("slots=%d done=%v maxT=%d tx=%d rx=%d coll=%d",
+		r.Slots, r.AllDone, r.MaxLatency(), r.Transmissions, r.Deliveries, r.Collisions)
+}

@@ -1,0 +1,155 @@
+package radio
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+const (
+	// EventTransmit records a node transmitting.
+	EventTransmit EventKind = iota
+	// EventDeliver records a successful reception.
+	EventDeliver
+	// EventCollision records a listener with ≥ 2 transmitting neighbors.
+	EventCollision
+	// EventDecide records a node's irrevocable decision.
+	EventDecide
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventTransmit:
+		return "tx"
+	case EventDeliver:
+		return "rx"
+	case EventCollision:
+		return "coll"
+	case EventDecide:
+		return "decide"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one recorded simulation event.
+type Event struct {
+	Slot int64
+	Kind EventKind
+	// Node is the acting node (transmitter, receiver, collider, or
+	// decider).
+	Node NodeID
+	// From is the sender for EventDeliver (otherwise −1).
+	From NodeID
+	// Info carries the collision's transmitter count or the message's
+	// string form.
+	Info string
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventDeliver:
+		return fmt.Sprintf("[%7d] rx   node %d ← %d: %s", e.Slot, e.Node, e.From, e.Info)
+	case EventTransmit:
+		return fmt.Sprintf("[%7d] tx   node %d: %s", e.Slot, e.Node, e.Info)
+	case EventCollision:
+		return fmt.Sprintf("[%7d] coll node %d (%s transmitters)", e.Slot, e.Node, e.Info)
+	default:
+		return fmt.Sprintf("[%7d] %s node %d", e.Slot, e.Kind, e.Node)
+	}
+}
+
+// Trace is an Observer recording the last Cap events in a ring buffer —
+// the debugging flight recorder behind colorsim's -trace flag. Recording
+// every transmission of a long run would be enormous; the ring keeps the
+// tail, which is where protocol bugs (stuck nodes, livelocks) surface.
+type Trace struct {
+	// Cap bounds the retained events (≤ 0 means 4096).
+	Cap int
+	// Kinds selects the recorded kinds; empty records everything.
+	Kinds []EventKind
+
+	events []Event
+	next   int
+	total  int64
+}
+
+var _ Observer = (*Trace)(nil)
+
+func (t *Trace) wants(k EventKind) bool {
+	if len(t.Kinds) == 0 {
+		return true
+	}
+	for _, want := range t.Kinds {
+		if want == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Trace) record(e Event) {
+	if !t.wants(e.Kind) {
+		return
+	}
+	cap := t.Cap
+	if cap <= 0 {
+		cap = 4096
+	}
+	if len(t.events) < cap {
+		t.events = append(t.events, e)
+	} else {
+		t.events[t.next] = e
+		t.next = (t.next + 1) % cap
+	}
+	t.total++
+}
+
+// OnSlot implements Observer.
+func (t *Trace) OnSlot(int64) {}
+
+// OnTransmit implements Observer.
+func (t *Trace) OnTransmit(slot int64, from NodeID, msg Message) {
+	t.record(Event{Slot: slot, Kind: EventTransmit, Node: from, From: -1, Info: fmt.Sprintf("%v", msg)})
+}
+
+// OnDeliver implements Observer.
+func (t *Trace) OnDeliver(slot int64, to NodeID, msg Message) {
+	t.record(Event{Slot: slot, Kind: EventDeliver, Node: to, From: msg.Sender(), Info: fmt.Sprintf("%v", msg)})
+}
+
+// OnCollision implements Observer.
+func (t *Trace) OnCollision(slot int64, at NodeID, transmitters int) {
+	t.record(Event{Slot: slot, Kind: EventCollision, Node: at, From: -1, Info: fmt.Sprintf("%d", transmitters)})
+}
+
+// OnDecide implements Observer.
+func (t *Trace) OnDecide(slot int64, node NodeID) {
+	t.record(Event{Slot: slot, Kind: EventDecide, Node: node, From: -1})
+}
+
+// Total returns how many matching events occurred (recorded or evicted).
+func (t *Trace) Total() int64 { return t.total }
+
+// Events returns the retained events in chronological order.
+func (t *Trace) Events() []Event {
+	out := make([]Event, 0, len(t.events))
+	out = append(out, t.events[t.next:]...)
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Dump writes the retained events to w.
+func (t *Trace) Dump(w io.Writer) error {
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "(%d events total, %d retained)\n", t.total, len(t.events))
+	return err
+}

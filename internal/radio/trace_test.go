@@ -1,0 +1,140 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsInOrder(t *testing.T) {
+	g := line(3)
+	_, cfg := buildScripted(g, [][]bool{{true}, nil, {true, true}}, WakeSynchronous(3))
+	tr := &Trace{}
+	cfg.Observer = tr
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	prev := int64(-1)
+	for _, e := range events {
+		if e.Slot < prev {
+			t.Fatalf("events out of order: %v", events)
+		}
+		prev = e.Slot
+		if e.String() == "" {
+			t.Error("empty event string")
+		}
+	}
+	// Slot 0: nodes 0 and 2 transmit; node 1 collides. Decide events for
+	// all 3 nodes are present.
+	var tx, coll, decide int
+	for _, e := range events {
+		switch e.Kind {
+		case EventTransmit:
+			tx++
+		case EventCollision:
+			coll++
+		case EventDecide:
+			decide++
+		}
+	}
+	if tx != 3 || coll != 1 || decide != 3 {
+		t.Errorf("tx=%d coll=%d decide=%d", tx, coll, decide)
+	}
+	if tr.Total() != int64(len(events)) {
+		t.Errorf("Total=%d, retained=%d", tr.Total(), len(events))
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	tr := &Trace{Cap: 3}
+	for i := 0; i < 10; i++ {
+		tr.OnDecide(int64(i), NodeID(i))
+	}
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d, want 3", len(events))
+	}
+	if events[0].Slot != 7 || events[2].Slot != 9 {
+		t.Errorf("ring kept wrong tail: %v", events)
+	}
+	if tr.Total() != 10 {
+		t.Errorf("Total = %d", tr.Total())
+	}
+}
+
+func TestTraceKindFilter(t *testing.T) {
+	tr := &Trace{Kinds: []EventKind{EventDecide}}
+	tr.OnTransmit(0, 1, &testMsg{from: 1})
+	tr.OnDeliver(0, 2, &testMsg{from: 1})
+	tr.OnCollision(0, 3, 2)
+	tr.OnDecide(1, 4)
+	if tr.Total() != 1 || len(tr.Events()) != 1 || tr.Events()[0].Kind != EventDecide {
+		t.Errorf("filter failed: %v", tr.Events())
+	}
+}
+
+func TestTraceDump(t *testing.T) {
+	tr := &Trace{}
+	tr.OnDeliver(5, 2, &testMsg{from: 1, val: 9})
+	var b strings.Builder
+	if err := tr.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "rx") || !strings.Contains(out, "1 events total") {
+		t.Errorf("dump = %q", out)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EventTransmit; k <= EventDecide; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d empty", k)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind must print")
+	}
+}
+
+func TestPerNodeEnergy(t *testing.T) {
+	r := &Result{
+		Slots:     100,
+		WakeSlot:  []int64{0, 40, 200},
+		PerNodeTx: []int64{10, 0, 0},
+	}
+	m := EnergyModel{TxCost: 2, ListenCost: 1}
+	e := r.PerNodeEnergy(m)
+	// Node 0: 10 tx + 90 listen = 110; node 1: 60 listen; node 2: never
+	// woke (wake after end) → 0.
+	if e[0] != 110 || e[1] != 60 || e[2] != 0 {
+		t.Errorf("energy = %v", e)
+	}
+	if r.TotalEnergy(m) != 170 {
+		t.Errorf("total = %v", r.TotalEnergy(m))
+	}
+	if d := DefaultEnergyModel(); d.TxCost <= d.ListenCost || d.ListenCost <= 0 {
+		t.Errorf("default model odd: %+v", d)
+	}
+}
+
+func TestEnergyOnRealRun(t *testing.T) {
+	g := line(4)
+	_, cfg := buildScripted(g, [][]bool{{true, true}, nil, nil, {true}}, WakeUniform(4, 3, 9))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.PerNodeEnergy(DefaultEnergyModel())
+	for v, x := range e {
+		if x < 0 {
+			t.Errorf("negative energy at %d: %v", v, x)
+		}
+	}
+	if res.TotalEnergy(DefaultEnergyModel()) <= 0 {
+		t.Error("total energy non-positive")
+	}
+}

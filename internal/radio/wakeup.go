@@ -1,0 +1,101 @@
+package radio
+
+import "math/rand"
+
+// This file provides wake-up schedules. The unstructured radio network
+// model quantifies over every possible wake-up distribution (Sect. 2);
+// the experiments exercise the patterns below, from fully synchronous to
+// adversarially staggered.
+
+// WakeSynchronous wakes all n nodes in slot 0 — one extreme of the model.
+func WakeSynchronous(n int) []int64 {
+	return make([]int64, n)
+}
+
+// WakeUniform wakes each node independently uniformly in [0, span).
+func WakeUniform(n int, span int64, seed int64) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = r.Int63n(span)
+	}
+	return w
+}
+
+// WakeSequential wakes node i at slot i·gap — the other extreme of the
+// model: long quiet periods between consecutive wake-ups.
+func WakeSequential(n int, gap int64) []int64 {
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(i) * gap
+	}
+	return w
+}
+
+// WakeBursty wakes nodes in bursts: groups of burstSize nodes wake
+// together, with gap slots between bursts. Models staged deployment
+// (e.g. sensor batches dropped from successive fly-overs).
+func WakeBursty(n, burstSize int, gap int64) []int64 {
+	if burstSize < 1 {
+		burstSize = 1
+	}
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(i/burstSize) * gap
+	}
+	return w
+}
+
+// WakeAdversarial builds a deliberately nasty schedule: nodes are woken
+// in a random order with gaps chosen so that every phase of the protocol
+// (waiting period, competition, requesting) of earlier nodes overlaps the
+// wake-up of later ones. phaseLen should be on the order of the
+// protocol's waiting period ⌈αΔ log n⌉ so that fresh competitors keep
+// arriving exactly when established nodes approach their decision
+// thresholds.
+func WakeAdversarial(n int, phaseLen int64, seed int64) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(n)
+	w := make([]int64, n)
+	if phaseLen < 1 {
+		phaseLen = 1
+	}
+	for rank, node := range perm {
+		// Half the nodes wake inside the first phase; the rest trickle
+		// in one per phaseLen/4 slots with random jitter, maximizing
+		// phase interleaving.
+		if rank < n/2 {
+			w[node] = r.Int63n(phaseLen)
+		} else {
+			w[node] = int64(rank-n/2)*(phaseLen/4+1) + r.Int63n(phaseLen/2+1)
+		}
+	}
+	return w
+}
+
+// WakePatterns enumerates named schedule constructors used by the
+// experiments; span-like arguments are derived from (n, phaseLen).
+var WakePatterns = []struct {
+	Name string
+	Make func(n int, phaseLen int64, seed int64) []int64
+}{
+	{"synchronous", func(n int, _ int64, _ int64) []int64 { return WakeSynchronous(n) }},
+	{"uniform", func(n int, p int64, s int64) []int64 { return WakeUniform(n, maxInt64(1, 4*p), s) }},
+	{"sequential", func(n int, p int64, _ int64) []int64 { return WakeSequential(n, maxInt64(1, p/8)) }},
+	{"bursty", func(n int, p int64, _ int64) []int64 { return WakeBursty(n, maxInt(1, n/8), maxInt64(1, p)) }},
+	{"adversarial", WakeAdversarial},
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,293 @@
+// Package reduce implements an optional color-compaction phase that runs
+// after the coloring protocol has terminated. The paper emphasizes that
+// low colors matter (Theorem 4: bandwidth is inversely proportional to
+// the highest color in a neighborhood), and its algorithm trades color
+// economy for from-scratch operation: final colors live in windows
+// tc·(κ₂+1)…tc·(κ₂+1)+κ₂ and the palette can be a κ₂ factor above the
+// centralized optimum.
+//
+// Once initialization is over the network has structure again, so a
+// maintenance pass can compact colors using the same radio model.
+// Reduction proceeds in globally synchronized epochs (the network now
+// has a coloring, hence a TDMA MAC, hence reasonable synchronization):
+//
+//   - throughout an epoch, every node announces (color, target) with
+//     probability 1/(κ₂Δ); target is the smallest color unused by the
+//     neighbors heard SO FAR THIS EPOCH (target = color when content or
+//     not participating). Knowledge resets at every boundary: colors
+//     only decrease, so stale entries systematically overestimate
+//     neighbors and would steer movers onto freshly vacated colors;
+//   - a node participates in moving during an epoch only with
+//     probability ParticipateProb (thinning simultaneous movers), and
+//     defers whenever it hears an intent from a higher-priority
+//     neighbor (higher color; ties — only possible between equal-color
+//     repairers — break by id);
+//   - the schedule has three parts: a listen-only warm-up quarter,
+//     an improvement window, and a repair-only final quarter. If a node
+//     ever hears a NEIGHBOR WITH ITS OWN COLOR (a conflict that slipped
+//     through), the lower-id side schedules a repair move to the
+//     smallest free color at the next boundary — repairs may raise the
+//     color and take precedence over improvements.
+//
+// Improvement moves strictly decrease a node's color, so the process
+// converges; the repair rule turns the residual whp race (two adjacent
+// movers picking the same target while missing every announcement of
+// each other for a whole Θ(Δ log n)-slot epoch) into a transient that is
+// detected and fixed in later epochs. Experiment E19 measures the
+// compaction and verifies properness after reduction.
+package reduce
+
+import (
+	"radiocolor/internal/radio"
+)
+
+// Params configures the reduction phase.
+type Params struct {
+	// N, Delta, Kappa2 are the usual estimates.
+	N, Delta, Kappa2 int
+	// EpochSlots is the epoch length (0: 16·Δ·log₂ n).
+	EpochSlots int64
+	// Epochs is the number of epochs to run (0: 4·κ₂).
+	Epochs int
+	// ParticipateProb thins simultaneous movers (0: 0.5).
+	ParticipateProb float64
+}
+
+func (p Params) normalized() Params {
+	if p.N < 2 {
+		p.N = 2
+	}
+	if p.Delta < 2 {
+		p.Delta = 2
+	}
+	if p.Kappa2 < 2 {
+		p.Kappa2 = 2
+	}
+	if p.EpochSlots <= 0 {
+		logn := int64(1)
+		for v := p.N - 1; v > 0; v >>= 1 {
+			logn++
+		}
+		p.EpochSlots = 16 * int64(p.Delta) * logn
+	}
+	if p.Epochs <= 0 {
+		p.Epochs = 4 * p.Kappa2
+	}
+	if p.ParticipateProb <= 0 || p.ParticipateProb > 1 {
+		p.ParticipateProb = 0.5
+	}
+	return p
+}
+
+// warmupEpochs returns the listen-only prefix (first quarter, ≥ 1).
+func (p Params) warmupEpochs() int64 {
+	w := int64(p.Epochs / 4)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// repairOnlyFrom returns the epoch index from which improvement moves
+// stop (last quarter reserved for repairs).
+func (p Params) repairOnlyFrom() int64 {
+	r := int64(p.Epochs - p.Epochs/4)
+	if r <= p.warmupEpochs() {
+		r = p.warmupEpochs() + 1
+	}
+	return r
+}
+
+// Announce is the reduction message: current color and desired target.
+type Announce struct {
+	From   radio.NodeID
+	Color  int32
+	Target int32
+}
+
+// Sender implements radio.Message.
+func (a *Announce) Sender() radio.NodeID { return a.From }
+
+// Bits implements radio.Message.
+func (a *Announce) Bits(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	b := 0
+	for v := int64(n) * int64(n) * int64(n); v > 0; v >>= 1 {
+		b++
+	}
+	return b + 32
+}
+
+// intent is a move announcement heard this epoch.
+type intent struct {
+	from          radio.NodeID
+	color, target int32
+}
+
+// Node is one reduction participant; it implements radio.Protocol.
+type Node struct {
+	id  radio.NodeID
+	rng radio.Rand
+	par Params
+
+	color       int32
+	fresh       map[radio.NodeID]int32 // colors heard THIS epoch
+	intents     []intent               // move intents heard THIS epoch
+	participant bool                   // drawn at each epoch start
+	mustRepair  bool                   // heard own color from a losing position
+	local       int64
+	moves       int64
+	repairs     int64
+}
+
+// New creates a reduction node starting from the given (proper) color.
+func New(id radio.NodeID, rng radio.Rand, par Params, color int32) *Node {
+	if color < 0 {
+		panic("reduce: node needs a color to start from")
+	}
+	return &Node{
+		id:    id,
+		rng:   rng,
+		par:   par.normalized(),
+		color: color,
+		fresh: make(map[radio.NodeID]int32),
+	}
+}
+
+// Nodes builds reduction nodes over an existing coloring.
+func Nodes(colors []int32, masterSeed int64, par Params) ([]*Node, []radio.Protocol) {
+	nodes := make([]*Node, len(colors))
+	protos := make([]radio.Protocol, len(colors))
+	for i := range nodes {
+		nodes[i] = New(radio.NodeID(i), radio.NodeRand(masterSeed, radio.NodeID(i)), par, colors[i])
+		protos[i] = nodes[i]
+	}
+	return nodes, protos
+}
+
+// target returns the smallest color unused by the neighbors heard this
+// epoch that improves on the current color, or the current color.
+func (v *Node) target() int32 {
+	c := v.smallestFree()
+	if c < v.color {
+		return c
+	}
+	return v.color
+}
+
+// smallestFree returns the smallest color not heard this epoch
+// (unbounded — repairs may move upward).
+func (v *Node) smallestFree() int32 {
+	used := make(map[int32]bool, len(v.fresh))
+	for _, c := range v.fresh {
+		used[c] = true
+	}
+	for c := int32(0); ; c++ {
+		if !used[c] {
+			return c
+		}
+	}
+}
+
+// Start implements radio.Protocol.
+func (v *Node) Start(int64) { v.participant = v.rng.Float64() < v.par.ParticipateProb }
+
+// epochOf returns the epoch index of local slot t.
+func (v *Node) epochOf(t int64) int64 { return t / v.par.EpochSlots }
+
+// mayImprove reports whether improvement commits are allowed in epoch e.
+func (v *Node) mayImprove(e int64) bool {
+	return e >= v.par.warmupEpochs() && e < v.par.repairOnlyFrom() && v.participant
+}
+
+// mayRepair reports whether repair commits are allowed in epoch e
+// (everything after the first epoch — repairs need one full epoch of
+// fresh knowledge).
+func (v *Node) mayRepair(e int64) bool { return e >= 1 }
+
+// Send implements radio.Protocol.
+func (v *Node) Send(int64) radio.Message {
+	t := v.local
+	v.local++
+	if t >= int64(v.par.Epochs)*v.par.EpochSlots {
+		return nil // reduction over; stay silent
+	}
+	e := v.epochOf(t)
+	// Epoch boundary: commit, then reset the epoch's knowledge.
+	if t%v.par.EpochSlots == v.par.EpochSlots-1 {
+		switch {
+		case v.mustRepair && v.mayRepair(e):
+			// Repair beats improvement; it may raise the color.
+			v.color = v.smallestFree()
+			v.repairs++
+			v.mustRepair = false
+		case v.mayImprove(e):
+			if tgt := v.target(); tgt < v.color && !v.deferred(tgt) {
+				v.color = tgt
+				v.moves++
+			}
+		}
+		v.fresh = make(map[radio.NodeID]int32, len(v.fresh))
+		v.intents = v.intents[:0]
+		v.participant = v.rng.Float64() < v.par.ParticipateProb
+		return nil // boundary slot is silent
+	}
+	if v.rng.Float64() < 1/(float64(v.par.Kappa2)*float64(v.par.Delta)) {
+		tgt := v.color
+		if v.mustRepair && v.mayRepair(e) {
+			tgt = v.smallestFree()
+		} else if v.mayImprove(e) {
+			tgt = v.target()
+		}
+		return &Announce{From: v.id, Color: v.color, Target: tgt}
+	}
+	return nil
+}
+
+// deferred reports whether a move must yield this epoch: an intent was
+// heard from a neighbor with a higher color, or with an equal color
+// (only possible among conflicting repairers) and a higher id.
+func (v *Node) deferred(int32) bool {
+	for _, it := range v.intents {
+		if it.color > v.color {
+			return true
+		}
+		if it.color == v.color && it.from > v.id {
+			return true
+		}
+	}
+	return false
+}
+
+// Recv implements radio.Protocol.
+func (v *Node) Recv(_ int64, msg radio.Message) {
+	a, ok := msg.(*Announce)
+	if !ok {
+		return
+	}
+	v.fresh[a.From] = a.Color
+	if a.Target != a.Color {
+		v.intents = append(v.intents, intent{from: a.From, color: a.Color, target: a.Target})
+	}
+	// Conflict detection: a neighbor holds our color. The lower id
+	// repairs; the higher id stays put.
+	if a.Color == v.color && a.From > v.id {
+		v.mustRepair = true
+	}
+}
+
+// Done implements radio.Protocol.
+func (v *Node) Done() bool {
+	return v.local >= int64(v.par.Epochs)*v.par.EpochSlots
+}
+
+// Color returns the node's current color.
+func (v *Node) Color() int32 { return v.color }
+
+// Moves returns how many improvement recolorings the node made.
+func (v *Node) Moves() int64 { return v.moves }
+
+// Repairs returns how many conflict-repair recolorings the node made.
+func (v *Node) Repairs() int64 { return v.repairs }

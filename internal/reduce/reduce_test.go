@@ -1,0 +1,249 @@
+package reduce
+
+import (
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/graph"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+// colorWith runs the main protocol and returns its coloring.
+func colorWith(t *testing.T, d *topology.Deployment, seed int64) ([]int32, core.Params) {
+	t.Helper()
+	delta := d.G.MaxDegree()
+	k := d.G.Kappa(graph.KappaOptions{Budget: 150_000, MaxNeighborhood: 140})
+	par := core.Practical(d.N(), delta, k.K1, k.K2)
+	nodes, protos := core.Nodes(d.N(), seed, par, core.Ablation{})
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 10_000_000, NEstimate: par.N,
+	})
+	if err != nil || !res.AllDone {
+		t.Fatalf("base coloring failed: %v %v", err, res)
+	}
+	colors := make([]int32, d.N())
+	for i, v := range nodes {
+		colors[i] = v.Color()
+	}
+	if !verify.Check(d.G, colors).OK() {
+		t.Fatal("base coloring improper")
+	}
+	return colors, par
+}
+
+// runReduction executes the compaction phase.
+func runReduction(t *testing.T, d *topology.Deployment, colors []int32, par core.Params, seed int64) []int32 {
+	t.Helper()
+	rp := Params{N: par.N, Delta: par.Delta, Kappa2: par.Kappa2}
+	nodes, protos := Nodes(colors, seed, rp)
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+		MaxSlots: 200_000_000,
+	})
+	if err != nil || !res.AllDone {
+		t.Fatalf("reduction did not finish: %v %v", err, res)
+	}
+	out := make([]int32, d.N())
+	for i, v := range nodes {
+		out[i] = v.Color()
+	}
+	return out
+}
+
+func TestReductionCompactsAndStaysProper(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		d := topology.RandomUDG(topology.UDGConfig{N: 90, Side: 5.5, Radius: 1.2, Seed: 4 + seed})
+		colors, par := colorWith(t, d, 9+seed)
+		before := verify.Check(d.G, colors)
+		after := runReduction(t, d, colors, par, 21+seed)
+		rep := verify.Check(d.G, after)
+		if !rep.OK() {
+			t.Fatalf("seed %d: reduction broke the coloring: %v", seed, rep)
+		}
+		if rep.MaxColor >= before.MaxColor {
+			t.Errorf("seed %d: no compaction: max %d → %d", seed, before.MaxColor, rep.MaxColor)
+		}
+		// The palette should head toward the greedy/centralized scale:
+		// at most Δ-ish colors (generous 2Δ check).
+		if int(rep.MaxColor) > 2*par.Delta {
+			t.Errorf("seed %d: max color %d still above 2Δ = %d after reduction",
+				seed, rep.MaxColor, 2*par.Delta)
+		}
+	}
+}
+
+func TestReductionNoopOnCompactColoring(t *testing.T) {
+	// An already-greedy coloring has little slack: reduction must keep
+	// it proper and never raise the maximum.
+	d := topology.RandomUDG(topology.UDGConfig{N: 60, Side: 5, Radius: 1.2, Seed: 5})
+	colors := d.G.GreedyColoring()
+	before := verify.Check(d.G, colors)
+	rp := Params{N: d.N(), Delta: d.G.MaxDegree(), Kappa2: 9}
+	nodes, protos := Nodes(colors, 3, rp)
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()), MaxSlots: 200_000_000,
+	})
+	if err != nil || !res.AllDone {
+		t.Fatal("reduction did not finish")
+	}
+	after := make([]int32, d.N())
+	for i, v := range nodes {
+		after[i] = v.Color()
+	}
+	rep := verify.Check(d.G, after)
+	if !rep.OK() {
+		t.Fatal("reduction broke a greedy coloring")
+	}
+	if rep.MaxColor > before.MaxColor {
+		t.Errorf("max color rose %d → %d on a compact coloring", before.MaxColor, rep.MaxColor)
+	}
+}
+
+func TestReductionDeterministic(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 50, Side: 4.5, Radius: 1.2, Seed: 6})
+	colors, par := colorWith(t, d, 11)
+	a := runReduction(t, d, colors, par, 31)
+	b := runReduction(t, d, colors, par, 31)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestNodeUnit(t *testing.T) {
+	// ParticipateProb 1 forces participation; Epochs 4 → warm-up epoch
+	// 0, improvement epochs 1–2, repair-only epoch 3.
+	par := Params{N: 64, Delta: 4, Kappa2: 4, EpochSlots: 10, Epochs: 4, ParticipateProb: 1}
+	v := New(0, radio.NodeRand(1, 0), par, 9)
+	if v.Color() != 9 || v.Moves() != 0 || v.Repairs() != 0 {
+		t.Fatal("initial state wrong")
+	}
+	v.Start(0)
+	v.Recv(0, &Announce{From: 1, Color: 0, Target: 0})
+	v.Recv(0, &Announce{From: 2, Color: 1, Target: 1})
+	if got := v.target(); got != 2 {
+		t.Fatalf("target = %d, want 2", got)
+	}
+	// Deference rules: higher color blocks; equal color + higher id
+	// blocks; lower color (even same target) does not.
+	v.Recv(1, &Announce{From: 3, Color: 12, Target: 5})
+	if !v.deferred(2) {
+		t.Fatal("not deferred to higher-color intent")
+	}
+	v.intents = v.intents[:0]
+	v.Recv(2, &Announce{From: 7, Color: 9, Target: 4})
+	if !v.deferred(2) {
+		t.Fatal("not deferred to equal-color higher-id intent")
+	}
+	v.intents = v.intents[:0]
+	v.Recv(3, &Announce{From: 4, Color: 3, Target: 2})
+	if v.deferred(2) {
+		t.Fatal("deferred to lower-priority intent")
+	}
+
+	// Fresh run: drive through the schedule feeding neighbor colors;
+	// warm-up epoch 0 must not move, epoch 1's boundary compacts to 2.
+	v = New(0, radio.NodeRand(1, 0), par, 9)
+	v.Start(0)
+	for s := int64(0); s < int64(par.Epochs)*par.EpochSlots+5; s++ {
+		if v.Send(s) == nil && s%par.EpochSlots < par.EpochSlots-1 {
+			v.Recv(s, &Announce{From: 1, Color: 0, Target: 0})
+			v.Recv(s, &Announce{From: 2, Color: 1, Target: 1})
+		}
+		if s/par.EpochSlots < 1 && v.Moves() != 0 {
+			t.Fatalf("moved during warm-up at slot %d", s)
+		}
+	}
+	if !v.Done() {
+		t.Fatal("node not done after schedule")
+	}
+	if v.Color() != 2 || v.Moves() != 1 {
+		t.Errorf("color = %d moves = %d, want 2/1", v.Color(), v.Moves())
+	}
+	if v.Send(1000) != nil {
+		t.Error("done node transmitted")
+	}
+}
+
+func TestNodeRepair(t *testing.T) {
+	par := Params{N: 64, Delta: 4, Kappa2: 4, EpochSlots: 10, Epochs: 4, ParticipateProb: 1}
+	v := New(0, radio.NodeRand(1, 0), par, 5)
+	v.Start(0)
+	// Advance past the warm-up so repairs are allowed (epoch ≥ 1).
+	for s := int64(0); s < par.EpochSlots; s++ {
+		v.Send(s)
+	}
+	// A higher-id neighbor announces OUR color: we must repair.
+	v.Recv(10, &Announce{From: 9, Color: 5, Target: 5})
+	if !v.mustRepair {
+		t.Fatal("conflict not detected")
+	}
+	// A lower-id conflicter would not trigger repair on our side.
+	w := New(9, radio.NodeRand(1, 9), par, 5)
+	w.Start(0)
+	w.Recv(10, &Announce{From: 0, Color: 5, Target: 5})
+	if w.mustRepair {
+		t.Fatal("higher id must not repair")
+	}
+	// Feed fresh colors 0..4 and drive to the epoch boundary: the
+	// repair picks the smallest free color 6 (0–4 used, 5 is ours but
+	// conflicted... smallest free among heard = 6 after hearing 0–5).
+	for c := int32(0); c <= 5; c++ {
+		v.Recv(11, &Announce{From: radio.NodeID(20 + c), Color: c, Target: c})
+	}
+	for s := par.EpochSlots; s < 2*par.EpochSlots; s++ {
+		v.Send(s)
+	}
+	if v.Repairs() != 1 {
+		t.Fatalf("repairs = %d, want 1", v.Repairs())
+	}
+	if v.Color() != 6 {
+		t.Errorf("repaired color = %d, want 6", v.Color())
+	}
+	if v.mustRepair {
+		t.Error("repair flag not cleared")
+	}
+}
+
+func TestNewPanicsOnUncolored(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(0, radio.NodeRand(1, 0), Params{}, -1)
+}
+
+func TestParamsSchedule(t *testing.T) {
+	p := (Params{N: 256, Delta: 10, Kappa2: 8}).normalized()
+	if p.EpochSlots != 16*10*9 {
+		t.Errorf("EpochSlots = %d", p.EpochSlots)
+	}
+	if p.Epochs != 32 {
+		t.Errorf("Epochs = %d", p.Epochs)
+	}
+	if p.warmupEpochs() != 8 || p.repairOnlyFrom() != 24 {
+		t.Errorf("schedule = %d/%d", p.warmupEpochs(), p.repairOnlyFrom())
+	}
+	tiny := (Params{Epochs: 2}).normalized()
+	if tiny.warmupEpochs() < 1 || tiny.repairOnlyFrom() <= tiny.warmupEpochs() {
+		t.Errorf("tiny schedule inconsistent: %d/%d", tiny.warmupEpochs(), tiny.repairOnlyFrom())
+	}
+}
+
+func TestAnnounceBits(t *testing.T) {
+	a := &Announce{From: 1, Color: 2, Target: 3}
+	if a.Sender() != 1 {
+		t.Error("sender wrong")
+	}
+	if b := a.Bits(500); b <= 0 || b > 100 {
+		t.Errorf("bits = %d", b)
+	}
+	if a.Bits(0) <= 0 {
+		t.Error("Bits(0) non-positive")
+	}
+}

@@ -1,0 +1,162 @@
+// Package render draws geometric deployments and their colorings as
+// standalone SVG documents — the visual companion to Fig. 1 of the
+// paper. It uses only the standard library; cmd/colorsim exposes it via
+// the -svg flag.
+//
+// Visual encoding: links are light gray segments, walls are thick dark
+// segments, nodes are disks filled by a deterministic palette derived
+// from their color (leaders, color 0, get a highlight ring), and
+// uncolored nodes render as hollow circles.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"radiocolor/internal/topology"
+)
+
+// Options tunes the rendering.
+type Options struct {
+	// WidthPx is the pixel width of the output (height follows the
+	// deployment's aspect ratio). Default 800.
+	WidthPx float64
+	// NodeRadiusPx is the node disk radius in pixels. Default 5.
+	NodeRadiusPx float64
+	// DrawLinks toggles communication edges (default true via
+	// NewOptions).
+	DrawLinks bool
+	// Labels adds node indices next to the disks.
+	Labels bool
+}
+
+// NewOptions returns the defaults.
+func NewOptions() Options {
+	return Options{WidthPx: 800, NodeRadiusPx: 5, DrawLinks: true}
+}
+
+func (o Options) normalized() Options {
+	if o.WidthPx <= 0 {
+		o.WidthPx = 800
+	}
+	if o.NodeRadiusPx <= 0 {
+		o.NodeRadiusPx = 5
+	}
+	return o
+}
+
+// paletteColor maps a color index to a stable, readable fill. It walks
+// the hue circle by the golden angle so nearby indices get contrasting
+// hues; color 0 (leaders) is always rendered black with a gold ring.
+func paletteColor(c int32) string {
+	if c < 0 {
+		return "none"
+	}
+	if c == 0 {
+		return "#111111"
+	}
+	hue := math.Mod(float64(c)*137.50776405003785, 360)
+	// Alternate two lightness bands so consecutive hues also differ in
+	// tone.
+	light := 45
+	if c%2 == 0 {
+		light = 62
+	}
+	return fmt.Sprintf("hsl(%.1f, 70%%, %d%%)", hue, light)
+}
+
+// SVG writes the deployment and per-node colors (colors may be nil for
+// an uncolored layout) to w. Non-geometric deployments (no point set)
+// are rejected.
+func SVG(w io.Writer, d *topology.Deployment, colors []int32, opt Options) error {
+	if d.Points == nil {
+		return fmt.Errorf("render: deployment %q has no geometry", d.Name)
+	}
+	if colors != nil && len(colors) != d.N() {
+		return fmt.Errorf("render: %d colors for %d nodes", len(colors), d.N())
+	}
+	opt = opt.normalized()
+
+	// Bounding box with a margin.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range d.Points {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if d.Obstacles != nil {
+		for _, s := range d.Obstacles.Walls {
+			minX, maxX = math.Min(minX, math.Min(s.A.X, s.B.X)), math.Max(maxX, math.Max(s.A.X, s.B.X))
+			minY, maxY = math.Min(minY, math.Min(s.A.Y, s.B.Y)), math.Max(maxY, math.Max(s.A.Y, s.B.Y))
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	margin := 0.04 * math.Max(spanX, spanY)
+	scale := opt.WidthPx / (spanX + 2*margin)
+	heightPx := (spanY + 2*margin) * scale
+	tx := func(x float64) float64 { return (x - minX + margin) * scale }
+	ty := func(y float64) float64 { return heightPx - (y-minY+margin)*scale } // flip: SVG y grows down
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		opt.WidthPx, heightPx, opt.WidthPx, heightPx); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "<!-- %s -->\n", d.Name)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	if opt.DrawLinks {
+		fmt.Fprintf(w, `<g stroke="#cccccc" stroke-width="1">`+"\n")
+		for v := 0; v < d.N(); v++ {
+			for _, u := range d.G.Adj(v) {
+				if int(u) > v {
+					fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n",
+						tx(d.Points[v].X), ty(d.Points[v].Y), tx(d.Points[u].X), ty(d.Points[u].Y))
+				}
+			}
+		}
+		fmt.Fprintln(w, "</g>")
+	}
+
+	if d.Obstacles != nil && len(d.Obstacles.Walls) > 0 {
+		fmt.Fprintf(w, `<g stroke="#663300" stroke-width="4" stroke-linecap="round">`+"\n")
+		for _, s := range d.Obstacles.Walls {
+			fmt.Fprintf(w, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n",
+				tx(s.A.X), ty(s.A.Y), tx(s.B.X), ty(s.B.Y))
+		}
+		fmt.Fprintln(w, "</g>")
+	}
+
+	for v := 0; v < d.N(); v++ {
+		x, y := tx(d.Points[v].X), ty(d.Points[v].Y)
+		var c int32 = -1
+		if colors != nil {
+			c = colors[v]
+		}
+		fill := paletteColor(c)
+		stroke := "#333333"
+		width := 1.0
+		if c == 0 {
+			stroke = "#d4a017" // leader highlight ring
+			width = 2.5
+		}
+		if c < 0 {
+			fill = "white"
+		}
+		fmt.Fprintf(w, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="%s" stroke-width="%.1f"/>`+"\n",
+			x, y, opt.NodeRadiusPx, fill, stroke, width)
+		if opt.Labels {
+			fmt.Fprintf(w, `<text x="%.1f" y="%.1f" font-size="%.1f" fill="#222222">%d</text>`+"\n",
+				x+opt.NodeRadiusPx+1, y+3, 2.2*opt.NodeRadiusPx, v)
+		}
+	}
+	_, err := fmt.Fprintln(w, "</svg>")
+	return err
+}

@@ -1,0 +1,97 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"radiocolor/internal/topology"
+)
+
+func TestSVGBasic(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 30, Side: 4, Radius: 1.2, Seed: 1})
+	colors := make([]int32, d.N())
+	for i := range colors {
+		colors[i] = int32(i % 7)
+	}
+	var b strings.Builder
+	if err := SVG(&b, d, colors, NewOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a well-formed SVG shell")
+	}
+	if got := strings.Count(out, "<circle"); got != d.N() {
+		t.Errorf("%d circles for %d nodes", got, d.N())
+	}
+	if got := strings.Count(out, "<line"); got != d.G.M() {
+		t.Errorf("%d lines for %d edges", got, d.G.M())
+	}
+	// Leaders (color 0) get the highlight ring.
+	if !strings.Contains(out, "#d4a017") {
+		t.Error("leader ring missing")
+	}
+}
+
+func TestSVGWallsAndUncolored(t *testing.T) {
+	d := topology.BIGWithWalls(topology.UDGConfig{N: 25, Side: 4, Radius: 1.2, Seed: 2}, 5)
+	var b strings.Builder
+	if err := SVG(&b, d, nil, Options{WidthPx: 400, NodeRadiusPx: 3, DrawLinks: false}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// 5 walls drawn even with links off.
+	if got := strings.Count(out, "<line"); got != 5 {
+		t.Errorf("%d lines, want 5 walls only", got)
+	}
+	if !strings.Contains(out, `fill="white"`) {
+		t.Error("uncolored nodes should be hollow")
+	}
+}
+
+func TestSVGLabels(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 5, Side: 2, Radius: 1, Seed: 3})
+	var b strings.Builder
+	opt := NewOptions()
+	opt.Labels = true
+	if err := SVG(&b, d, nil, opt); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "<text") != 5 {
+		t.Error("labels missing")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if err := SVG(&strings.Builder{}, topology.Ring(5), nil, NewOptions()); err == nil {
+		t.Error("non-geometric deployment accepted")
+	}
+	d := topology.RandomUDG(topology.UDGConfig{N: 5, Side: 2, Radius: 1, Seed: 1})
+	if err := SVG(&strings.Builder{}, d, []int32{1}, NewOptions()); err == nil {
+		t.Error("color length mismatch accepted")
+	}
+}
+
+func TestPaletteStability(t *testing.T) {
+	if paletteColor(-1) != "none" {
+		t.Error("negative color should map to none")
+	}
+	if paletteColor(0) != "#111111" {
+		t.Error("leader color should be black")
+	}
+	if paletteColor(3) != paletteColor(3) {
+		t.Error("palette not deterministic")
+	}
+	if paletteColor(3) == paletteColor(4) {
+		t.Error("adjacent colors identical")
+	}
+}
+
+func TestSVGDegenerateGeometry(t *testing.T) {
+	// All nodes at the same point: spans clamp to 1, no division by 0.
+	d := topology.GridGraph(1, 3, 0, 0.5)
+	var b strings.Builder
+	if err := SVG(&b, d, nil, NewOptions()); err != nil {
+		t.Fatal(err)
+	}
+}

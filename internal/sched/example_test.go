@@ -1,0 +1,27 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"radiocolor/internal/graph"
+	"radiocolor/internal/sched"
+)
+
+// ExampleFromColoring builds the TDMA schedule of a properly colored
+// path and checks the MAC properties the paper's introduction promises.
+func ExampleFromColoring() {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	s, err := sched.FromColoring([]int32{0, 1, 0, 1})
+	if err != nil {
+		panic(err)
+	}
+	frame := s.SimulateFrame(g)
+	fmt.Printf("frame=%d direct=%d success=%.2f\n",
+		s.FrameLen, len(s.DirectConflicts(g)), frame.SuccessRate())
+	// Output:
+	// frame=2 direct=0 success=0.50
+}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"radiocolor/internal/graph"
+)
+
+// randomProperColoring greedily colors a random graph — always proper.
+func randomProperColoring(n int, p float64, seed int64) (*graph.Graph, []int32) {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	g := b.Build()
+	return g, g.GreedyColoring()
+}
+
+// Property: a schedule built from any proper coloring has zero direct
+// conflicts, and its hidden-terminal exposure never exceeds the largest
+// same-color independent set in a neighborhood.
+func TestQuickProperColoringConflictFree(t *testing.T) {
+	f := func(seed int64) bool {
+		g, colors := randomProperColoring(25, 0.2, seed)
+		s, err := FromColoring(colors)
+		if err != nil {
+			return false
+		}
+		if len(s.DirectConflicts(g)) != 0 {
+			return false
+		}
+		// MaxInterferers is bounded by the exact per-neighborhood
+		// same-slot count recomputed independently.
+		worst := 0
+		for v := 0; v < g.N(); v++ {
+			count := map[int32]int{}
+			for _, u := range g.Adj(v) {
+				count[s.Slot[u]]++
+				if count[s.Slot[u]] > worst {
+					worst = count[s.Slot[u]]
+				}
+			}
+		}
+		return s.MaxInterferers(g) == worst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SimulateFrame event counts are conserved — every
+// (receiver, occupied slot) pair is either clean or collided, and clean
+// receptions never exceed Σ_u (#distinct neighbor slots of u).
+func TestQuickFrameAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		g, colors := randomProperColoring(20, 0.25, seed)
+		s, err := FromColoring(colors)
+		if err != nil {
+			return false
+		}
+		fr := s.SimulateFrame(g)
+		if fr.Transmissions != g.N() {
+			return false
+		}
+		total := 0
+		for u := 0; u < g.N(); u++ {
+			slots := map[int32]bool{}
+			for _, w := range g.Adj(u) {
+				if s.Slot[w] != s.Slot[u] {
+					slots[s.Slot[w]] = true
+				}
+			}
+			total += len(slots)
+		}
+		// Clean + collided = all audible distinct (receiver, slot)
+		// events… collided events collapse multiple senders into one
+		// slot, so the sum equals the distinct-slot count exactly.
+		return fr.CleanReceptions+fr.Collisions == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a distance-2 coloring (proper on G²) yields zero hidden
+// collisions on G.
+func TestQuickSquareColoringCollisionFree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(18)
+		for i := 0; i < 18; i++ {
+			for j := i + 1; j < 18; j++ {
+				if r.Float64() < 0.15 {
+					b.AddEdge(i, j)
+				}
+			}
+		}
+		g := b.Build()
+		colors := g.Square().GreedyColoring()
+		s, err := FromColoring(colors)
+		if err != nil {
+			return false
+		}
+		fr := s.SimulateFrame(g)
+		return fr.Collisions == 0 && len(s.DirectConflicts(g)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package sched turns a vertex coloring into the TDMA MAC schedule the
+// paper's introduction motivates: colors become slots of a periodic
+// frame, so no two neighbors ever transmit simultaneously (no direct
+// interference). It also quantifies the two properties the paper
+// highlights:
+//
+//   - hidden-terminal exposure: a receiver can still be disturbed by
+//     multiple same-slot senders two hops apart, but for a proper 1-hop
+//     coloring those senders form an independent set within the
+//     receiver's neighborhood, so their number is bounded by κ₁ — this
+//     is why the paper argues a 1-hop coloring already enables simple
+//     randomized MAC protocols with constant success probability;
+//   - local bandwidth: a node's share of the channel is governed by the
+//     highest color in its 2-neighborhood (Theorem 4's locality makes
+//     this density-proportional rather than global).
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"radiocolor/internal/graph"
+)
+
+// Schedule is a periodic TDMA frame assignment: node v owns slot
+// Slot[v] of every frame of FrameLen slots.
+type Schedule struct {
+	FrameLen int32
+	Slot     []int32
+}
+
+// FromColoring builds the schedule slot(v) = color(v) with frame length
+// max color + 1. Every node must be colored.
+func FromColoring(colors []int32) (*Schedule, error) {
+	if len(colors) == 0 {
+		return nil, errors.New("sched: empty coloring")
+	}
+	max := int32(-1)
+	for v, c := range colors {
+		if c < 0 {
+			return nil, fmt.Errorf("sched: node %d uncolored", v)
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return &Schedule{FrameLen: max + 1, Slot: append([]int32(nil), colors...)}, nil
+}
+
+// DirectConflicts returns the adjacent pairs assigned the same slot.
+// A schedule built from a proper coloring has none — the "MAC layer
+// without direct interference" of the introduction.
+func (s *Schedule) DirectConflicts(g *graph.Graph) [][2]int32 {
+	var out [][2]int32
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Adj(v) {
+			if int(u) > v && s.Slot[u] == s.Slot[v] {
+				out = append(out, [2]int32{int32(v), u})
+			}
+		}
+	}
+	return out
+}
+
+// MaxInterferers returns, over all nodes u and slots t, the maximum
+// number of u's neighbors transmitting in the same slot t — the
+// hidden-terminal exposure. For a proper coloring this is at most κ₁:
+// same-slot neighbors of u are mutually non-adjacent, hence an
+// independent set within N(u).
+func (s *Schedule) MaxInterferers(g *graph.Graph) int {
+	max := 0
+	counts := make(map[int32]int)
+	for u := 0; u < g.N(); u++ {
+		for k := range counts {
+			delete(counts, k)
+		}
+		for _, w := range g.Adj(u) {
+			counts[s.Slot[w]]++
+			if counts[s.Slot[w]] > max {
+				max = counts[s.Slot[w]]
+			}
+		}
+	}
+	return max
+}
+
+// LocalFrameLen returns, per node, the frame length it effectively
+// needs: one more than the highest slot in its 2-hop neighborhood. The
+// inverse is the node's guaranteed bandwidth share; Theorem 4 makes it
+// proportional to local density rather than the global maximum.
+func (s *Schedule) LocalFrameLen(g *graph.Graph) []int32 {
+	out := make([]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		max := int32(0)
+		for _, u := range g.TwoHop(v) {
+			if s.Slot[u] > max {
+				max = s.Slot[u]
+			}
+		}
+		out[v] = max + 1
+	}
+	return out
+}
+
+// FrameStats summarizes one simulated TDMA frame in which every node
+// transmits exactly once, in its own slot.
+type FrameStats struct {
+	// Transmissions is the number of sender slots (= number of nodes).
+	Transmissions int
+	// CleanReceptions counts (receiver, slot) events where exactly one
+	// neighbor transmitted: a successfully usable broadcast reception.
+	CleanReceptions int
+	// Collisions counts (receiver, slot) events with ≥ 2 transmitting
+	// neighbors — hidden-terminal losses that survive 1-hop coloring.
+	Collisions int
+}
+
+// SuccessRate is the fraction of (receiver, occupied slot) events that
+// were clean.
+func (f FrameStats) SuccessRate() float64 {
+	total := f.CleanReceptions + f.Collisions
+	if total == 0 {
+		return 1
+	}
+	return float64(f.CleanReceptions) / float64(total)
+}
+
+// SimulateFrame plays one full TDMA frame over g under the radio model's
+// reception rule and tallies clean receptions versus hidden-terminal
+// collisions.
+func (s *Schedule) SimulateFrame(g *graph.Graph) FrameStats {
+	stats := FrameStats{Transmissions: g.N()}
+	counts := make(map[int32]int)
+	for u := 0; u < g.N(); u++ {
+		for k := range counts {
+			delete(counts, k)
+		}
+		for _, w := range g.Adj(u) {
+			counts[s.Slot[w]]++
+		}
+		for slot, c := range counts {
+			if slot == s.Slot[u] {
+				continue // u transmits in its own slot and hears nothing
+			}
+			if c == 1 {
+				stats.CleanReceptions++
+			} else {
+				stats.Collisions++
+			}
+		}
+	}
+	return stats
+}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/graph"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+func pathColors() (*graph.Graph, []int32) {
+	b := graph.NewBuilder(4)
+	for i := 0; i < 3; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build(), []int32{0, 1, 0, 2}
+}
+
+func TestFromColoring(t *testing.T) {
+	_, colors := pathColors()
+	s, err := FromColoring(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FrameLen != 3 {
+		t.Errorf("FrameLen = %d, want 3", s.FrameLen)
+	}
+	if s.Slot[3] != 2 {
+		t.Errorf("Slot = %v", s.Slot)
+	}
+	// Defensive copy.
+	colors[0] = 99
+	if s.Slot[0] == 99 {
+		t.Error("schedule aliases input")
+	}
+}
+
+func TestFromColoringErrors(t *testing.T) {
+	if _, err := FromColoring(nil); err == nil {
+		t.Error("empty coloring accepted")
+	}
+	if _, err := FromColoring([]int32{0, -1}); err == nil {
+		t.Error("uncolored node accepted")
+	}
+}
+
+func TestDirectConflicts(t *testing.T) {
+	g, colors := pathColors()
+	s, _ := FromColoring(colors)
+	if c := s.DirectConflicts(g); len(c) != 0 {
+		t.Errorf("proper coloring has conflicts: %v", c)
+	}
+	bad, _ := FromColoring([]int32{0, 0, 1, 2})
+	c := bad.DirectConflicts(g)
+	if len(c) != 1 || c[0] != [2]int32{0, 1} {
+		t.Errorf("conflicts = %v", c)
+	}
+}
+
+func TestMaxInterferers(t *testing.T) {
+	// Star: hub with 4 leaves, leaves properly share colors (not
+	// adjacent to each other). Two leaves on color 1 → hub sees 2
+	// interferers in slot 1.
+	b := graph.NewBuilder(5)
+	for i := 1; i < 5; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.Build()
+	s, _ := FromColoring([]int32{0, 1, 1, 2, 2})
+	if got := s.MaxInterferers(g); got != 2 {
+		t.Errorf("MaxInterferers = %d, want 2", got)
+	}
+}
+
+func TestLocalFrameLen(t *testing.T) {
+	// Path 0-1-2-3-4 with a high color far away: node 0's local frame
+	// only sees colors within 2 hops.
+	b := graph.NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	s, _ := FromColoring([]int32{0, 1, 0, 1, 9})
+	local := s.LocalFrameLen(g)
+	if local[0] != 2 { // sees colors {0,1,0} → max 1 → len 2
+		t.Errorf("local[0] = %d, want 2", local[0])
+	}
+	if local[4] != 10 {
+		t.Errorf("local[4] = %d, want 10", local[4])
+	}
+	if local[2] != 10 { // node 2 is 2 hops from node 4
+		t.Errorf("local[2] = %d, want 10", local[2])
+	}
+}
+
+func TestSimulateFrame(t *testing.T) {
+	// Star with two same-colored leaves: hub suffers one collision event
+	// and hears the distinct-colored leaves cleanly.
+	b := graph.NewBuilder(5)
+	for i := 1; i < 5; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.Build()
+	s, _ := FromColoring([]int32{0, 1, 1, 2, 3})
+	f := s.SimulateFrame(g)
+	// Hub: slot1 ×2 → collision; slot2, slot3 clean. Leaves: hear hub's
+	// slot0 clean (hub is their only neighbor) → 4 clean.
+	if f.Collisions != 1 {
+		t.Errorf("collisions = %d, want 1", f.Collisions)
+	}
+	if f.CleanReceptions != 2+4 {
+		t.Errorf("clean = %d, want 6", f.CleanReceptions)
+	}
+	if f.Transmissions != 5 {
+		t.Errorf("tx = %d", f.Transmissions)
+	}
+	rate := f.SuccessRate()
+	if rate <= 0.8 || rate >= 0.9 { // 6/7 ≈ 0.857
+		t.Errorf("success rate = %v", rate)
+	}
+	if (FrameStats{}).SuccessRate() != 1 {
+		t.Error("empty frame success rate should be 1")
+	}
+}
+
+// TestScheduleFromProtocolRun is the end-to-end application test: run
+// the paper's algorithm, build the TDMA schedule, and verify the MAC
+// properties the introduction promises.
+func TestScheduleFromProtocolRun(t *testing.T) {
+	d := topology.RandomUDG(topology.UDGConfig{N: 90, Side: 6, Radius: 1.3, Seed: 4})
+	delta := d.G.MaxDegree()
+	k := d.G.Kappa(graph.KappaOptions{Budget: 200_000, MaxNeighborhood: 160})
+	par := core.Practical(d.N(), delta, k.K1, k.K2)
+	nodes, protos := core.Nodes(d.N(), 21, par, core.Ablation{})
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()), MaxSlots: 5_000_000,
+	})
+	if err != nil || !res.AllDone {
+		t.Fatalf("protocol run failed: %v %v", err, res)
+	}
+	colors := make([]int32, d.N())
+	for i, v := range nodes {
+		colors[i] = v.Color()
+	}
+	if !verify.Check(d.G, colors).OK() {
+		t.Fatal("bad coloring")
+	}
+	s, err := FromColoring(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No direct interference.
+	if c := s.DirectConflicts(d.G); len(c) != 0 {
+		t.Errorf("direct conflicts: %v", c)
+	}
+	// Hidden-terminal exposure bounded by κ₁ (same-slot neighbors form
+	// an independent set in any neighborhood).
+	if got := s.MaxInterferers(d.G); got > k.K1 {
+		t.Errorf("interferers = %d > κ₁ = %d", got, k.K1)
+	}
+	// Every sender is heard by at least someone; overall success rate
+	// must be substantial.
+	f := s.SimulateFrame(d.G)
+	if f.SuccessRate() < 0.5 {
+		t.Errorf("TDMA success rate = %v", f.SuccessRate())
+	}
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// CI is a two-sided confidence interval for a sample mean.
+type CI struct {
+	Mean, Low, High float64
+	// Confidence is the nominal coverage (e.g. 0.95).
+	Confidence float64
+}
+
+// BootstrapCI estimates a confidence interval for the mean of xs by the
+// percentile bootstrap with iters resamples, using the given seed for
+// reproducibility (experiment tables must be regenerable bit-for-bit).
+// Small experiment cells (3–6 trials per point) make parametric
+// intervals unreliable; the bootstrap at least makes the uncertainty
+// visible without distributional assumptions.
+func BootstrapCI(xs []float64, confidence float64, iters int, seed int64) CI {
+	if confidence <= 0 || confidence >= 1 {
+		panic("stats: confidence must be in (0,1)")
+	}
+	if iters < 1 {
+		iters = 1000
+	}
+	out := CI{Mean: Mean(xs), Confidence: confidence}
+	if len(xs) == 0 {
+		return out
+	}
+	if len(xs) == 1 {
+		out.Low, out.High = xs[0], xs[0]
+		return out
+	}
+	r := rand.New(rand.NewSource(seed))
+	means := make([]float64, iters)
+	for i := range means {
+		var sum float64
+		for j := 0; j < len(xs); j++ {
+			sum += xs[r.Intn(len(xs))]
+		}
+		means[i] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	out.Low = Quantile(means, alpha)
+	out.High = Quantile(means, 1-alpha)
+	return out
+}

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCIBasic(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + r.NormFloat64()
+	}
+	ci := BootstrapCI(xs, 0.95, 2000, 7)
+	if ci.Low > ci.Mean || ci.Mean > ci.High {
+		t.Fatalf("interval does not bracket mean: %+v", ci)
+	}
+	// With n=200 and σ=1, the 95% CI half-width is ≈ 0.14.
+	if ci.High-ci.Low > 0.5 || ci.High-ci.Low <= 0 {
+		t.Errorf("interval width %v implausible", ci.High-ci.Low)
+	}
+	if ci.Mean < 9.7 || ci.Mean > 10.3 {
+		t.Errorf("mean %v off", ci.Mean)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 5, 3, 8, 2}
+	a := BootstrapCI(xs, 0.9, 500, 3)
+	b := BootstrapCI(xs, 0.9, 500, 3)
+	if a != b {
+		t.Errorf("not reproducible: %+v vs %+v", a, b)
+	}
+	c := BootstrapCI(xs, 0.9, 500, 4)
+	if a == c {
+		t.Error("different seeds gave identical resamples (suspicious)")
+	}
+}
+
+func TestBootstrapCIEdgeCases(t *testing.T) {
+	if ci := BootstrapCI(nil, 0.95, 100, 1); ci.Mean != 0 || ci.Low != 0 || ci.High != 0 {
+		t.Errorf("empty: %+v", ci)
+	}
+	ci := BootstrapCI([]float64{7}, 0.95, 100, 1)
+	if ci.Low != 7 || ci.High != 7 || ci.Mean != 7 {
+		t.Errorf("singleton: %+v", ci)
+	}
+	// Constant sample: degenerate interval.
+	ci = BootstrapCI([]float64{4, 4, 4, 4}, 0.99, 200, 1)
+	if ci.Low != 4 || ci.High != 4 {
+		t.Errorf("constant: %+v", ci)
+	}
+	// Default iterations kick in for iters < 1.
+	ci = BootstrapCI([]float64{1, 2, 3}, 0.5, 0, 1)
+	if ci.Low > ci.High {
+		t.Errorf("default iters: %+v", ci)
+	}
+}
+
+func TestBootstrapCIPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	BootstrapCI([]float64{1}, 1.5, 10, 1)
+}

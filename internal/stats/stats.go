@@ -1,0 +1,195 @@
+// Package stats provides the statistical machinery behind the experiment
+// harness: summaries, quantiles, histograms, least-squares fits used for
+// the paper's shape checks (is running time linear in Δ? logarithmic in
+// n? cubic for the baseline?), and aligned text/CSV tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max         float64
+	Median, P90, P99 float64
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sum2 float64
+	for _, x := range xs {
+		sum += x
+		sum2 += x * x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(len(xs))
+	variance := sum2/float64(len(xs)) - s.Mean*s.Mean
+	if variance > 0 {
+		s.Std = math.Sqrt(variance)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P90 = Quantile(sorted, 0.9)
+	s.P99 = Quantile(sorted, 0.99)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of a sorted sample by
+// linear interpolation. It panics on an empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Fit is a least-squares line y = Intercept + Slope·x with its
+// coefficient of determination.
+type Fit struct {
+	Slope, Intercept, R2 float64
+}
+
+// LinearFit fits y = a + b·x by ordinary least squares. It panics if the
+// inputs differ in length or have fewer than two points.
+func LinearFit(x, y []float64) Fit {
+	if len(x) != len(y) || len(x) < 2 {
+		panic(fmt.Sprintf("stats: bad fit input: %d vs %d points", len(x), len(y)))
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return Fit{Intercept: sy / n}
+	}
+	slope := (n*sxy - sx*sy) / denom
+	intercept := (sy - slope*sx) / n
+	// R² = 1 − SS_res/SS_tot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := intercept + slope*x[i]
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// PowerFit fits y = c·x^Exponent by least squares in log-log space —
+// the harness's tool for distinguishing T ∈ O(Δ) (exponent ≈ 1) from the
+// baseline's O(Δ³) (exponent ≈ 3). All inputs must be positive.
+func PowerFit(x, y []float64) (exponent float64, r2 float64) {
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			panic("stats: PowerFit requires positive data")
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	f := LinearFit(lx, ly)
+	return f.Slope, f.R2
+}
+
+// LogFit fits y = a + b·log(x); exp growth checks (T ∝ log n) read b.
+func LogFit(x, y []float64) Fit {
+	lx := make([]float64, len(x))
+	for i := range x {
+		if x[i] <= 0 {
+			panic("stats: LogFit requires positive x")
+		}
+		lx[i] = math.Log(x[i])
+	}
+	return LinearFit(lx, y)
+}
+
+// Histogram bins a sample into equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram with the given number of bins. Values
+// outside [min, max] are clamped into the edge bins.
+func NewHistogram(xs []float64, min, max float64, bins int) *Histogram {
+	if bins < 1 || max <= min {
+		panic("stats: bad histogram shape")
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	width := (max - min) / float64(bins)
+	for _, x := range xs {
+		i := int((x - min) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Total returns the number of binned samples.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Floats converts any integer slice to float64 for the fitting helpers.
+func Floats[T int | int32 | int64](xs []T) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Mean is a convenience shortcut.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,238 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	want := math.Sqrt(2) // population std of 1..5
+	if math.Abs(s.Std-want) > 1e-9 {
+		t.Errorf("std = %v, want %v", s.Std, want)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		q, want float64
+	}{{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20}, {-1, 10}, {2, 40}}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.5); got != 7 {
+		t.Errorf("singleton quantile = %v", got)
+	}
+}
+
+func TestQuantilePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 3 + 2x
+	f := LinearFit(x, y)
+	if math.Abs(f.Slope-2) > 1e-9 || math.Abs(f.Intercept-3) > 1e-9 {
+		t.Errorf("fit = %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-9 {
+		t.Errorf("R² = %v, want 1", f.R2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var x, y []float64
+	for i := 1; i <= 200; i++ {
+		x = append(x, float64(i))
+		y = append(y, 4+1.5*float64(i)+r.NormFloat64()*2)
+	}
+	f := LinearFit(x, y)
+	if math.Abs(f.Slope-1.5) > 0.05 {
+		t.Errorf("slope = %v", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Errorf("R² = %v", f.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	// Vertical data: all x equal → slope 0, intercept = mean.
+	f := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if f.Slope != 0 || math.Abs(f.Intercept-2) > 1e-9 {
+		t.Errorf("degenerate fit = %+v", f)
+	}
+	// Constant y → perfect fit with slope 0.
+	f = LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if f.Slope != 0 || f.R2 != 1 {
+		t.Errorf("constant fit = %+v", f)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{2})
+}
+
+func TestPowerFitRecoverExponent(t *testing.T) {
+	for _, exp := range []float64{1, 2, 3} {
+		var x, y []float64
+		for i := 1; i <= 30; i++ {
+			x = append(x, float64(i))
+			y = append(y, 2.5*math.Pow(float64(i), exp))
+		}
+		got, r2 := PowerFit(x, y)
+		if math.Abs(got-exp) > 1e-6 || r2 < 0.999 {
+			t.Errorf("exponent %v: got %v (R²=%v)", exp, got, r2)
+		}
+	}
+}
+
+func TestPowerFitPanicsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PowerFit([]float64{0, 1}, []float64{1, 2})
+}
+
+func TestLogFit(t *testing.T) {
+	var x, y []float64
+	for i := 1; i <= 50; i++ {
+		x = append(x, float64(i))
+		y = append(y, 7+3*math.Log(float64(i)))
+	}
+	f := LogFit(x, y)
+	if math.Abs(f.Slope-3) > 1e-6 || math.Abs(f.Intercept-7) > 1e-6 {
+		t.Errorf("log fit = %+v", f)
+	}
+}
+
+func TestLogFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	LogFit([]float64{-1, 1}, []float64{1, 2})
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.2, 0.9, 1.5, -3, 99}, 0, 1, 4)
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+	// 0.1, 0.2 and clamped -3 land in bin 0; 0.9, clamped 1.5 and 99 in
+	// bin 3.
+	if h.Counts[0] != 3 || h.Counts[3] != 3 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewHistogram(nil, 1, 0, 3)
+}
+
+func TestFloatsAndMean(t *testing.T) {
+	f := Floats([]int64{1, 2, 3})
+	if len(f) != 3 || f[2] != 3 {
+		t.Errorf("Floats = %v", f)
+	}
+	if Mean(f) != 2 {
+		t.Errorf("Mean = %v", Mean(f))
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	g := Floats([]int32{5})
+	if g[0] != 5 {
+		t.Error("int32 Floats broken")
+	}
+	h := Floats([]int{7})
+	if h[0] != 7 {
+		t.Error("int Floats broken")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta-long-name", 2.5)
+	s := tb.String()
+	if !strings.Contains(s, "== demo ==") || !strings.Contains(s, "beta-long-name") {
+		t.Errorf("render:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d:\n%s", len(lines), s)
+	}
+	// Alignment: the "value" column starts at the same offset in every
+	// data row.
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `with "quote"`)
+	tb.AddRow(1, 2)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "a,b\n\"x,y\",\"with \"\"quote\"\"\"\n1,2\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+// Property: Summarize Min ≤ Median ≤ Max and Mean within [Min, Max].
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Mean >= s.Min-1e-6 && s.Mean <= s.Max+1e-6 && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

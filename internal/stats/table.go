@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of formatted cells and renders them as an
+// aligned text table (the format cmd/experiments prints and
+// EXPERIMENTS.md records) or as CSV.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with %.3g
+// unless already strings.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the aligned text table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if err := t.Render(&b); err != nil {
+		return err.Error()
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table in CSV form (headers first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeLine := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeLine(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

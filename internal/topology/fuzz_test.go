@@ -1,0 +1,45 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadDeployment hardens the deployment parser: arbitrary input must
+// never panic, and accepted deployments must round-trip.
+func FuzzReadDeployment(f *testing.F) {
+	var b strings.Builder
+	if err := WriteDeployment(&b, RandomUDG(UDGConfig{N: 8, Side: 2, Radius: 1, Seed: 1})); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b.String())
+	b.Reset()
+	if err := WriteDeployment(&b, BIGWithWalls(UDGConfig{N: 5, Side: 2, Radius: 1, Seed: 2}, 2)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b.String())
+	f.Add("deployment \"x\"\nradius 1\nn 0 0\n")
+	f.Add("deployment \"x\"\nradius -5\npoints 1\n0 0\nn 1 0\n")
+	f.Add("")
+	f.Add("deployment \"x\"\nradius 1\npoints 99999999\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadDeployment(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := d.G.Validate(); err != nil {
+			t.Fatalf("accepted deployment has invalid graph: %v", err)
+		}
+		var out strings.Builder
+		if err := WriteDeployment(&out, d); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadDeployment(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if back.G.N() != d.G.N() || back.G.M() != d.G.M() || len(back.Points) != len(d.Points) {
+			t.Fatal("round-trip changed shape")
+		}
+	})
+}

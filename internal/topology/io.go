@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"radiocolor/internal/geom"
+	"radiocolor/internal/graph"
+)
+
+// Deployment serialization. The text format stores everything needed to
+// reproduce a geometric experiment outside this process:
+//
+//	deployment <name-with-no-spaces-or-quoted>
+//	radius <r>
+//	points <count>            (omitted for non-geometric topologies)
+//	<x> <y>
+//	...
+//	walls <count>             (omitted when there are no obstacles)
+//	<ax> <ay> <bx> <by>
+//	...
+//	n <vertices> <edges>      (graph.WriteTo format)
+//	<u> <v>
+//	...
+
+// maxReadItems caps point/wall counts accepted by ReadDeployment so a
+// corrupted or hostile header cannot trigger an enormous allocation.
+const maxReadItems = 1 << 22
+
+// WriteDeployment serializes d.
+func WriteDeployment(w io.Writer, d *Deployment) error {
+	bw := bufio.NewWriter(w)
+	name := d.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	if _, err := fmt.Fprintf(bw, "deployment %q\n", name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "radius %g\n", d.Radius); err != nil {
+		return err
+	}
+	if d.Points != nil {
+		if _, err := fmt.Fprintf(bw, "points %d\n", len(d.Points)); err != nil {
+			return err
+		}
+		for _, p := range d.Points {
+			if _, err := fmt.Fprintf(bw, "%g %g\n", p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	if d.Obstacles.Count() > 0 {
+		if _, err := fmt.Fprintf(bw, "walls %d\n", d.Obstacles.Count()); err != nil {
+			return err
+		}
+		for _, s := range d.Obstacles.Walls {
+			if _, err := fmt.Fprintf(bw, "%g %g %g %g\n", s.A.X, s.A.Y, s.B.X, s.B.Y); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := d.G.WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadDeployment parses the format written by WriteDeployment.
+func ReadDeployment(r io.Reader) (*Deployment, error) {
+	br := bufio.NewReader(r)
+	d := &Deployment{}
+
+	readLine := func() (string, error) {
+		for {
+			line, err := br.ReadString('\n')
+			line = strings.TrimSpace(line)
+			if err != nil && line == "" {
+				return "", err
+			}
+			if line == "" || line[0] == '#' {
+				if err != nil {
+					return "", err
+				}
+				continue
+			}
+			return line, nil
+		}
+	}
+
+	line, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("topology: missing deployment header: %w", err)
+	}
+	if _, err := fmt.Sscanf(line, "deployment %q", &d.Name); err != nil {
+		return nil, fmt.Errorf("topology: bad deployment header %q: %w", line, err)
+	}
+	line, err = readLine()
+	if err != nil {
+		return nil, fmt.Errorf("topology: missing radius: %w", err)
+	}
+	if _, err := fmt.Sscanf(line, "radius %g", &d.Radius); err != nil {
+		return nil, fmt.Errorf("topology: bad radius line %q: %w", line, err)
+	}
+
+	line, err = readLine()
+	if err != nil {
+		return nil, fmt.Errorf("topology: truncated file: %w", err)
+	}
+	if strings.HasPrefix(line, "points ") {
+		var count int
+		if _, err := fmt.Sscanf(line, "points %d", &count); err != nil || count < 0 || count > maxReadItems {
+			return nil, fmt.Errorf("topology: bad points header %q", line)
+		}
+		d.Points = make([]geom.Point, count)
+		for i := range d.Points {
+			line, err = readLine()
+			if err != nil {
+				return nil, fmt.Errorf("topology: truncated points: %w", err)
+			}
+			if _, err := fmt.Sscanf(line, "%g %g", &d.Points[i].X, &d.Points[i].Y); err != nil {
+				return nil, fmt.Errorf("topology: bad point %q: %w", line, err)
+			}
+		}
+		line, err = readLine()
+		if err != nil {
+			return nil, fmt.Errorf("topology: truncated file: %w", err)
+		}
+	}
+	if strings.HasPrefix(line, "walls ") {
+		var count int
+		if _, err := fmt.Sscanf(line, "walls %d", &count); err != nil || count < 0 || count > maxReadItems {
+			return nil, fmt.Errorf("topology: bad walls header %q", line)
+		}
+		d.Obstacles = &geom.Obstacles{Walls: make([]geom.Segment, count)}
+		for i := range d.Obstacles.Walls {
+			line, err = readLine()
+			if err != nil {
+				return nil, fmt.Errorf("topology: truncated walls: %w", err)
+			}
+			s := &d.Obstacles.Walls[i]
+			if _, err := fmt.Sscanf(line, "%g %g %g %g", &s.A.X, &s.A.Y, &s.B.X, &s.B.Y); err != nil {
+				return nil, fmt.Errorf("topology: bad wall %q: %w", line, err)
+			}
+		}
+		line, err = readLine()
+		if err != nil {
+			return nil, fmt.Errorf("topology: truncated file: %w", err)
+		}
+	}
+	// The remaining content is the graph; re-join the header line with
+	// the unread rest of the stream.
+	g, err := graph.ReadGraph(io.MultiReader(strings.NewReader(line+"\n"), br))
+	if err != nil {
+		return nil, err
+	}
+	d.G = g
+	if d.Points != nil && len(d.Points) != g.N() {
+		return nil, fmt.Errorf("topology: %d points for %d vertices", len(d.Points), g.N())
+	}
+	return d, nil
+}

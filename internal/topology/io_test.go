@@ -1,0 +1,128 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, d *Deployment) *Deployment {
+	t.Helper()
+	var b strings.Builder
+	if err := WriteDeployment(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDeployment(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("read back: %v\nserialized:\n%s", err, b.String()[:min(400, b.Len())])
+	}
+	return back
+}
+
+func TestDeploymentRoundTripGeometric(t *testing.T) {
+	d := RandomUDG(UDGConfig{N: 60, Side: 5, Radius: 1.2, Seed: 3})
+	back := roundTrip(t, d)
+	if back.Name != d.Name || back.Radius != d.Radius {
+		t.Errorf("metadata: %q %g", back.Name, back.Radius)
+	}
+	if len(back.Points) != len(d.Points) {
+		t.Fatalf("points: %d vs %d", len(back.Points), len(d.Points))
+	}
+	for i := range d.Points {
+		if d.Points[i] != back.Points[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, d.Points[i], back.Points[i])
+		}
+	}
+	if back.G.M() != d.G.M() || back.G.N() != d.G.N() {
+		t.Errorf("graph: %d/%d vs %d/%d", back.G.N(), back.G.M(), d.G.N(), d.G.M())
+	}
+}
+
+func TestDeploymentRoundTripWalls(t *testing.T) {
+	d := BIGWithWalls(UDGConfig{N: 40, Side: 4, Radius: 1, Seed: 5}, 7)
+	back := roundTrip(t, d)
+	if back.Obstacles.Count() != 7 {
+		t.Fatalf("walls: %d", back.Obstacles.Count())
+	}
+	for i, w := range d.Obstacles.Walls {
+		if back.Obstacles.Walls[i] != w {
+			t.Fatalf("wall %d differs", i)
+		}
+	}
+}
+
+func TestDeploymentRoundTripAbstract(t *testing.T) {
+	d := Ring(12)
+	back := roundTrip(t, d)
+	if back.Points != nil || back.G.M() != 12 {
+		t.Errorf("abstract round-trip: points=%v M=%d", back.Points, back.G.M())
+	}
+}
+
+func TestReadDeploymentErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"deployment \"x\"\n",           // missing radius
+		"deployment \"x\"\nradius 1\n", // missing graph
+		"deployment \"x\"\nradius 1\npoints 2\n0 0\n",        // truncated points
+		"deployment \"x\"\nradius 1\nwalls 1\n",              // truncated walls
+		"deployment \"x\"\nradius 1\npoints 1\n0 0\nn 2 0\n", // point/vertex mismatch
+		"radius 1\nn 0 0\n",                                  // header missing
+	}
+	for i, in := range cases {
+		if _, err := ReadDeployment(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDeploymentNameQuoting(t *testing.T) {
+	d := &Deployment{Name: "name with spaces \"and quotes\"", G: Ring(3).G}
+	back := roundTrip(t, d)
+	if back.Name != d.Name {
+		t.Errorf("name = %q", back.Name)
+	}
+	unnamed := &Deployment{G: Ring(3).G}
+	if got := roundTrip(t, unnamed).Name; got != "unnamed" {
+		t.Errorf("unnamed = %q", got)
+	}
+}
+
+// failWriter fails after n bytes, exercising the write error paths.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errWriteFull
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errWriteFull
+	}
+	return n, nil
+}
+
+var errWriteFull = &writeFullError{}
+
+type writeFullError struct{}
+
+func (*writeFullError) Error() string { return "writer full" }
+
+func TestWriteDeploymentErrorPaths(t *testing.T) {
+	d := BIGWithWalls(UDGConfig{N: 20, Side: 3, Radius: 1, Seed: 1}, 3)
+	// Find the full serialized length, then fail at several prefixes to
+	// walk every write site.
+	var b strings.Builder
+	if err := WriteDeployment(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	total := b.Len()
+	for _, keep := range []int{0, 5, 30, total / 2} {
+		if err := WriteDeployment(&failWriter{left: keep}, d); err == nil {
+			t.Errorf("no error with %d-byte writer", keep)
+		}
+	}
+}

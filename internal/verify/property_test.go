@@ -1,0 +1,128 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"radiocolor/internal/graph"
+)
+
+func randomGraphAndColors(n int, p float64, maxColor int32, seed int64) (*graph.Graph, []int32) {
+	r := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = r.Int31n(maxColor+2) - 1 // includes Uncolored
+	}
+	return b.Build(), colors
+}
+
+// Property: Check.Proper ⇔ every color class is independent. This is the
+// equivalence Theorem 2's statement rests on (a coloring is correct iff
+// all classes are independent sets).
+func TestQuickProperEquivalesClassIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		g, colors := randomGraphAndColors(20, 0.25, 5, seed)
+		rep := Check(g, colors)
+		allIndep := true
+		for _, indep := range ClassIndependence(g, colors) {
+			allIndep = allIndep && indep
+		}
+		return rep.Proper == allIndep
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Complete ⇔ no Uncolored entries; NumColors counts distinct
+// non-negative colors; MaxColor is their maximum.
+func TestQuickReportBookkeeping(t *testing.T) {
+	f := func(seed int64) bool {
+		g, colors := randomGraphAndColors(18, 0.2, 6, seed)
+		rep := Check(g, colors)
+		distinct := map[int32]bool{}
+		max := int32(-1)
+		complete := true
+		for _, c := range colors {
+			if c == Uncolored {
+				complete = false
+				continue
+			}
+			distinct[c] = true
+			if c > max {
+				max = c
+			}
+		}
+		return rep.Complete == complete && rep.NumColors == len(distinct) && rep.MaxColor == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every reported violation is a real conflicting edge.
+func TestQuickViolationsAreRealEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g, colors := randomGraphAndColors(16, 0.3, 3, seed)
+		rep := Check(g, colors)
+		for _, v := range rep.Violations {
+			if !g.HasEdge(int(v.U), int(v.V)) {
+				return false
+			}
+			if colors[v.U] != v.Color || colors[v.V] != v.Color {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CheckLocality flags exactly the nodes whose φ exceeds the
+// (κ₂+1)·θ bound recomputed independently.
+func TestQuickLocalityExact(t *testing.T) {
+	f := func(seed int64) bool {
+		g, colors := randomGraphAndColors(14, 0.25, 40, seed)
+		const kappa2 = 3
+		flagged := map[int32]bool{}
+		for _, v := range CheckLocality(g, colors, kappa2) {
+			flagged[v.Node] = true
+		}
+		for v := 0; v < g.N(); v++ {
+			phi := int32(-1)
+			if colors[v] != Uncolored {
+				phi = colors[v]
+			}
+			for _, u := range g.Adj(v) {
+				if colors[u] != Uncolored && colors[u] > phi {
+					phi = colors[u]
+				}
+			}
+			theta := 0
+			for _, u := range g.TwoHop(v) {
+				if d := g.Degree(int(u)); d > theta {
+					theta = d
+				}
+			}
+			want := phi > int32((kappa2+1)*theta)
+			if want != flagged[int32(v)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

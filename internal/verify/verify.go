@@ -1,0 +1,214 @@
+// Package verify checks the correctness properties the paper proves:
+// proper coloring and per-class independence (Theorem 2), completeness
+// (Theorem 5), the locality bound φ_v ≤ κ₂·θ_v (Theorem 4), and the
+// per-cluster color ranges of Corollary 1. Experiments and tests use
+// these checkers as ground-truth oracles.
+package verify
+
+import (
+	"fmt"
+
+	"radiocolor/internal/graph"
+)
+
+// Uncolored marks a node without a final color.
+const Uncolored int32 = -1
+
+// Violation is one conflicting edge: two adjacent nodes sharing a color.
+type Violation struct {
+	U, V  int32
+	Color int32
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("nodes %d and %d share color %d", v.U, v.V, v.Color)
+}
+
+// Report summarizes all checks for one coloring.
+type Report struct {
+	// Complete is true when every node holds a color (no Uncolored).
+	Complete bool
+	// Proper is true when no edge connects two nodes of equal color
+	// (uncolored endpoints are skipped — properness is judged on the
+	// colored subgraph).
+	Proper bool
+	// Violations lists the conflicting edges (capped at 64).
+	Violations []Violation
+	// UncoloredNodes lists nodes without a color (capped at 64).
+	UncoloredNodes []int32
+	// NumColors is the number of distinct colors used.
+	NumColors int
+	// MaxColor is the highest color used (−1 if none).
+	MaxColor int32
+}
+
+// OK reports whether the coloring is both complete and proper — the
+// paper's correctness + completeness criterion.
+func (r *Report) OK() bool { return r.Complete && r.Proper }
+
+// String implements fmt.Stringer.
+func (r *Report) String() string {
+	return fmt.Sprintf("complete=%v proper=%v colors=%d max=%d violations=%d uncolored=%d",
+		r.Complete, r.Proper, r.NumColors, r.MaxColor, len(r.Violations), len(r.UncoloredNodes))
+}
+
+const capList = 64
+
+// Check validates colors against g. colors[v] is node v's color, or
+// Uncolored.
+func Check(g *graph.Graph, colors []int32) *Report {
+	if len(colors) != g.N() {
+		panic(fmt.Sprintf("verify: %d colors for %d nodes", len(colors), g.N()))
+	}
+	r := &Report{Complete: true, Proper: true, MaxColor: -1}
+	used := make(map[int32]bool)
+	for v := 0; v < g.N(); v++ {
+		c := colors[v]
+		if c == Uncolored {
+			r.Complete = false
+			if len(r.UncoloredNodes) < capList {
+				r.UncoloredNodes = append(r.UncoloredNodes, int32(v))
+			}
+			continue
+		}
+		if !used[c] {
+			used[c] = true
+			r.NumColors++
+			if c > r.MaxColor {
+				r.MaxColor = c
+			}
+		}
+		for _, u := range g.Adj(v) {
+			if int(u) > v && colors[u] == c {
+				r.Proper = false
+				if len(r.Violations) < capList {
+					r.Violations = append(r.Violations, Violation{U: int32(v), V: u, Color: c})
+				}
+			}
+		}
+	}
+	return r
+}
+
+// ClassIndependence reports, per color class, whether the class forms an
+// independent set — the exact statement of Theorem 2. The map contains
+// an entry for every used color.
+func ClassIndependence(g *graph.Graph, colors []int32) map[int32]bool {
+	classes := make(map[int32][]int32)
+	for v, c := range colors {
+		if c != Uncolored {
+			classes[c] = append(classes[c], int32(v))
+		}
+	}
+	out := make(map[int32]bool, len(classes))
+	for c, members := range classes {
+		out[c] = g.IsIndependent(members)
+	}
+	return out
+}
+
+// LocalityViolation marks a node whose neighborhood color exceeds the
+// Theorem 4 bound.
+type LocalityViolation struct {
+	Node  int32
+	Phi   int32 // highest color in N(node)
+	Bound int32 // (κ₂+1)·θ_node
+}
+
+// CheckLocality verifies Theorem 4's locality property: for every node
+// v, the highest color φ_v assigned within N(v) is bounded by a function
+// of the local density θ_v, the maximum degree (paper convention) within
+// N²(v). The theorem states the bound as κ₂·θ_v; its proof actually
+// derives φ_v ≤ (θ_v−1)(κ₂+1)+κ₂ < (κ₂+1)·θ_v (intra-cluster colors go
+// up to δ_w−1 and each maps to a window of κ₂+1 colors), so we check the
+// exact bound the proof yields: φ_v ≤ (κ₂+1)·θ_v. Uncolored nodes
+// contribute no colors but still have degrees.
+func CheckLocality(g *graph.Graph, colors []int32, kappa2 int) []LocalityViolation {
+	var out []LocalityViolation
+	for v := 0; v < g.N(); v++ {
+		phi := int32(-1)
+		if colors[v] != Uncolored {
+			phi = colors[v]
+		}
+		for _, u := range g.Adj(v) {
+			if colors[u] != Uncolored && colors[u] > phi {
+				phi = colors[u]
+			}
+		}
+		theta := 0
+		for _, u := range g.TwoHop(v) {
+			if d := g.Degree(int(u)); d > theta {
+				theta = d
+			}
+		}
+		bound := int32((kappa2 + 1) * theta)
+		if phi > bound {
+			out = append(out, LocalityViolation{Node: int32(v), Phi: phi, Bound: bound})
+		}
+	}
+	return out
+}
+
+// PhiOverTheta returns, for every node v, the locality ratio
+// φ_v / θ_v (0 when θ_v is 0 or no colors are present). Theorem 4
+// bounds it by κ₂; experiment E6 reports its distribution.
+func PhiOverTheta(g *graph.Graph, colors []int32) []float64 {
+	out := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		phi := int32(-1)
+		if colors[v] != Uncolored {
+			phi = colors[v]
+		}
+		for _, u := range g.Adj(v) {
+			if colors[u] != Uncolored && colors[u] > phi {
+				phi = colors[u]
+			}
+		}
+		theta := 0
+		for _, u := range g.TwoHop(v) {
+			if d := g.Degree(int(u)); d > theta {
+				theta = d
+			}
+		}
+		if theta > 0 && phi >= 0 {
+			out[v] = float64(phi) / float64(theta)
+		}
+	}
+	return out
+}
+
+// RangeViolation marks a node whose final color fell outside the
+// Corollary 1 window for its intra-cluster color.
+type RangeViolation struct {
+	Node  int32
+	TC    int32
+	Color int32
+}
+
+// CheckClusterRanges verifies Corollary 1: a non-leader node that was
+// assigned intra-cluster color tc must decide on a color in
+// [tc·(κ₂+1), tc·(κ₂+1)+κ₂]; leaders (tc < 0) must hold color 0.
+// Uncolored nodes are skipped (completeness is Check's job).
+func CheckClusterRanges(colors, tcs []int32, kappa2 int) []RangeViolation {
+	var out []RangeViolation
+	for v := range colors {
+		c := colors[v]
+		if c == Uncolored {
+			continue
+		}
+		tc := tcs[v]
+		if tc < 0 {
+			if c != 0 {
+				out = append(out, RangeViolation{Node: int32(v), TC: tc, Color: c})
+			}
+			continue
+		}
+		lo := tc * (int32(kappa2) + 1)
+		hi := lo + int32(kappa2)
+		if c < lo || c > hi {
+			out = append(out, RangeViolation{Node: int32(v), TC: tc, Color: c})
+		}
+	}
+	return out
+}

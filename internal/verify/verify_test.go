@@ -1,0 +1,201 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"radiocolor/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+func triangle() *graph.Graph {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	return b.Build()
+}
+
+func TestCheckProperComplete(t *testing.T) {
+	g := pathGraph(4)
+	r := Check(g, []int32{0, 1, 0, 1})
+	if !r.OK() || !r.Complete || !r.Proper {
+		t.Fatalf("valid coloring rejected: %v", r)
+	}
+	if r.NumColors != 2 || r.MaxColor != 1 {
+		t.Errorf("NumColors=%d MaxColor=%d", r.NumColors, r.MaxColor)
+	}
+	if len(r.Violations) != 0 || len(r.UncoloredNodes) != 0 {
+		t.Error("spurious violations")
+	}
+	if !strings.Contains(r.String(), "proper=true") {
+		t.Error("String misformats")
+	}
+}
+
+func TestCheckDetectsConflict(t *testing.T) {
+	g := pathGraph(3)
+	r := Check(g, []int32{5, 5, 0})
+	if r.Proper || r.OK() {
+		t.Fatal("conflict not detected")
+	}
+	if len(r.Violations) != 1 {
+		t.Fatalf("violations = %v", r.Violations)
+	}
+	v := r.Violations[0]
+	if v.U != 0 || v.V != 1 || v.Color != 5 {
+		t.Errorf("violation = %v", v)
+	}
+	if v.String() == "" {
+		t.Error("violation string empty")
+	}
+}
+
+func TestCheckDetectsIncomplete(t *testing.T) {
+	g := pathGraph(3)
+	r := Check(g, []int32{0, Uncolored, 0})
+	if r.Complete || r.OK() {
+		t.Fatal("incompleteness not detected")
+	}
+	if !r.Proper {
+		t.Error("properness judged on colored subgraph: 0 _ 0 is proper")
+	}
+	if len(r.UncoloredNodes) != 1 || r.UncoloredNodes[0] != 1 {
+		t.Errorf("uncolored = %v", r.UncoloredNodes)
+	}
+	if r.NumColors != 1 {
+		t.Errorf("NumColors = %d", r.NumColors)
+	}
+}
+
+func TestCheckEmptyColoring(t *testing.T) {
+	g := pathGraph(2)
+	r := Check(g, []int32{Uncolored, Uncolored})
+	if r.MaxColor != -1 || r.NumColors != 0 || r.Complete {
+		t.Errorf("empty coloring: %v", r)
+	}
+}
+
+func TestCheckPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Check(pathGraph(3), []int32{0})
+}
+
+func TestCheckCapsViolationLists(t *testing.T) {
+	// A monochromatic clique of 40 nodes has 780 violating edges; the
+	// report keeps at most 64.
+	b := graph.NewBuilder(40)
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			b.AddEdge(i, j)
+		}
+	}
+	colors := make([]int32, 40)
+	r := Check(b.Build(), colors)
+	if r.Proper {
+		t.Fatal("monochromatic clique accepted")
+	}
+	if len(r.Violations) > 64 {
+		t.Errorf("violations not capped: %d", len(r.Violations))
+	}
+}
+
+func TestClassIndependence(t *testing.T) {
+	g := triangle()
+	ind := ClassIndependence(g, []int32{0, 1, 1})
+	if !ind[0] {
+		t.Error("singleton class must be independent")
+	}
+	if ind[1] {
+		t.Error("adjacent pair reported independent")
+	}
+	if len(ind) != 2 {
+		t.Errorf("classes = %v", ind)
+	}
+	// Uncolored nodes belong to no class.
+	ind = ClassIndependence(g, []int32{Uncolored, 1, Uncolored})
+	if len(ind) != 1 || !ind[1] {
+		t.Errorf("classes = %v", ind)
+	}
+}
+
+func TestCheckLocality(t *testing.T) {
+	// Path of 5: θ_v = 3 everywhere (middle degrees), bound = (κ₂+1)·θ.
+	g := pathGraph(5)
+	colors := []int32{0, 1, 0, 1, 0}
+	if viol := CheckLocality(g, colors, 2); len(viol) != 0 {
+		t.Errorf("low coloring flagged: %v", viol)
+	}
+	// A huge color violates every neighbor's bound.
+	colors = []int32{0, 1000, 0, 1, 0}
+	viol := CheckLocality(g, colors, 2)
+	if len(viol) == 0 {
+		t.Fatal("high color not flagged")
+	}
+	for _, v := range viol {
+		if v.Phi != 1000 {
+			t.Errorf("viol = %+v", v)
+		}
+		if v.Bound >= 1000 {
+			t.Errorf("bound = %d", v.Bound)
+		}
+	}
+}
+
+func TestPhiOverTheta(t *testing.T) {
+	g := pathGraph(3)
+	ratios := PhiOverTheta(g, []int32{0, 2, 1})
+	// Node 0: φ = max(0,2) = 2; θ = max degree in N² = 3 → 2/3.
+	if ratios[0] < 0.66 || ratios[0] > 0.67 {
+		t.Errorf("ratio[0] = %v", ratios[0])
+	}
+	// All uncolored → zeros.
+	zeros := PhiOverTheta(g, []int32{Uncolored, Uncolored, Uncolored})
+	for _, z := range zeros {
+		if z != 0 {
+			t.Errorf("uncolored ratio = %v", z)
+		}
+	}
+}
+
+func TestCheckClusterRanges(t *testing.T) {
+	kappa2 := 3
+	colors := []int32{0, 4, 7, 8, Uncolored}
+	tcs := []int32{-1, 1, 1, 2, 1}
+	// tc=1 window: [4, 7]; tc=2 window: [8, 11].
+	if viol := CheckClusterRanges(colors, tcs, kappa2); len(viol) != 0 {
+		t.Errorf("valid ranges flagged: %v", viol)
+	}
+	// Leader with nonzero color.
+	viol := CheckClusterRanges([]int32{3}, []int32{-1}, kappa2)
+	if len(viol) != 1 {
+		t.Fatalf("bad leader not flagged: %v", viol)
+	}
+	// Color outside the window.
+	viol = CheckClusterRanges([]int32{9}, []int32{1}, kappa2)
+	if len(viol) != 1 || viol[0].Color != 9 || viol[0].TC != 1 {
+		t.Fatalf("out-of-window color not flagged: %v", viol)
+	}
+}
+
+func TestReportOK(t *testing.T) {
+	r := &Report{Complete: true, Proper: true}
+	if !r.OK() {
+		t.Error("OK() false")
+	}
+	r.Proper = false
+	if r.OK() {
+		t.Error("OK() true despite conflict")
+	}
+}

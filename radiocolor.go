@@ -1,0 +1,259 @@
+// Package radiocolor is the public API of the reproduction of
+// Moscibroda & Wattenhofer, "Coloring unstructured radio networks"
+// (SPAA 2005 / Distributed Computing 2008).
+//
+// It colors the vertices of a wireless multi-hop network from scratch in
+// the unstructured radio network model — single channel, no collision
+// detection, asynchronous wake-up, only rough estimates of the network
+// size and maximum degree — using O(Δ) colors in O(κ₂⁴ Δ log n) time
+// slots with high probability.
+//
+// The simplest entry points are ColorGraph (arbitrary adjacency) and
+// ColorUnitDisk (geometric placement):
+//
+//	adj := [][]int{{1}, {0, 2}, {1}} // path 0-1-2
+//	out, err := radiocolor.ColorGraph(adj, radiocolor.Options{})
+//	if err != nil { ... }
+//	fmt.Println(out.Colors) // e.g. [1 0 4]
+//
+// The internal packages expose every layer for research use: the radio
+// model simulator (internal/radio), the protocol state machine
+// (internal/core), topology generators (internal/topology), baselines,
+// verification oracles, and the experiment suite E1–E12.
+package radiocolor
+
+import (
+	"errors"
+	"fmt"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/geom"
+	"radiocolor/internal/graph"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/sched"
+	"radiocolor/internal/verify"
+)
+
+// Options configures a coloring run. The zero value is a sensible
+// default: synchronous wake-up, practical constants, automatic budget.
+type Options struct {
+	// Seed drives all randomness (placement excluded); runs with equal
+	// seeds are bit-identical. Defaults to 1.
+	Seed int64
+	// Wakeup selects the wake-up schedule: "synchronous" (default),
+	// "uniform", "sequential", "bursty" or "adversarial". The paper's
+	// guarantees hold for all of them.
+	Wakeup string
+	// ParamScale multiplies the practical protocol constants
+	// (default 1.0). Larger is safer but slower; experiment E7 maps the
+	// trade-off.
+	ParamScale float64
+	// MaxSlots caps the simulation (0 = automatic generous budget).
+	MaxSlots int64
+	// Workers > 1 runs the simulator's send phase on several
+	// goroutines; results are identical to the sequential engine.
+	Workers int
+}
+
+func (o Options) normalized() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Wakeup == "" {
+		o.Wakeup = "synchronous"
+	}
+	if o.ParamScale <= 0 {
+		o.ParamScale = 1
+	}
+	return o
+}
+
+// Outcome reports a completed coloring run.
+type Outcome struct {
+	// Colors holds the final color of every node (all ≥ 0 when
+	// Complete).
+	Colors []int
+	// Leaders lists the nodes that elected themselves cluster leaders
+	// (color 0); they form a maximal independent set.
+	Leaders []int
+	// Proper is true when no two adjacent nodes share a color
+	// (Theorem 2) and Complete when every node decided (Theorem 5).
+	Proper, Complete bool
+	// NumColors and MaxColor describe the palette actually used; the
+	// paper bounds MaxColor by O(κ₂·Δ).
+	NumColors, MaxColor int
+	// Slots is the total simulated time; MaxLatency is max_v T_v, the
+	// slots between a node's wake-up and its irrevocable decision
+	// (Theorem 3 bounds it by O(κ₂⁴ Δ log n)).
+	Slots, MaxLatency int64
+	// PerNodeLatency holds each node's T_v.
+	PerNodeLatency []int64
+	// Delta, Kappa1 and Kappa2 are the measured graph parameters used
+	// to instantiate the protocol.
+	Delta, Kappa1, Kappa2 int
+	// MaxMessageBits is the largest message payload observed; the model
+	// requires O(log n).
+	MaxMessageBits int
+
+	g *graph.Graph
+}
+
+// OK reports a complete and proper coloring.
+func (o *Outcome) OK() bool { return o.Proper && o.Complete }
+
+// TDMA derives the periodic transmission schedule the paper's
+// introduction motivates: node v owns slot Colors[v] of every frame.
+func (o *Outcome) TDMA() (*TDMASchedule, error) {
+	if !o.OK() {
+		return nil, errors.New("radiocolor: cannot schedule an incomplete or improper coloring")
+	}
+	colors := make([]int32, len(o.Colors))
+	for i, c := range o.Colors {
+		colors[i] = int32(c)
+	}
+	s, err := sched.FromColoring(colors)
+	if err != nil {
+		return nil, err
+	}
+	frame := s.SimulateFrame(o.g)
+	local := s.LocalFrameLen(o.g)
+	t := &TDMASchedule{
+		FrameLen:        int(s.FrameLen),
+		Slots:           append([]int(nil), o.Colors...),
+		MaxInterferers:  s.MaxInterferers(o.g),
+		SuccessRate:     frame.SuccessRate(),
+		LocalFrameLens:  make([]int, len(local)),
+		DirectConflicts: len(s.DirectConflicts(o.g)),
+	}
+	for i, l := range local {
+		t.LocalFrameLens[i] = int(l)
+	}
+	return t, nil
+}
+
+// TDMASchedule is the MAC schedule derived from a coloring.
+type TDMASchedule struct {
+	// FrameLen is the global frame length (max color + 1).
+	FrameLen int
+	// Slots assigns each node its transmission slot.
+	Slots []int
+	// DirectConflicts counts adjacent same-slot pairs (0 for proper
+	// colorings — no direct interference).
+	DirectConflicts int
+	// MaxInterferers is the worst hidden-terminal exposure: at most κ₁
+	// same-slot senders can disturb any receiver.
+	MaxInterferers int
+	// SuccessRate is the fraction of clean receptions in one simulated
+	// frame in which every node transmits once.
+	SuccessRate float64
+	// LocalFrameLens gives each node the frame length its 2-hop
+	// neighborhood actually needs — the locality dividend of Theorem 4.
+	LocalFrameLens []int
+}
+
+// ColorGraph runs the full protocol on an arbitrary undirected graph
+// given as adjacency lists (adj[v] lists the neighbors of v; symmetry is
+// enforced, self-loops rejected).
+func ColorGraph(adj [][]int, opt Options) (*Outcome, error) {
+	b := graph.NewBuilder(len(adj))
+	for v, ns := range adj {
+		for _, u := range ns {
+			if u == v {
+				return nil, fmt.Errorf("radiocolor: self-loop at node %d", v)
+			}
+			if u < 0 || u >= len(adj) {
+				return nil, fmt.Errorf("radiocolor: node %d lists out-of-range neighbor %d", v, u)
+			}
+			b.AddEdge(v, u)
+		}
+	}
+	return colorGraph(b.Build(), opt)
+}
+
+// ColorUnitDisk places the given points in the plane, connects pairs
+// within the transmission radius (the unit disk model of Corollary 2)
+// and runs the full protocol.
+func ColorUnitDisk(points [][2]float64, radius float64, opt Options) (*Outcome, error) {
+	if radius <= 0 {
+		return nil, errors.New("radiocolor: non-positive radius")
+	}
+	pts := make([]geom.Point, len(points))
+	for i, p := range points {
+		pts[i] = geom.Point{X: p[0], Y: p[1]}
+	}
+	b := graph.NewBuilder(len(pts))
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist(pts[j]) <= radius {
+				b.AddEdge(i, j)
+			}
+		}
+	}
+	return colorGraph(b.Build(), opt)
+}
+
+func colorGraph(g *graph.Graph, opt Options) (*Outcome, error) {
+	opt = opt.normalized()
+	if g.N() == 0 {
+		return nil, errors.New("radiocolor: empty graph")
+	}
+	delta := g.MaxDegree()
+	k := g.Kappa(graph.KappaOptions{Budget: 150_000, MaxNeighborhood: 140})
+	par := core.Practical(g.N(), delta, k.K1, k.K2).Scale(opt.ParamScale)
+
+	var wake []int64
+	for _, p := range radio.WakePatterns {
+		if p.Name == opt.Wakeup {
+			wake = p.Make(g.N(), par.WaitSlots(), opt.Seed)
+		}
+	}
+	if wake == nil {
+		return nil, fmt.Errorf("radiocolor: unknown wakeup pattern %q", opt.Wakeup)
+	}
+	budget := opt.MaxSlots
+	if budget <= 0 {
+		budget = int64(par.Kappa2+2) * par.Threshold() * 40
+		if budget < 1_000_000 {
+			budget = 1_000_000
+		}
+	}
+	nodes, protos := core.Nodes(g.N(), opt.Seed, par, core.Ablation{})
+	res, err := radio.Run(radio.Config{
+		G:         g,
+		Protocols: protos,
+		Wake:      wake,
+		MaxSlots:  budget,
+		NEstimate: par.N,
+		Workers:   opt.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{
+		Colors:         make([]int, g.N()),
+		PerNodeLatency: make([]int64, g.N()),
+		Slots:          res.Slots,
+		MaxLatency:     res.MaxLatency(),
+		Delta:          delta,
+		Kappa1:         k.K1,
+		Kappa2:         k.K2,
+		MaxMessageBits: res.MaxMessageBits,
+		g:              g,
+	}
+	colors := make([]int32, g.N())
+	for i, v := range nodes {
+		out.Colors[i] = int(v.Color())
+		colors[i] = v.Color()
+		out.PerNodeLatency[i] = res.Latency(i)
+		if v.IsLeader() {
+			out.Leaders = append(out.Leaders, i)
+		}
+	}
+	rep := verify.Check(g, colors)
+	out.Proper = rep.Proper
+	out.Complete = rep.Complete && res.AllDone
+	out.NumColors = rep.NumColors
+	out.MaxColor = int(rep.MaxColor)
+	return out, nil
+}

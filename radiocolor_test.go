@@ -1,0 +1,176 @@
+package radiocolor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestColorGraphPath(t *testing.T) {
+	adj := [][]int{{1}, {0, 2}, {1, 3}, {2}}
+	out, err := ColorGraph(adj, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("outcome not OK: %+v", out)
+	}
+	for v, ns := range adj {
+		for _, u := range ns {
+			if out.Colors[v] == out.Colors[u] {
+				t.Errorf("adjacent nodes %d, %d share color %d", v, u, out.Colors[v])
+			}
+		}
+	}
+	if len(out.Leaders) == 0 {
+		t.Error("no leaders")
+	}
+	if out.MaxLatency <= 0 || out.Slots <= 0 {
+		t.Errorf("timing missing: %+v", out)
+	}
+}
+
+func TestColorGraphValidation(t *testing.T) {
+	if _, err := ColorGraph(nil, Options{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := ColorGraph([][]int{{0}}, Options{}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := ColorGraph([][]int{{5}}, Options{}); err == nil {
+		t.Error("out-of-range neighbor accepted")
+	}
+	if _, err := ColorGraph([][]int{{1}, {0}}, Options{Wakeup: "bogus"}); err == nil {
+		t.Error("unknown wakeup accepted")
+	}
+}
+
+func TestColorUnitDisk(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	points := make([][2]float64, 70)
+	for i := range points {
+		points[i] = [2]float64{r.Float64() * 5, r.Float64() * 5}
+	}
+	out, err := ColorUnitDisk(points, 1.2, Options{Seed: 9, Wakeup: "uniform"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK() {
+		t.Fatalf("outcome not OK: proper=%v complete=%v", out.Proper, out.Complete)
+	}
+	// UDG parameter bounds from Sect. 2.
+	if out.Kappa1 > 5 || out.Kappa2 > 18 {
+		t.Errorf("κ out of UDG bounds: %d/%d", out.Kappa1, out.Kappa2)
+	}
+	if out.MaxColor >= (out.Delta)*(out.Kappa2+1)+out.Kappa2 {
+		t.Errorf("max color %d out of O(κ₂Δ) band", out.MaxColor)
+	}
+}
+
+func TestColorUnitDiskValidation(t *testing.T) {
+	if _, err := ColorUnitDisk([][2]float64{{0, 0}}, 0, Options{}); err == nil {
+		t.Error("non-positive radius accepted")
+	}
+}
+
+func TestTDMAFromOutcome(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	points := make([][2]float64, 60)
+	for i := range points {
+		points[i] = [2]float64{r.Float64() * 4, r.Float64() * 4}
+	}
+	out, err := ColorUnitDisk(points, 1.1, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := out.TDMA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DirectConflicts != 0 {
+		t.Errorf("TDMA has %d direct conflicts", s.DirectConflicts)
+	}
+	if s.MaxInterferers > out.Kappa1 {
+		t.Errorf("interferers %d exceed κ₁ %d", s.MaxInterferers, out.Kappa1)
+	}
+	if s.FrameLen != out.MaxColor+1 {
+		t.Errorf("frame length %d vs max color %d", s.FrameLen, out.MaxColor)
+	}
+	if s.SuccessRate <= 0 || s.SuccessRate > 1 {
+		t.Errorf("success rate %v", s.SuccessRate)
+	}
+	for v, l := range s.LocalFrameLens {
+		if l < 1 || l > s.FrameLen {
+			t.Errorf("local frame len[%d] = %d", v, l)
+		}
+	}
+}
+
+func TestTDMARejectsBadOutcome(t *testing.T) {
+	out := &Outcome{Proper: false, Complete: true}
+	if _, err := out.TDMA(); err == nil {
+		t.Error("improper outcome scheduled")
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	adj := [][]int{}
+	const n = 40
+	for i := 0; i < n; i++ {
+		var ns []int
+		if i > 0 {
+			ns = append(ns, i-1)
+		}
+		if i < n-1 {
+			ns = append(ns, i+1)
+		}
+		adj = append(adj, ns)
+	}
+	a, err := ColorGraph(adj, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ColorGraph(adj, Options{Seed: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Colors {
+		if a.Colors[i] != b.Colors[i] {
+			t.Fatalf("worker count changed node %d: %d vs %d", i, a.Colors[i], b.Colors[i])
+		}
+	}
+	if a.Slots != b.Slots {
+		t.Errorf("slot counts differ: %d vs %d", a.Slots, b.Slots)
+	}
+}
+
+func TestParamScaleSlowsButColors(t *testing.T) {
+	adj := [][]int{{1, 2}, {0, 2}, {0, 1}}
+	fast, err := ColorGraph(adj, Options{Seed: 6, ParamScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := ColorGraph(adj, Options{Seed: 6, ParamScale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fast.OK() || !slow.OK() {
+		t.Fatal("triangle runs failed")
+	}
+	if slow.MaxLatency <= fast.MaxLatency {
+		t.Errorf("scaling up constants should slow the run: %d vs %d", slow.MaxLatency, fast.MaxLatency)
+	}
+}
+
+func TestMaxSlotsBudgetRespected(t *testing.T) {
+	adj := [][]int{{1}, {0}}
+	out, err := ColorGraph(adj, Options{Seed: 1, MaxSlots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Complete {
+		t.Error("5 slots cannot complete the protocol")
+	}
+	if out.Slots > 5 {
+		t.Errorf("budget exceeded: %d", out.Slots)
+	}
+}
