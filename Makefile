@@ -17,7 +17,7 @@ short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/radio/ .
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -10,6 +10,7 @@ package radiocolor
 import (
 	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"radiocolor/internal/core"
@@ -69,6 +70,33 @@ func BenchmarkE20Capture(b *testing.B)      { benchExperiment(b, "E20") }
 func BenchmarkE21MultiChannel(b *testing.B) { benchExperiment(b, "E21") }
 func BenchmarkE22Collection(b *testing.B)   { benchExperiment(b, "E22") }
 func BenchmarkE23Adversary(b *testing.B)    { benchExperiment(b, "E23") }
+
+// benchSuite runs a representative experiment subset end to end at the
+// given fleet worker count. The Sequential/Parallel pair measures the
+// speedup (and overhead floor) of the fleet engine on real trial loads.
+func benchSuite(b *testing.B, workers int) {
+	ids := []string{"E3", "E5", "E9"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, id := range ids {
+			o := benchOpts()
+			o.Trials = 2
+			o.Parallel = workers
+			t := experiment.Lookup(id).Run(o)
+			if t.NumRows() == 0 {
+				b.Fatalf("%s produced no rows", id)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteSequential runs the subset on the inline path
+// (Parallel=1), the baseline the fleet engine must not distort.
+func BenchmarkSuiteSequential(b *testing.B) { benchSuite(b, 1) }
+
+// BenchmarkSuiteParallel runs the same subset with trials fanned out
+// over all CPUs via the fleet engine.
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkEngineSlots measures raw simulator throughput: slots per
 // second over a 200-node network running the full protocol.

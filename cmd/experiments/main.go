@@ -1,37 +1,62 @@
-// Command experiments regenerates the paper-reproduction tables E1–E12
+// Command experiments regenerates the paper-reproduction tables E1–E23
 // indexed in DESIGN.md. The output of a full run (the defaults) is
 // recorded in EXPERIMENTS.md.
 //
+// The suite runs on the fleet batch engine (internal/fleet): each
+// experiment is one job whose trials fan out over -parallel workers,
+// and the rendered tables stream to stdout in registry order. stdout is
+// byte-identical at any -parallel value; progress and timing go to
+// stderr. With -resume, finished experiments are checkpointed to a
+// JSONL file and an interrupted sweep picks up where it stopped.
+//
 // Examples:
 //
-//	experiments                     # full suite
+//	experiments                     # full suite, all CPUs
 //	experiments -exp E3,E5          # selected experiments
 //	experiments -size 0.4 -trials 1 # quick pass
+//	experiments -parallel 1         # sequential (same bytes on stdout)
+//	experiments -resume sweep.jsonl # checkpoint + resume
 //	experiments -csv out/           # additionally write CSV files
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
-	"time"
 
 	"radiocolor/internal/experiment"
+	"radiocolor/internal/fleet"
+	"radiocolor/internal/monitor"
+	"radiocolor/internal/radio"
 )
+
+// tableOut is the checkpointed payload of one experiment job: the
+// rendered table block exactly as it appears on stdout, plus the CSV
+// form so a resumed run can still write -csv files.
+type tableOut struct {
+	ID   string `json:"id"`
+	Text string `json:"text"`
+	CSV  string `json:"csv"`
+}
 
 func main() {
 	var (
-		exps   = flag.String("exp", "all", "comma-separated experiment ids (e.g. E3,E5) or 'all'")
-		trials = flag.Int("trials", 3, "trials per table cell")
-		size   = flag.Float64("size", 1.0, "network size factor")
-		seed   = flag.Int64("seed", 1, "master seed")
-		csvDir = flag.String("csv", "", "also write one CSV per experiment into this directory")
+		exps     = flag.String("exp", "all", "comma-separated experiment ids (e.g. E3,E5) or 'all'")
+		trials   = flag.Int("trials", 3, "trials per table cell")
+		size     = flag.Float64("size", 1.0, "network size factor")
+		seed     = flag.Int64("seed", 1, "master seed")
+		csvDir   = flag.String("csv", "", "also write one CSV per experiment into this directory")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for trial jobs (1 = sequential)")
+		resume   = flag.String("resume", "", "JSONL checkpoint file; finished experiments are skipped on rerun")
+		quiet    = flag.Bool("quiet", false, "suppress progress and timing lines on stderr")
 	)
 	flag.Parse()
 
-	opts := experiment.Options{Trials: *trials, SizeFactor: *size, Seed: *seed}
+	opts := experiment.Options{Trials: *trials, SizeFactor: *size, Seed: *seed, Parallel: *parallel}
 	var selected []experiment.Entry
 	if *exps == "all" {
 		selected = experiment.Registry
@@ -51,31 +76,90 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, e := range selected {
-		start := time.Now()
-		fmt.Printf("%s — %s\n", e.ID, e.Reproduces)
-		t := e.Run(opts)
-		if err := t.Render(os.Stdout); err != nil {
+
+	if !*quiet {
+		progress := monitor.NewProgress(os.Stderr, "experiments")
+		progress.SetUnits("slots", radio.SimulatedSlots)
+		opts.Progress = progress
+		defer progress.Finish()
+	}
+
+	// Each experiment is one job on an outer single-worker engine: the
+	// single worker keeps stdout streaming in registry order (the
+	// determinism contract), trials parallelize inside the job via
+	// Options.Parallel, and the checkpoint skips finished experiments on
+	// resume. Job IDs fingerprint the options so a checkpoint written
+	// under different settings is never reused.
+	jobs := make([]fleet.Job, len(selected))
+	for i, e := range selected {
+		e := e
+		jobs[i] = fleet.Job{
+			ID:  fmt.Sprintf("%s|trials=%d|size=%g|seed=%d", e.ID, opts.Trials, opts.SizeFactor, opts.Seed),
+			Run: func() (any, error) { return renderOne(e, opts) },
+		}
+	}
+	cfg := fleet.Config{Workers: 1, OnResult: func(r fleet.Result) { emit(r, *csvDir, *quiet) }}
+	if *resume != "" {
+		cfg.Checkpoint = &fleet.Checkpoint{
+			Path: *resume,
+			Decode: func(b []byte) (any, error) {
+				var t tableOut
+				err := json.Unmarshal(b, &t)
+				return t, err
+			},
+		}
+	}
+	results, err := fleet.New(cfg).Run(jobs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	exit := 0
+	for _, r := range results {
+		if r.Failed() {
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// renderOne runs one experiment and renders its stdout block and CSV.
+func renderOne(e experiment.Entry, opts experiment.Options) (tableOut, error) {
+	t := e.Run(opts)
+	var text, csv strings.Builder
+	fmt.Fprintf(&text, "%s — %s\n", e.ID, e.Reproduces)
+	if err := t.Render(&text); err != nil {
+		return tableOut{}, err
+	}
+	fmt.Fprintln(&text)
+	if err := t.WriteCSV(&csv); err != nil {
+		return tableOut{}, err
+	}
+	return tableOut{ID: e.ID, Text: text.String(), CSV: csv.String()}, nil
+}
+
+// emit streams one finished experiment: table block to stdout, errors
+// and timing to stderr, CSV to -csv. Runs on the outer engine's single
+// worker, so blocks appear in registry order.
+func emit(r fleet.Result, csvDir string, quiet bool) {
+	if r.Err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", r.ID, r.Err)
+		return
+	}
+	out := r.Value.(tableOut)
+	fmt.Print(out.Text)
+	if !quiet {
+		if r.FromCheckpoint {
+			fmt.Fprintf(os.Stderr, "(%s from checkpoint)\n", out.ID)
+		} else {
+			fmt.Fprintf(os.Stderr, "(%s in %.1fs)\n", out.ID, r.Duration.Seconds())
+		}
+	}
+	if csvDir != "" {
+		path := filepath.Join(csvDir, strings.ToLower(out.ID)+".csv")
+		if err := os.WriteFile(path, []byte(out.CSV), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
-		}
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
-			if err := t.WriteCSV(f); err != nil {
-				f.Close()
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
-			}
 		}
 	}
 }

@@ -11,6 +11,11 @@ import (
 	"radiocolor/internal/verify"
 )
 
+// The experiments compute every measurement in per-cell/per-trial jobs
+// (parMap/parTrials — fleet jobs under -parallel) and fold the ordered
+// results into rows sequentially, so tables are byte-identical at any
+// worker count.
+
 // E1Kappa reproduces Fig. 1 / Sect. 2 quantitatively: measured κ₁ and κ₂
 // across graph families, checking the theoretical UDG bounds κ₁ ≤ 5,
 // κ₂ ≤ 18 and showing that obstacles raise the constants only modestly.
@@ -30,14 +35,23 @@ func E1Kappa(o Options) *stats.Table {
 		topology.Ring(n / 2),
 		topology.Clique(o.scale(40, 10)),
 	}
-	for _, d := range deployments {
+	type cell struct {
+		k      graph.KappaResult
+		within string
+	}
+	rows := parMap(o, "E1", len(deployments), func(i int) cell {
+		d := deployments[i]
 		k := d.G.Kappa(graph.KappaOptions{Budget: 200_000, MaxNeighborhood: 150})
 		isUDG := d.Obstacles == nil && d.Points != nil && d.Name[:3] == "udg"
 		within := "n/a"
 		if isUDG {
 			within = fmt.Sprintf("%v", k.K1 <= 5 && k.K2 <= 18)
 		}
-		t.AddRow(d.Name, d.N(), d.G.MaxDegree(), d.G.Diameter(), k.K1, k.K2, k.Exact, within)
+		return cell{k, within}
+	})
+	for i, d := range deployments {
+		k := rows[i].k
+		t.AddRow(d.Name, d.N(), d.G.MaxDegree(), d.G.Diameter(), k.K1, k.K2, k.Exact, rows[i].within)
 	}
 	return t
 }
@@ -60,30 +74,47 @@ func E2Correctness(o Options) *stats.Table {
 			topology.Ring(n / 2),
 		}
 	}
-	for di := range makeDeps(o.Seed) {
+	baseDeps := makeDeps(o.Seed)
+	numPats := len(radio.WakePatterns)
+	type trial struct {
+		correct, complete bool
+		colors, maxT      float64
+	}
+	grid := parTrials(o, "E2", len(baseDeps)*numPats, o.Trials, func(cell, tr int) trial {
+		di, pi := cell/numPats, cell%numPats
+		pat := radio.WakePatterns[pi]
+		seed := trialSeed(o.Seed, di*10+pi, tr)
+		d := makeDeps(seed)[di]
+		par := MeasureParams(d)
+		wake := pat.Make(d.N(), par.WaitSlots(), seed)
+		run, err := RunCore(d, par, wake, seed, defaultBudget(par), core0)
+		if err != nil {
+			panic(err)
+		}
+		r := trial{correct: run.Correct(), complete: run.Radio.AllDone}
+		if r.complete {
+			r.maxT = float64(run.Radio.MaxLatency())
+		}
+		if r.correct {
+			r.colors = float64(run.Report.NumColors)
+		}
+		return r
+	})
+	for di := range baseDeps {
 		for pi, pat := range radio.WakePatterns {
 			correct, complete := 0, 0
 			var colors, maxT []float64
-			for trial := 0; trial < o.Trials; trial++ {
-				seed := trialSeed(o.Seed, di*10+pi, trial)
-				d := makeDeps(seed)[di]
-				par := MeasureParams(d)
-				wake := pat.Make(d.N(), par.WaitSlots(), seed)
-				run, err := RunCore(d, par, wake, seed, defaultBudget(par), core0)
-				if err != nil {
-					panic(err)
-				}
-				if run.Radio.AllDone {
+			for _, r := range grid[di*numPats+pi] {
+				if r.complete {
 					complete++
-					maxT = append(maxT, float64(run.Radio.MaxLatency()))
+					maxT = append(maxT, r.maxT)
 				}
-				if run.Correct() {
+				if r.correct {
 					correct++
-					colors = append(colors, float64(run.Report.NumColors))
+					colors = append(colors, r.colors)
 				}
 			}
-			name := makeDeps(o.Seed)[di].Name
-			t.AddRow(name, pat.Name, o.Trials,
+			t.AddRow(baseDeps[di].Name, pat.Name, o.Trials,
 				fmt.Sprintf("%d/%d", correct, o.Trials),
 				fmt.Sprintf("%d/%d", complete, o.Trials),
 				stats.Mean(colors), stats.Mean(maxT))
@@ -101,21 +132,29 @@ func E3TimeVsDelta(o Options) *stats.Table {
 		"target Δ", "measured Δ", "κ₂", "mean maxT (slots)", "maxT/(Δ·log n)")
 	n := o.scale(220, 60)
 	targets := []int{6, 10, 14, 18, 24, 30}
+	type trial struct {
+		delta, kappa2 int
+		t             float64
+		ok            bool
+	}
+	grid := parTrials(o, "E3", len(targets), o.Trials, func(ci, tr int) trial {
+		seed := trialSeed(o.Seed, ci, tr)
+		d := topology.UDGWithTargetDegree(n, targets[ci], seed)
+		par := MeasureParams(d)
+		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+		if err != nil {
+			panic(err)
+		}
+		return trial{par.Delta, par.Kappa2, float64(run.Radio.MaxLatency()), run.Correct()}
+	})
 	var xs, ys []float64
 	for ci, target := range targets {
 		var ts []float64
 		measuredDelta, kappa2 := 0, 0
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, ci, trial)
-			d := topology.UDGWithTargetDegree(n, target, seed)
-			par := MeasureParams(d)
-			measuredDelta, kappa2 = par.Delta, par.Kappa2
-			run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
-			if err != nil {
-				panic(err)
-			}
-			if run.Correct() {
-				ts = append(ts, float64(run.Radio.MaxLatency()))
+		for _, r := range grid[ci] {
+			measuredDelta, kappa2 = r.delta, r.kappa2
+			if r.ok {
+				ts = append(ts, r.t)
 			}
 		}
 		mean := stats.Mean(ts)
@@ -143,25 +182,37 @@ func E4TimeVsN(o Options) *stats.Table {
 	if o.SizeFactor >= 1 {
 		sizes = append(sizes, 1024)
 	}
+	scaled := make([]int, len(sizes))
+	for i, n := range sizes {
+		scaled[i] = o.scale(n, 32)
+	}
+	type trial struct {
+		delta   int
+		t, norm float64
+		ok      bool
+	}
+	grid := parTrials(o, "E4", len(scaled), o.Trials, func(ci, tr int) trial {
+		seed := trialSeed(o.Seed, 100+ci, tr)
+		d := topology.UDGWithTargetDegree(scaled[ci], 10, seed)
+		par := MeasureParams(d)
+		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+		if err != nil {
+			panic(err)
+		}
+		return trial{par.Delta, float64(run.Radio.MaxLatency()),
+			float64(run.Radio.MaxLatency()) / float64(par.Delta), run.Correct()}
+	})
 	var xs, ys []float64 // Δ-normalized series: the measured max degree
 	// drifts upward with n (extreme-value effect of the random
 	// deployment), so the fair log n check normalizes T by Δ first.
-	for ci, n := range sizes {
-		n = o.scale(n, 32)
+	for ci, n := range scaled {
 		var ts, tsNorm []float64
 		measuredDelta := 0
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, 100+ci, trial)
-			d := topology.UDGWithTargetDegree(n, 10, seed)
-			par := MeasureParams(d)
-			measuredDelta = par.Delta
-			run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
-			if err != nil {
-				panic(err)
-			}
-			if run.Correct() {
-				ts = append(ts, float64(run.Radio.MaxLatency()))
-				tsNorm = append(tsNorm, float64(run.Radio.MaxLatency())/float64(par.Delta))
+		for _, r := range grid[ci] {
+			measuredDelta = r.delta
+			if r.ok {
+				ts = append(ts, r.t)
+				tsNorm = append(tsNorm, r.norm)
 			}
 		}
 		mean := stats.Mean(ts)
@@ -188,22 +239,36 @@ func E5Colors(o Options) *stats.Table {
 	t := stats.NewTable("E5: colors used vs Δ (Theorem 5 / Corollary 2; expect O(Δ))",
 		"target Δ", "measured Δ", "mean #colors", "mean max color", "#colors/Δ", "max color bound")
 	n := o.scale(220, 60)
+	targets := []int{6, 10, 14, 18, 24, 30}
+	type trial struct {
+		delta, kappa2 int
+		used, maxc    float64
+		ok            bool
+	}
+	grid := parTrials(o, "E5", len(targets), o.Trials, func(ci, tr int) trial {
+		seed := trialSeed(o.Seed, 200+ci, tr)
+		d := topology.UDGWithTargetDegree(n, targets[ci], seed)
+		par := MeasureParams(d)
+		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+		if err != nil {
+			panic(err)
+		}
+		r := trial{delta: par.Delta, kappa2: par.Kappa2, ok: run.Correct()}
+		if r.ok {
+			r.used = float64(run.Report.NumColors)
+			r.maxc = float64(run.Report.MaxColor)
+		}
+		return r
+	})
 	var xs, ys []float64
-	for ci, target := range []int{6, 10, 14, 18, 24, 30} {
+	for ci, target := range targets {
 		var used, maxc []float64
 		measuredDelta, kappa2 := 0, 0
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, 200+ci, trial)
-			d := topology.UDGWithTargetDegree(n, target, seed)
-			par := MeasureParams(d)
-			measuredDelta, kappa2 = par.Delta, par.Kappa2
-			run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
-			if err != nil {
-				panic(err)
-			}
-			if run.Correct() {
-				used = append(used, float64(run.Report.NumColors))
-				maxc = append(maxc, float64(run.Report.MaxColor))
+		for _, r := range grid[ci] {
+			measuredDelta, kappa2 = r.delta, r.kappa2
+			if r.ok {
+				used = append(used, r.used)
+				maxc = append(maxc, r.maxc)
 			}
 		}
 		bound := (measuredDelta-1)*(kappa2+1) + kappa2
@@ -232,23 +297,25 @@ func E6Locality(o Options) *stats.Table {
 		"region", "nodes", "mean θ (local density)", "mean φ (max nbr color)", "max φ/θ", "violations of (κ₂+1)θ")
 	nCore := o.scale(110, 30)
 	nFringe := o.scale(110, 30)
-	type acc struct {
-		theta, phi, ratio []float64
-		viol              int
-		count             int
+	// Per-trial measurements, indexed core=0 / fringe=1.
+	type trial struct {
+		ok                bool
+		theta, phi, rat   [2][]float64
+		viol, numInRegion [2]int
 	}
-	regions := map[string]*acc{"core": {}, "fringe": {}}
-	for trial := 0; trial < o.Trials; trial++ {
-		seed := trialSeed(o.Seed, 300, trial)
+	rows := parMap(o, "E6", o.Trials, func(tr int) trial {
+		seed := trialSeed(o.Seed, 300, tr)
 		d := topology.ClusteredUDG(nCore, nFringe, 18, 1.0, seed)
 		par := MeasureParams(d)
 		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
 		if err != nil {
 			panic(err)
 		}
+		var r trial
 		if !run.Correct() {
-			continue
+			return r
 		}
+		r.ok = true
 		viol := verify.CheckLocality(d.G, run.Colors, par.Kappa2)
 		violSet := make(map[int32]bool, len(viol))
 		for _, v := range viol {
@@ -256,12 +323,11 @@ func E6Locality(o Options) *stats.Table {
 		}
 		ratios := verify.PhiOverTheta(d.G, run.Colors)
 		for v := 0; v < d.N(); v++ {
-			region := "core"
+			region := 0 // core
 			if v >= nCore {
-				region = "fringe"
+				region = 1 // fringe
 			}
-			a := regions[region]
-			a.count++
+			r.numInRegion[region]++
 			theta := 0
 			for _, u := range d.G.TwoHop(v) {
 				if deg := d.G.Degree(int(u)); deg > theta {
@@ -269,12 +335,32 @@ func E6Locality(o Options) *stats.Table {
 				}
 			}
 			phi := float64(theta) * ratios[v]
-			a.theta = append(a.theta, float64(theta))
-			a.phi = append(a.phi, phi)
-			a.ratio = append(a.ratio, ratios[v])
+			r.theta[region] = append(r.theta[region], float64(theta))
+			r.phi[region] = append(r.phi[region], phi)
+			r.rat[region] = append(r.rat[region], ratios[v])
 			if violSet[int32(v)] {
-				a.viol++
+				r.viol[region]++
 			}
+		}
+		return r
+	})
+	type acc struct {
+		theta, phi, ratio []float64
+		viol              int
+		count             int
+	}
+	regions := map[string]*acc{"core": {}, "fringe": {}}
+	for _, r := range rows {
+		if !r.ok {
+			continue
+		}
+		for ri, name := range []string{"core", "fringe"} {
+			a := regions[name]
+			a.count += r.numInRegion[ri]
+			a.theta = append(a.theta, r.theta[ri]...)
+			a.phi = append(a.phi, r.phi[ri]...)
+			a.ratio = append(a.ratio, r.rat[ri]...)
+			a.viol += r.viol[ri]
 		}
 	}
 	for _, region := range []string{"core", "fringe"} {

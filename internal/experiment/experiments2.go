@@ -26,23 +26,37 @@ func E7ParamSweep(o Options) *stats.Table {
 		"scale ×practical", "γ", "σ", "correct", "mean maxT (slots)", "vs theoretical γ")
 	n := o.scale(150, 50)
 	trials := o.Trials * 2 // failure rates need more repetitions
-	for ci, scale := range []float64{0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0} {
+	scales := []float64{0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}
+	type trialRes struct {
+		ok                    bool
+		t                     float64
+		gamma, sigma, thGamma float64
+	}
+	grid := parTrials(o, "E7", len(scales), trials, func(ci, tr int) trialRes {
+		seed := trialSeed(o.Seed, 400+ci, tr)
+		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
+		par := MeasureParams(d).Scale(scales[ci])
+		r := trialRes{gamma: par.Gamma, sigma: par.Sigma,
+			thGamma: core.Theoretical(par.N, par.Delta, par.Kappa1, par.Kappa2).Gamma}
+		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+		if err != nil {
+			panic(err)
+		}
+		if run.Correct() {
+			r.ok = true
+			r.t = float64(run.Radio.MaxLatency())
+		}
+		return r
+	})
+	for ci, scale := range scales {
 		correct := 0
 		var ts []float64
 		var gamma, sigma, thGamma float64
-		for trial := 0; trial < trials; trial++ {
-			seed := trialSeed(o.Seed, 400+ci, trial)
-			d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
-			par := MeasureParams(d).Scale(scale)
-			gamma, sigma = par.Gamma, par.Sigma
-			thGamma = core.Theoretical(par.N, par.Delta, par.Kappa1, par.Kappa2).Gamma
-			run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
-			if err != nil {
-				panic(err)
-			}
-			if run.Correct() {
+		for _, r := range grid[ci] {
+			gamma, sigma, thGamma = r.gamma, r.sigma, r.thGamma
+			if r.ok {
 				correct++
-				ts = append(ts, float64(run.Radio.MaxLatency()))
+				ts = append(ts, r.t)
 			}
 		}
 		t.AddRow(scale, gamma, sigma, fmt.Sprintf("%d/%d", correct, trials),
@@ -65,65 +79,82 @@ func E8Baselines(o Options) *stats.Table {
 		"algorithm", "target Δ", "correct", "mean time", "unit", "mean #colors")
 	n := o.scale(150, 50)
 	targets := []int{6, 10, 14, 18}
+	algNames := []string{"ours", "busch", "aloha", "luby(mp)"}
+	type algRes struct {
+		ok           bool
+		time, colors float64
+	}
+	type trialRes struct {
+		delta int
+		algs  [4]algRes
+	}
+	grid := parTrials(o, "E8", len(targets), o.Trials, func(ci, tr int) trialRes {
+		seed := trialSeed(o.Seed, 500+ci, tr)
+		d := topology.UDGWithTargetDegree(n, targets[ci], seed)
+		delta := d.G.MaxDegree()
+		var out trialRes
+		out.delta = delta
+
+		par := MeasureParams(d)
+		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+		if err != nil {
+			panic(err)
+		}
+		out.algs[0] = algRes{run.Correct(), float64(run.Radio.MaxLatency()), float64(run.Report.NumColors)}
+
+		bp := busch.DefaultParams(d.N(), delta)
+		bNodes, bProtos := busch.Nodes(d.N(), seed+1, bp)
+		bRes, err := radio.Run(radio.Config{G: d.G, Protocols: bProtos,
+			Wake: radio.WakeSynchronous(d.N()), MaxSlots: 80_000_000})
+		if err != nil {
+			panic(err)
+		}
+		bColors := make([]int32, d.N())
+		for i, v := range bNodes {
+			bColors[i] = v.Color()
+		}
+		bRep := verify.Check(d.G, bColors)
+		out.algs[1] = algRes{bRes.AllDone && bRep.OK(), float64(bRes.MaxLatency()), float64(bRep.NumColors)}
+
+		ap := aloha.DefaultParams(d.N(), delta)
+		aNodes, aProtos := aloha.Nodes(d.N(), seed+2, ap)
+		aRes, err := radio.Run(radio.Config{G: d.G, Protocols: aProtos,
+			Wake: radio.WakeSynchronous(d.N()), MaxSlots: 10_000_000})
+		if err != nil {
+			panic(err)
+		}
+		aColors := make([]int32, d.N())
+		for i, v := range aNodes {
+			aColors[i] = v.Color()
+		}
+		aRep := verify.Check(d.G, aColors)
+		out.algs[2] = algRes{aRes.AllDone && aRep.OK(), float64(aRes.MaxLatency()), float64(aRep.NumColors)}
+
+		lNodes, lProtos := luby.Nodes(d.N(), delta, seed+3)
+		lRes, err := msgpass.Run(d.G, lProtos, 1_000_000)
+		if err != nil {
+			panic(err)
+		}
+		lColors := make([]int32, d.N())
+		for i, v := range lNodes {
+			lColors[i] = v.Color()
+		}
+		lRep := verify.Check(d.G, lColors)
+		out.algs[3] = algRes{lRes.AllDone && lRep.OK(), float64(lRes.Rounds), float64(lRep.NumColors)}
+		return out
+	})
 	type series struct{ xs, ys []float64 }
 	fits := map[string]*series{"ours": {}, "busch": {}}
 	for ci, target := range targets {
 		cells := map[string]*e8cell{"ours": {}, "busch": {}, "aloha": {}, "luby(mp)": {}}
 		measuredDelta := 0
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, 500+ci, trial)
-			d := topology.UDGWithTargetDegree(n, target, seed)
-			delta := d.G.MaxDegree()
-			measuredDelta = delta
-
-			par := MeasureParams(d)
-			run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
-			if err != nil {
-				panic(err)
+		for _, r := range grid[ci] {
+			measuredDelta = r.delta
+			for ai, name := range algNames {
+				cells[name].record(r.algs[ai].ok, r.algs[ai].time, r.algs[ai].colors)
 			}
-			cells["ours"].record(run.Correct(), float64(run.Radio.MaxLatency()), run.Report)
-
-			bp := busch.DefaultParams(d.N(), delta)
-			bNodes, bProtos := busch.Nodes(d.N(), seed+1, bp)
-			bRes, err := radio.Run(radio.Config{G: d.G, Protocols: bProtos,
-				Wake: radio.WakeSynchronous(d.N()), MaxSlots: 80_000_000})
-			if err != nil {
-				panic(err)
-			}
-			bColors := make([]int32, d.N())
-			for i, v := range bNodes {
-				bColors[i] = v.Color()
-			}
-			bRep := verify.Check(d.G, bColors)
-			cells["busch"].record(bRes.AllDone && bRep.OK(), float64(bRes.MaxLatency()), bRep)
-
-			ap := aloha.DefaultParams(d.N(), delta)
-			aNodes, aProtos := aloha.Nodes(d.N(), seed+2, ap)
-			aRes, err := radio.Run(radio.Config{G: d.G, Protocols: aProtos,
-				Wake: radio.WakeSynchronous(d.N()), MaxSlots: 10_000_000})
-			if err != nil {
-				panic(err)
-			}
-			aColors := make([]int32, d.N())
-			for i, v := range aNodes {
-				aColors[i] = v.Color()
-			}
-			aRep := verify.Check(d.G, aColors)
-			cells["aloha"].record(aRes.AllDone && aRep.OK(), float64(aRes.MaxLatency()), aRep)
-
-			lNodes, lProtos := luby.Nodes(d.N(), delta, seed+3)
-			lRes, err := msgpass.Run(d.G, lProtos, 1_000_000)
-			if err != nil {
-				panic(err)
-			}
-			lColors := make([]int32, d.N())
-			for i, v := range lNodes {
-				lColors[i] = v.Color()
-			}
-			lRep := verify.Check(d.G, lColors)
-			cells["luby(mp)"].record(lRes.AllDone && lRep.OK(), float64(lRes.Rounds), lRep)
 		}
-		for _, name := range []string{"ours", "busch", "aloha", "luby(mp)"} {
+		for _, name := range algNames {
 			c := cells[name]
 			unit := "slots"
 			if name == "luby(mp)" {
@@ -156,11 +187,11 @@ type e8cell struct {
 	colors  []float64
 }
 
-func (c *e8cell) record(ok bool, time float64, rep *verify.Report) {
+func (c *e8cell) record(ok bool, time, colors float64) {
 	if ok {
 		c.correct++
 		c.times = append(c.times, time)
-		c.colors = append(c.colors, float64(rep.NumColors))
+		c.colors = append(c.colors, colors)
 	}
 }
 
@@ -173,29 +204,46 @@ func E9Wakeup(o Options) *stats.Table {
 	t := stats.NewTable("E9: per-node latency under wake-up patterns (Sect. 2: any distribution)",
 		"wakeup", "correct", "mean T_v", "p90 T_v", "max T_v", "span of wake slots")
 	n := o.scale(130, 40)
+	type trialRes struct {
+		ok   bool
+		lat  []float64
+		span int64
+	}
+	grid := parTrials(o, "E9", len(radio.WakePatterns), o.Trials, func(pi, tr int) trialRes {
+		pat := radio.WakePatterns[pi]
+		seed := trialSeed(o.Seed, 600+pi, tr)
+		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
+		par := MeasureParams(d)
+		wake := pat.Make(d.N(), par.WaitSlots(), seed)
+		var r trialRes
+		for _, w := range wake {
+			if w > r.span {
+				r.span = w
+			}
+		}
+		run, err := RunCore(d, par, wake, seed, defaultBudget(par)+4*r.span, core0)
+		if err != nil {
+			panic(err)
+		}
+		if run.Correct() {
+			r.ok = true
+			for v := 0; v < d.N(); v++ {
+				r.lat = append(r.lat, float64(run.Radio.Latency(v)))
+			}
+		}
+		return r
+	})
 	for pi, pat := range radio.WakePatterns {
 		correct := 0
 		var all []float64
 		var span int64
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, 600+pi, trial)
-			d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
-			par := MeasureParams(d)
-			wake := pat.Make(d.N(), par.WaitSlots(), seed)
-			for _, w := range wake {
-				if w > span {
-					span = w
-				}
+		for _, r := range grid[pi] {
+			if r.span > span {
+				span = r.span
 			}
-			run, err := RunCore(d, par, wake, seed, defaultBudget(par)+4*span, core0)
-			if err != nil {
-				panic(err)
-			}
-			if run.Correct() {
+			if r.ok {
 				correct++
-				for v := 0; v < d.N(); v++ {
-					all = append(all, float64(run.Radio.Latency(v)))
-				}
+				all = append(all, r.lat...)
 			}
 		}
 		s := stats.Summarize(all)
@@ -220,22 +268,37 @@ func E10UnitBall(o Options) *stats.Table {
 		geom.SnappedMetric{Base: geom.Euclidean{}, Step: 0.5},
 		geom.HubMetric{Hub: geom.Point{X: 3.5, Y: 3.5}, Factor: 0.35},
 	}
+	type trialRes struct {
+		ok         bool
+		colors, ts float64
+		par        core.Params
+	}
+	grid := parTrials(o, "E10", len(metrics), o.Trials, func(mi, tr int) trialRes {
+		seed := trialSeed(o.Seed, 700+mi, tr)
+		d := topology.UnitBallGraph(topology.UDGConfig{N: n, Side: 7, Radius: 1, Seed: seed}, metrics[mi])
+		par := MeasureParams(d)
+		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+		if err != nil {
+			panic(err)
+		}
+		r := trialRes{par: par}
+		if run.Correct() {
+			r.ok = true
+			r.colors = float64(run.Report.NumColors)
+			r.ts = float64(run.Radio.MaxLatency())
+		}
+		return r
+	})
 	for mi, m := range metrics {
 		correct := 0
 		var colors, ts []float64
 		var par core.Params
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, 700+mi, trial)
-			d := topology.UnitBallGraph(topology.UDGConfig{N: n, Side: 7, Radius: 1, Seed: seed}, m)
-			par = MeasureParams(d)
-			run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
-			if err != nil {
-				panic(err)
-			}
-			if run.Correct() {
+		for _, r := range grid[mi] {
+			par = r.par
+			if r.ok {
 				correct++
-				colors = append(colors, float64(run.Report.NumColors))
-				ts = append(ts, float64(run.Radio.MaxLatency()))
+				colors = append(colors, r.colors)
+				ts = append(ts, r.ts)
 			}
 		}
 		t.AddRow(m.Name(), par.Delta, par.Kappa1, par.Kappa2,
@@ -262,36 +325,53 @@ func E11Ablation(o Options) *stats.Table {
 		{"no competitor list (χ≡0)", core.Ablation{NoCompetitorList: true}},
 		{"naive reset rule", core.Ablation{NaiveReset: true}},
 	}
+	type trialRes struct {
+		timedOut, ok bool
+		t            float64
+		meanResets   float64
+		maxResets    int64
+	}
+	grid := parTrials(o, "E11", len(variants), o.Trials, func(vi, tr int) trialRes {
+		seed := trialSeed(o.Seed, 800+vi, tr)
+		d := topology.CorridorUDG(n, 22, 2, 1.2, seed)
+		par := MeasureParams(d)
+		wake := radio.WakeAdversarial(d.N(), par.WaitSlots(), seed)
+		// A tight budget makes starvation measurable as timeout.
+		budget := defaultBudget(par)
+		run, err := RunCore(d, par, wake, seed, budget, variants[vi].abl)
+		if err != nil {
+			panic(err)
+		}
+		r := trialRes{timedOut: !run.Radio.AllDone, ok: run.Correct()}
+		if r.ok {
+			r.t = float64(run.Radio.MaxLatency())
+		}
+		var total int64
+		for _, node := range run.Nodes {
+			total += node.Resets()
+			if node.Resets() > r.maxResets {
+				r.maxResets = node.Resets()
+			}
+		}
+		r.meanResets = float64(total) / float64(d.N())
+		return r
+	})
 	for vi, variant := range variants {
 		correct, timeouts := 0, 0
 		var ts, meanResets []float64
 		maxResets := int64(0)
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, 800+vi, trial)
-			d := topology.CorridorUDG(n, 22, 2, 1.2, seed)
-			par := MeasureParams(d)
-			wake := radio.WakeAdversarial(d.N(), par.WaitSlots(), seed)
-			// A tight budget makes starvation measurable as timeout.
-			budget := defaultBudget(par)
-			run, err := RunCore(d, par, wake, seed, budget, variant.abl)
-			if err != nil {
-				panic(err)
-			}
-			if !run.Radio.AllDone {
+		for _, r := range grid[vi] {
+			if r.timedOut {
 				timeouts++
 			}
-			if run.Correct() {
+			if r.ok {
 				correct++
-				ts = append(ts, float64(run.Radio.MaxLatency()))
+				ts = append(ts, r.t)
 			}
-			var total int64
-			for _, node := range run.Nodes {
-				total += node.Resets()
-				if node.Resets() > maxResets {
-					maxResets = node.Resets()
-				}
+			if r.maxResets > maxResets {
+				maxResets = r.maxResets
 			}
-			meanResets = append(meanResets, float64(total)/float64(d.N()))
+			meanResets = append(meanResets, r.meanResets)
 		}
 		t.AddRow(variant.name, fmt.Sprintf("%d/%d", correct, o.Trials),
 			fmt.Sprintf("%d/%d", timeouts, o.Trials),
@@ -309,8 +389,15 @@ func E12Messages(o Options) *stats.Table {
 	o = o.normalized()
 	t := stats.NewTable("E12: message size (Sect. 2) and color windows (Corollary 1)",
 		"n", "max msg bits", "bits/log₂(n)", "max class moves (≤κ₂)", "κ₂", "window violations")
-	for ci, base := range []int{64, 256, 1024} {
-		n := o.scale(base, 32)
+	bases := []int{64, 256, 1024}
+	type cell struct {
+		n, bits  int
+		maxMoves int64
+		kappa2   int
+		viol     int
+	}
+	rows := parMap(o, "E12", len(bases), func(ci int) cell {
+		n := o.scale(bases[ci], 32)
 		seed := trialSeed(o.Seed, 900+ci, 0)
 		d := topology.UDGWithTargetDegree(n, 10, seed)
 		par := MeasureParams(d)
@@ -325,9 +412,10 @@ func E12Messages(o Options) *stats.Table {
 			}
 		}
 		viol := verify.CheckClusterRanges(run.Colors, run.TCs, par.Kappa2)
-		t.AddRow(n, run.Radio.MaxMessageBits,
-			float64(run.Radio.MaxMessageBits)/logn(n),
-			maxMoves, par.Kappa2, len(viol))
+		return cell{n, run.Radio.MaxMessageBits, maxMoves, par.Kappa2, len(viol)}
+	})
+	for _, r := range rows {
+		t.AddRow(r.n, r.bits, float64(r.bits)/logn(r.n), r.maxMoves, r.kappa2, r.viol)
 	}
 	return t
 }

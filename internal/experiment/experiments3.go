@@ -32,17 +32,18 @@ func E13Distance2(o Options) *stats.Table {
 	t := stats.NewTable("E13: 1-hop vs distance-2 coloring (introduction's TDMA discussion)",
 		"variant", "correct", "mean #colors", "mean maxT", "TDMA direct conflicts", "TDMA hidden collisions", "frame success")
 	n := o.scale(110, 40)
-	type acc struct {
-		correct                    int
-		colors, ts                 []float64
-		direct, hidden, frameTotal int
-		success                    []float64
+	variants := []string{"1-hop", "distance-2"}
+	type varRes struct {
+		ok             bool
+		colors, ts     float64
+		direct, hidden int
+		success        float64
 	}
-	accs := map[string]*acc{"1-hop": {}, "distance-2": {}}
-	for trial := 0; trial < o.Trials; trial++ {
-		seed := trialSeed(o.Seed, 1000, trial)
+	rows := parMap(o, "E13", o.Trials, func(tr int) [2]varRes {
+		seed := trialSeed(o.Seed, 1000, tr)
 		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.1, Seed: seed})
-		for _, variant := range []string{"1-hop", "distance-2"} {
+		var out [2]varRes
+		for vi, variant := range variants {
 			commGraph := d.G
 			if variant == "distance-2" {
 				commGraph = d.G.Square()
@@ -53,26 +54,49 @@ func E13Distance2(o Options) *stats.Table {
 			if err != nil {
 				panic(err)
 			}
-			a := accs[variant]
 			// Validity is judged on the graph the protocol ran over; the
 			// TDMA schedule is evaluated on the PHYSICAL graph d.G.
 			if run.Correct() {
-				a.correct++
-				a.colors = append(a.colors, float64(run.Report.NumColors))
-				a.ts = append(a.ts, float64(run.Radio.MaxLatency()))
 				s, err := sched.FromColoring(run.Colors)
 				if err != nil {
 					panic(err)
 				}
-				a.direct += len(s.DirectConflicts(d.G))
 				frame := s.SimulateFrame(d.G)
-				a.hidden += frame.Collisions
-				a.frameTotal++
-				a.success = append(a.success, frame.SuccessRate())
+				out[vi] = varRes{
+					ok:      true,
+					colors:  float64(run.Report.NumColors),
+					ts:      float64(run.Radio.MaxLatency()),
+					direct:  len(s.DirectConflicts(d.G)),
+					hidden:  frame.Collisions,
+					success: frame.SuccessRate(),
+				}
 			}
 		}
+		return out
+	})
+	type acc struct {
+		correct        int
+		colors, ts     []float64
+		direct, hidden int
+		success        []float64
 	}
-	for _, variant := range []string{"1-hop", "distance-2"} {
+	accs := map[string]*acc{"1-hop": {}, "distance-2": {}}
+	for _, r := range rows {
+		for vi, variant := range variants {
+			v := r[vi]
+			if !v.ok {
+				continue
+			}
+			a := accs[variant]
+			a.correct++
+			a.colors = append(a.colors, v.colors)
+			a.ts = append(a.ts, v.ts)
+			a.direct += v.direct
+			a.hidden += v.hidden
+			a.success = append(a.success, v.success)
+		}
+	}
+	for _, variant := range variants {
 		a := accs[variant]
 		t.AddRow(variant, fmt.Sprintf("%d/%d", a.correct, o.Trials),
 			stats.Mean(a.colors), stats.Mean(a.ts), a.direct, a.hidden, stats.Mean(a.success))
@@ -89,33 +113,28 @@ func E14AdaptiveDelta(o Options) *stats.Table {
 	t := stats.NewTable("E14: local degree estimation instead of global Δ (Sect. 6 future work)",
 		"variant", "correct", "mean maxT", "mean Δ used", "true Δ", "mean est/deg ratio")
 	n := o.scale(110, 40)
-	type acc struct {
-		correct    int
-		ts, deltas []float64
-		ratio      []float64
-		trueDelta  int
+	type trialRes struct {
+		trueDelta             int
+		baseOK                bool
+		baseT                 float64
+		adOK                  bool
+		adT, adDelta, adRatio float64
 	}
-	accs := map[string]*acc{"known Δ": {}, "estimated Δ": {}}
-	for trial := 0; trial < o.Trials; trial++ {
-		seed := trialSeed(o.Seed, 1100, trial)
+	rows := parMap(o, "E14", o.Trials, func(tr int) trialRes {
+		seed := trialSeed(o.Seed, 1100, tr)
 		d := topology.ClusteredUDG(n/2, n-n/2, 14, 1.1, seed)
 		par := MeasureParams(d)
+		r := trialRes{trueDelta: par.Delta}
 
-		base := accs["known Δ"]
-		base.trueDelta = par.Delta
 		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
 		if err != nil {
 			panic(err)
 		}
 		if run.Correct() {
-			base.correct++
-			base.ts = append(base.ts, float64(run.Radio.MaxLatency()))
-			base.deltas = append(base.deltas, float64(par.Delta))
-			base.ratio = append(base.ratio, 1)
+			r.baseOK = true
+			r.baseT = float64(run.Radio.MaxLatency())
 		}
 
-		ad := accs["estimated Δ"]
-		ad.trueDelta = par.Delta
 		cfg := estimate.DefaultConfig(d.N(), par.Kappa1, par.Kappa2)
 		nodes, protos := estimate.AdaptiveNodes(d.N(), seed+1, cfg, core0)
 		res, err := radio.Run(radio.Config{
@@ -133,10 +152,36 @@ func E14AdaptiveDelta(o Options) *stats.Table {
 			ratioSum += float64(v.DeltaEstimate()) / float64(d.G.Degree(i))
 		}
 		if res.AllDone && verify.Check(d.G, colors).OK() {
+			r.adOK = true
+			r.adT = float64(res.MaxLatency())
+			r.adDelta = deltaSum / float64(d.N())
+			r.adRatio = ratioSum / float64(d.N())
+		}
+		return r
+	})
+	type acc struct {
+		correct    int
+		ts, deltas []float64
+		ratio      []float64
+		trueDelta  int
+	}
+	accs := map[string]*acc{"known Δ": {}, "estimated Δ": {}}
+	for _, r := range rows {
+		base := accs["known Δ"]
+		base.trueDelta = r.trueDelta
+		if r.baseOK {
+			base.correct++
+			base.ts = append(base.ts, r.baseT)
+			base.deltas = append(base.deltas, float64(r.trueDelta))
+			base.ratio = append(base.ratio, 1)
+		}
+		ad := accs["estimated Δ"]
+		ad.trueDelta = r.trueDelta
+		if r.adOK {
 			ad.correct++
-			ad.ts = append(ad.ts, float64(res.MaxLatency()))
-			ad.deltas = append(ad.deltas, deltaSum/float64(d.N()))
-			ad.ratio = append(ad.ratio, ratioSum/float64(d.N()))
+			ad.ts = append(ad.ts, r.adT)
+			ad.deltas = append(ad.deltas, r.adDelta)
+			ad.ratio = append(ad.ratio, r.adRatio)
 		}
 	}
 	for _, variant := range []string{"known Δ", "estimated Δ"} {
@@ -156,32 +201,50 @@ func E15RandomIDs(o Options) *stats.Table {
 	t := stats.NewTable("E15: random identifiers from [1..n³] (Sect. 2)",
 		"n", "trials", "runs with id collisions", "analytical bound", "correct", "mean #colors")
 	trials := o.Trials * 2
-	for ci, base := range []int{48, 96, 192} {
-		n := o.scale(base, 24)
+	bases := []int{48, 96, 192}
+	ns := make([]int, len(bases))
+	for i, base := range bases {
+		ns[i] = o.scale(base, 24)
+	}
+	type trialRes struct {
+		collided, ok bool
+		colors       float64
+	}
+	grid := parTrials(o, "E15", len(bases), trials, func(ci, tr int) trialRes {
+		n := ns[ci]
+		seed := trialSeed(o.Seed, 1200+ci, tr)
+		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.4, Seed: seed})
+		par := MeasureParams(d)
+		nodes, protos, ids := core.NodesWithRandomIDs(d.N(), seed, par, core0, 0)
+		r := trialRes{collided: core.CountIDCollisions(ids) > 0}
+		res, err := radio.Run(radio.Config{
+			G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+			MaxSlots: defaultBudget(par), NEstimate: par.N,
+		})
+		if err != nil {
+			panic(err)
+		}
+		cs := make([]int32, d.N())
+		for i, v := range nodes {
+			cs[i] = v.Color()
+		}
+		if res.AllDone && verify.Check(d.G, cs).OK() {
+			r.ok = true
+			r.colors = float64(verify.Check(d.G, cs).NumColors)
+		}
+		return r
+	})
+	for ci := range bases {
+		n := ns[ci]
 		collided, correct := 0, 0
 		var colors []float64
-		for trial := 0; trial < trials; trial++ {
-			seed := trialSeed(o.Seed, 1200+ci, trial)
-			d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.4, Seed: seed})
-			par := MeasureParams(d)
-			nodes, protos, ids := core.NodesWithRandomIDs(d.N(), seed, par, core0, 0)
-			if core.CountIDCollisions(ids) > 0 {
+		for _, r := range grid[ci] {
+			if r.collided {
 				collided++
 			}
-			res, err := radio.Run(radio.Config{
-				G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
-				MaxSlots: defaultBudget(par), NEstimate: par.N,
-			})
-			if err != nil {
-				panic(err)
-			}
-			cs := make([]int32, d.N())
-			for i, v := range nodes {
-				cs[i] = v.Color()
-			}
-			if res.AllDone && verify.Check(d.G, cs).OK() {
+			if r.ok {
 				correct++
-				colors = append(colors, float64(verify.Check(d.G, cs).NumColors))
+				colors = append(colors, r.colors)
 			}
 		}
 		bound := float64(n-1) / (2 * float64(n) * float64(n))
@@ -201,33 +264,46 @@ func E16MessageLoss(o Options) *stats.Table {
 	t := stats.NewTable("E16: robustness to message loss beyond the model",
 		"loss prob", "correct", "complete", "mean maxT", "slowdown vs lossless")
 	n := o.scale(110, 40)
+	probs := []float64{0, 0.1, 0.2, 0.3, 0.5}
+	type trialRes struct {
+		complete, ok bool
+		t            float64
+	}
+	grid := parTrials(o, "E16", len(probs), o.Trials, func(ci, tr int) trialRes {
+		seed := trialSeed(o.Seed, 1300+ci, tr)
+		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
+		par := MeasureParams(d)
+		nodes, protos := core.Nodes(d.N(), seed, par, core0)
+		res, err := radio.Run(radio.Config{
+			G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+			MaxSlots: 4 * defaultBudget(par), NEstimate: par.N,
+			DropProb: probs[ci], DropSeed: seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		cs := make([]int32, d.N())
+		for i, v := range nodes {
+			cs[i] = v.Color()
+		}
+		r := trialRes{complete: res.AllDone}
+		if res.AllDone && verify.Check(d.G, cs).OK() {
+			r.ok = true
+			r.t = float64(res.MaxLatency())
+		}
+		return r
+	})
 	var baseline float64
-	for ci, p := range []float64{0, 0.1, 0.2, 0.3, 0.5} {
+	for ci, p := range probs {
 		correct, complete := 0, 0
 		var ts []float64
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, 1300+ci, trial)
-			d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
-			par := MeasureParams(d)
-			nodes, protos := core.Nodes(d.N(), seed, par, core0)
-			res, err := radio.Run(radio.Config{
-				G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
-				MaxSlots: 4 * defaultBudget(par), NEstimate: par.N,
-				DropProb: p, DropSeed: seed,
-			})
-			if err != nil {
-				panic(err)
-			}
-			cs := make([]int32, d.N())
-			for i, v := range nodes {
-				cs[i] = v.Color()
-			}
-			if res.AllDone {
+		for _, r := range grid[ci] {
+			if r.complete {
 				complete++
 			}
-			if res.AllDone && verify.Check(d.G, cs).OK() {
+			if r.ok {
 				correct++
-				ts = append(ts, float64(res.MaxLatency()))
+				ts = append(ts, r.t)
 			}
 		}
 		mean := stats.Mean(ts)
@@ -254,16 +330,19 @@ func E17Unaligned(o Options) *stats.Table {
 	t := stats.NewTable("E17: non-aligned slot boundaries (Sect. 2 remark; expect small constant slowdown)",
 		"engine", "correct", "mean maxT", "slowdown", "mean deliveries/tx")
 	n := o.scale(110, 40)
-	type acc struct {
-		correct  int
-		ts, effs []float64
+	engines := []string{"aligned", "unaligned"}
+	type engRes struct {
+		ok     bool
+		t      float64
+		eff    float64
+		hasEff bool
 	}
-	accs := map[string]*acc{"aligned": {}, "unaligned": {}}
-	for trial := 0; trial < o.Trials; trial++ {
-		seed := trialSeed(o.Seed, 1400, trial)
+	rows := parMap(o, "E17", o.Trials, func(tr int) [2]engRes {
+		seed := trialSeed(o.Seed, 1400, tr)
 		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
 		par := MeasureParams(d)
-		for _, engine := range []string{"aligned", "unaligned"} {
+		var out [2]engRes
+		for ei, engine := range engines {
 			nodes, protos := core.Nodes(d.N(), seed, par, core0)
 			cfg := radio.Config{
 				G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
@@ -283,18 +362,38 @@ func E17Unaligned(o Options) *stats.Table {
 			for i, v := range nodes {
 				cs[i] = v.Color()
 			}
-			a := accs[engine]
 			if res.AllDone && verify.Check(d.G, cs).OK() {
-				a.correct++
-				a.ts = append(a.ts, float64(res.MaxLatency()))
+				out[ei].ok = true
+				out[ei].t = float64(res.MaxLatency())
 				if res.Transmissions > 0 {
-					a.effs = append(a.effs, float64(res.Deliveries)/float64(res.Transmissions))
+					out[ei].hasEff = true
+					out[ei].eff = float64(res.Deliveries) / float64(res.Transmissions)
 				}
+			}
+		}
+		return out
+	})
+	type acc struct {
+		correct  int
+		ts, effs []float64
+	}
+	accs := map[string]*acc{"aligned": {}, "unaligned": {}}
+	for _, r := range rows {
+		for ei, engine := range engines {
+			v := r[ei]
+			if !v.ok {
+				continue
+			}
+			a := accs[engine]
+			a.correct++
+			a.ts = append(a.ts, v.t)
+			if v.hasEff {
+				a.effs = append(a.effs, v.eff)
 			}
 		}
 	}
 	base := stats.Mean(accs["aligned"].ts)
-	for _, engine := range []string{"aligned", "unaligned"} {
+	for _, engine := range engines {
 		a := accs[engine]
 		slow := "–"
 		if base > 0 && stats.Mean(a.ts) > 0 {
@@ -317,66 +416,86 @@ func E18MISFromScratch(o Options) *stats.Table {
 	o = o.normalized()
 	t := stats.NewTable("E18: the MIS substructure (leaders + coverage) emerges early ([13, 21])",
 		"n", "correct MIS", "mean MIS-done slot", "mean total slots", "MIS at % of run", "mean leaders")
-	for ci, base := range []int{80, 160, 320} {
-		n := o.scale(base, 32)
-		okMIS := 0
-		var misDone, total, leaders []float64
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, 1500+ci, trial)
-			d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.15, Seed: seed})
-			par := MeasureParams(d)
-			run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
-			if err != nil {
-				panic(err)
+	bases := []int{80, 160, 320}
+	ns := make([]int, len(bases))
+	for i, base := range bases {
+		ns[i] = o.scale(base, 32)
+	}
+	type trialRes struct {
+		ok, misOK               bool
+		misDone, total, leaders float64
+	}
+	grid := parTrials(o, "E18", len(bases), o.Trials, func(ci, tr int) trialRes {
+		seed := trialSeed(o.Seed, 1500+ci, tr)
+		d := topology.RandomUDG(topology.UDGConfig{N: ns[ci], Side: 6, Radius: 1.15, Seed: seed})
+		par := MeasureParams(d)
+		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
+		if err != nil {
+			panic(err)
+		}
+		var r trialRes
+		if !run.Correct() {
+			return r
+		}
+		r.ok = true
+		// When did the last node leave A₀?
+		last := int64(0)
+		var leaderSet []int32
+		for i, v := range run.Nodes {
+			if at := v.LeftClassZeroAt(); at > last {
+				last = at
 			}
-			if !run.Correct() {
+			if v.IsLeader() {
+				leaderSet = append(leaderSet, int32(i))
+			}
+		}
+		// MIS properties: independence + domination.
+		indep := d.G.IsIndependent(leaderSet)
+		isLeader := make(map[int32]bool, len(leaderSet))
+		for _, l := range leaderSet {
+			isLeader[l] = true
+		}
+		dominated := true
+		for v := 0; v < d.N(); v++ {
+			if isLeader[int32(v)] {
 				continue
 			}
-			// When did the last node leave A₀?
-			last := int64(0)
-			var leaderSet []int32
-			for i, v := range run.Nodes {
-				if at := v.LeftClassZeroAt(); at > last {
-					last = at
-				}
-				if v.IsLeader() {
-					leaderSet = append(leaderSet, int32(i))
+			ok := false
+			for _, u := range d.G.Adj(v) {
+				if isLeader[u] {
+					ok = true
+					break
 				}
 			}
-			// MIS properties: independence + domination.
-			indep := d.G.IsIndependent(leaderSet)
-			isLeader := make(map[int32]bool, len(leaderSet))
-			for _, l := range leaderSet {
-				isLeader[l] = true
+			if !ok {
+				dominated = false
 			}
-			dominated := true
-			for v := 0; v < d.N(); v++ {
-				if isLeader[int32(v)] {
-					continue
-				}
-				ok := false
-				for _, u := range d.G.Adj(v) {
-					if isLeader[u] {
-						ok = true
-						break
-					}
-				}
-				if !ok {
-					dominated = false
-				}
+		}
+		r.misOK = indep && dominated
+		r.misDone = float64(last)
+		r.total = float64(run.Radio.Slots)
+		r.leaders = float64(len(leaderSet))
+		return r
+	})
+	for ci := range bases {
+		okMIS := 0
+		var misDone, total, leaders []float64
+		for _, r := range grid[ci] {
+			if !r.ok {
+				continue
 			}
-			if indep && dominated {
+			if r.misOK {
 				okMIS++
 			}
-			misDone = append(misDone, float64(last))
-			total = append(total, float64(run.Radio.Slots))
-			leaders = append(leaders, float64(len(leaderSet)))
+			misDone = append(misDone, r.misDone)
+			total = append(total, r.total)
+			leaders = append(leaders, r.leaders)
 		}
 		frac := "–"
 		if stats.Mean(total) > 0 {
 			frac = fmt.Sprintf("%.0f%%", 100*stats.Mean(misDone)/stats.Mean(total))
 		}
-		t.AddRow(n, fmt.Sprintf("%d/%d", okMIS, o.Trials), stats.Mean(misDone),
+		t.AddRow(ns[ci], fmt.Sprintf("%d/%d", okMIS, o.Trials), stats.Mean(misDone),
 			stats.Mean(total), frac, stats.Mean(leaders))
 	}
 	return t
@@ -391,30 +510,31 @@ func E19ColorReduction(o Options) *stats.Table {
 	t := stats.NewTable("E19: post-initialization color compaction (extension)",
 		"stage", "proper", "mean #colors", "mean max color", "max color vs Δ", "mean moves/node")
 	n := o.scale(110, 40)
-	type acc struct {
-		proper        int
-		colors, maxes []float64
-		moves         []float64
-		delta         int
+	type trialRes struct {
+		ok                    bool
+		delta                 int
+		protoColors, protoMax float64
+		redOK                 bool
+		redColors, redMax     float64
+		redMoves              float64
+		gColors, gMax         float64
 	}
-	accs := map[string]*acc{"after protocol": {}, "after reduction": {}, "centralized greedy": {}}
-	for trial := 0; trial < o.Trials; trial++ {
-		seed := trialSeed(o.Seed, 1600, trial)
+	rows := parMap(o, "E19", o.Trials, func(tr int) trialRes {
+		seed := trialSeed(o.Seed, 1600, tr)
 		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
 		par := MeasureParams(d)
 		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
 		if err != nil {
 			panic(err)
 		}
+		var r trialRes
 		if !run.Correct() {
-			continue
+			return r
 		}
-		base := accs["after protocol"]
-		base.delta = par.Delta
-		base.proper++
-		base.colors = append(base.colors, float64(run.Report.NumColors))
-		base.maxes = append(base.maxes, float64(run.Report.MaxColor))
-		base.moves = append(base.moves, 0)
+		r.ok = true
+		r.delta = par.Delta
+		r.protoColors = float64(run.Report.NumColors)
+		r.protoMax = float64(run.Report.MaxColor)
 
 		rp := reduce.Params{N: par.N, Delta: par.Delta, Kappa2: par.Kappa2}
 		rNodes, rProtos := reduce.Nodes(run.Colors, seed+1, rp)
@@ -432,22 +552,51 @@ func E19ColorReduction(o Options) *stats.Table {
 			totalMoves += v.Moves()
 		}
 		rRep := verify.Check(d.G, after)
-		red := accs["after reduction"]
-		red.delta = par.Delta
 		if rRes.AllDone && rRep.OK() {
-			red.proper++
-			red.colors = append(red.colors, float64(rRep.NumColors))
-			red.maxes = append(red.maxes, float64(rRep.MaxColor))
-			red.moves = append(red.moves, float64(totalMoves)/float64(d.N()))
+			r.redOK = true
+			r.redColors = float64(rRep.NumColors)
+			r.redMax = float64(rRep.MaxColor)
+			r.redMoves = float64(totalMoves) / float64(d.N())
 		}
 
 		gc := d.G.GreedyColoring()
 		gRep := verify.Check(d.G, gc)
+		r.gColors = float64(gRep.NumColors)
+		r.gMax = float64(gRep.MaxColor)
+		return r
+	})
+	type acc struct {
+		proper        int
+		colors, maxes []float64
+		moves         []float64
+		delta         int
+	}
+	accs := map[string]*acc{"after protocol": {}, "after reduction": {}, "centralized greedy": {}}
+	for _, r := range rows {
+		if !r.ok {
+			continue
+		}
+		base := accs["after protocol"]
+		base.delta = r.delta
+		base.proper++
+		base.colors = append(base.colors, r.protoColors)
+		base.maxes = append(base.maxes, r.protoMax)
+		base.moves = append(base.moves, 0)
+
+		red := accs["after reduction"]
+		red.delta = r.delta
+		if r.redOK {
+			red.proper++
+			red.colors = append(red.colors, r.redColors)
+			red.maxes = append(red.maxes, r.redMax)
+			red.moves = append(red.moves, r.redMoves)
+		}
+
 		g := accs["centralized greedy"]
-		g.delta = par.Delta
+		g.delta = r.delta
 		g.proper++
-		g.colors = append(g.colors, float64(gRep.NumColors))
-		g.maxes = append(g.maxes, float64(gRep.MaxColor))
+		g.colors = append(g.colors, r.gColors)
+		g.maxes = append(g.maxes, r.gMax)
 		g.moves = append(g.moves, 0)
 	}
 	for _, stage := range []string{"after protocol", "after reduction", "centralized greedy"} {
@@ -473,34 +622,48 @@ func E20CaptureEffect(o Options) *stats.Table {
 	t := stats.NewTable("E20: capture effect (model deviation above spec)",
 		"capture prob", "correct", "mean maxT", "speedup", "captures/collisions")
 	n := o.scale(110, 40)
+	probs := []float64{0, 0.25, 0.5, 1.0}
+	type trialRes struct {
+		ok          bool
+		t           float64
+		caps, colls int64
+	}
+	grid := parTrials(o, "E20", len(probs), o.Trials, func(ci, tr int) trialRes {
+		seed := trialSeed(o.Seed, 1700+ci, tr)
+		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
+		par := MeasureParams(d)
+		nodes, protos := core.Nodes(d.N(), seed, par, core0)
+		res, err := radio.Run(radio.Config{
+			G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+			MaxSlots: defaultBudget(par), NEstimate: par.N,
+			CaptureProb: probs[ci], DropSeed: seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		cs := make([]int32, d.N())
+		for i, v := range nodes {
+			cs[i] = v.Color()
+		}
+		r := trialRes{caps: res.Captures, colls: res.Collisions}
+		if res.AllDone && verify.Check(d.G, cs).OK() {
+			r.ok = true
+			r.t = float64(res.MaxLatency())
+		}
+		return r
+	})
 	var baseline float64
-	for ci, p := range []float64{0, 0.25, 0.5, 1.0} {
+	for ci, p := range probs {
 		correct := 0
 		var ts []float64
 		var caps, colls int64
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, 1700+ci, trial)
-			d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
-			par := MeasureParams(d)
-			nodes, protos := core.Nodes(d.N(), seed, par, core0)
-			res, err := radio.Run(radio.Config{
-				G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
-				MaxSlots: defaultBudget(par), NEstimate: par.N,
-				CaptureProb: p, DropSeed: seed,
-			})
-			if err != nil {
-				panic(err)
-			}
-			cs := make([]int32, d.N())
-			for i, v := range nodes {
-				cs[i] = v.Color()
-			}
-			if res.AllDone && verify.Check(d.G, cs).OK() {
+		for _, r := range grid[ci] {
+			if r.ok {
 				correct++
-				ts = append(ts, float64(res.MaxLatency()))
+				ts = append(ts, r.t)
 			}
-			caps += res.Captures
-			colls += res.Collisions
+			caps += r.caps
+			colls += r.colls
 		}
 		mean := stats.Mean(ts)
 		if p == 0 {
@@ -530,33 +693,53 @@ func E21MultiChannel(o Options) *stats.Table {
 	t := stats.NewTable("E21: multiple channels ([13, 14] assumption restored)",
 		"channels", "correct", "mean maxT", "vs 1 channel", "deliveries/tx", "collisions/tx")
 	n := o.scale(110, 40)
+	channels := []int{1, 2, 4, 8}
+	type trialRes struct {
+		ok       bool
+		t        float64
+		hasRatio bool
+		rx, coll float64
+	}
+	grid := parTrials(o, "E21", len(channels), o.Trials, func(ci, tr int) trialRes {
+		seed := trialSeed(o.Seed, 1800+ci, tr)
+		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
+		par := MeasureParams(d)
+		nodes, protos := core.Nodes(d.N(), seed, par, core0)
+		res, err := radio.RunMultiChannel(radio.Config{
+			G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+			MaxSlots: 8 * defaultBudget(par), NEstimate: par.N,
+		}, channels[ci], seed)
+		if err != nil {
+			panic(err)
+		}
+		cs := make([]int32, d.N())
+		for i, v := range nodes {
+			cs[i] = v.Color()
+		}
+		var r trialRes
+		if res.AllDone && verify.Check(d.G, cs).OK() {
+			r.ok = true
+			r.t = float64(res.MaxLatency())
+		}
+		if res.Transmissions > 0 {
+			r.hasRatio = true
+			r.rx = float64(res.Deliveries) / float64(res.Transmissions)
+			r.coll = float64(res.Collisions) / float64(res.Transmissions)
+		}
+		return r
+	})
 	var baseline float64
-	for ci, k := range []int{1, 2, 4, 8} {
+	for ci, k := range channels {
 		correct := 0
 		var ts, rxRatio, collRatio []float64
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := trialSeed(o.Seed, 1800+ci, trial)
-			d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
-			par := MeasureParams(d)
-			nodes, protos := core.Nodes(d.N(), seed, par, core0)
-			res, err := radio.RunMultiChannel(radio.Config{
-				G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
-				MaxSlots: 8 * defaultBudget(par), NEstimate: par.N,
-			}, k, seed)
-			if err != nil {
-				panic(err)
-			}
-			cs := make([]int32, d.N())
-			for i, v := range nodes {
-				cs[i] = v.Color()
-			}
-			if res.AllDone && verify.Check(d.G, cs).OK() {
+		for _, r := range grid[ci] {
+			if r.ok {
 				correct++
-				ts = append(ts, float64(res.MaxLatency()))
+				ts = append(ts, r.t)
 			}
-			if res.Transmissions > 0 {
-				rxRatio = append(rxRatio, float64(res.Deliveries)/float64(res.Transmissions))
-				collRatio = append(collRatio, float64(res.Collisions)/float64(res.Transmissions))
+			if r.hasRatio {
+				rxRatio = append(rxRatio, r.rx)
+				collRatio = append(collRatio, r.coll)
 			}
 		}
 		mean := stats.Mean(ts)
@@ -584,15 +767,19 @@ func E22DataCollection(o Options) *stats.Table {
 	t := stats.NewTable("E22: convergecast data collection over coloring-derived TDMA schedules",
 		"schedule", "frame len", "delivery", "mean latency (slots)", "retx/packet")
 	n := o.scale(110, 40)
-	type acc struct {
-		frames, delivery, latency, retx []float64
+	schedules := []string{"1-hop (protocol)", "compacted (E19)", "distance-2"}
+	type schedRes struct {
+		present                  bool
+		frame, delivery, latency float64
+		hasRetx                  bool
+		retx                     float64
 	}
-	accs := map[string]*acc{"1-hop (protocol)": {}, "compacted (E19)": {}, "distance-2": {}}
-	for trial := 0; trial < o.Trials; trial++ {
-		seed := trialSeed(o.Seed, 1900, trial)
+	rows := parMap(o, "E22", o.Trials, func(tr int) [3]schedRes {
+		var out [3]schedRes
+		seed := trialSeed(o.Seed, 1900, tr)
 		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 5.5, Radius: 1.3, Seed: seed})
 		if !d.G.Connected() {
-			continue
+			return out
 		}
 		par := MeasureParams(d)
 		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
@@ -600,7 +787,7 @@ func E22DataCollection(o Options) *stats.Table {
 			panic(err)
 		}
 		if !run.Correct() {
-			continue
+			return out
 		}
 		colorings := map[string][]int32{"1-hop (protocol)": run.Colors}
 
@@ -620,7 +807,11 @@ func E22DataCollection(o Options) *stats.Table {
 		}
 		colorings["distance-2"] = d.G.Square().GreedyColoring()
 
-		for name, colors := range colorings {
+		for si, name := range schedules {
+			colors, ok := colorings[name]
+			if !ok {
+				continue
+			}
 			s, err := sched.FromColoring(colors)
 			if err != nil {
 				panic(err)
@@ -631,16 +822,37 @@ func E22DataCollection(o Options) *stats.Table {
 			if err != nil {
 				panic(err)
 			}
-			a := accs[name]
-			a.frames = append(a.frames, float64(s.FrameLen))
-			a.delivery = append(a.delivery, stats_.DeliveryRate())
-			a.latency = append(a.latency, stats_.MeanLatency)
+			out[si].present = true
+			out[si].frame = float64(s.FrameLen)
+			out[si].delivery = stats_.DeliveryRate()
+			out[si].latency = stats_.MeanLatency
 			if stats_.Generated > 0 {
-				a.retx = append(a.retx, float64(stats_.Retransmissions)/float64(stats_.Generated))
+				out[si].hasRetx = true
+				out[si].retx = float64(stats_.Retransmissions) / float64(stats_.Generated)
+			}
+		}
+		return out
+	})
+	type acc struct {
+		frames, delivery, latency, retx []float64
+	}
+	accs := map[string]*acc{"1-hop (protocol)": {}, "compacted (E19)": {}, "distance-2": {}}
+	for _, r := range rows {
+		for si, name := range schedules {
+			v := r[si]
+			if !v.present {
+				continue
+			}
+			a := accs[name]
+			a.frames = append(a.frames, v.frame)
+			a.delivery = append(a.delivery, v.delivery)
+			a.latency = append(a.latency, v.latency)
+			if v.hasRetx {
+				a.retx = append(a.retx, v.retx)
 			}
 		}
 	}
-	for _, name := range []string{"1-hop (protocol)", "compacted (E19)", "distance-2"} {
+	for _, name := range schedules {
 		a := accs[name]
 		t.AddRow(name, stats.Mean(a.frames),
 			fmt.Sprintf("%.1f%%", 100*stats.Mean(a.delivery)),
@@ -660,22 +872,30 @@ func E23AdversarySearch(o Options) *stats.Table {
 		"constants", "search evals", "schedules broken", "worst maxT found", "sync baseline maxT", "blow-up")
 	n := o.scale(90, 40)
 	evals := 6 * o.Trials
-	for ci, scale := range []float64{2.0, 1.0, 0.5} {
+	scales := []float64{2.0, 1.0, 0.5}
+	type cell struct {
+		evals, broken  int
+		best, baseline int64
+	}
+	rows := parMap(o, "E23", len(scales), func(ci int) cell {
 		seed := trialSeed(o.Seed, 2000+ci, 0)
 		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 5.5, Radius: 1.2, Seed: seed})
-		par := MeasureParams(d).Scale(scale)
+		par := MeasureParams(d).Scale(scales[ci])
 		run, err := RunCore(d, par, radio.WakeSynchronous(d.N()), seed, defaultBudget(par), core0)
 		if err != nil {
 			panic(err)
 		}
-		baseline := run.Radio.MaxLatency()
 		res := adversary.Search(d, par, adversary.Config{Evals: evals, Seed: seed})
+		return cell{res.Evals, res.Broken, res.BestScore, run.Radio.MaxLatency()}
+	})
+	for ci, scale := range scales {
+		r := rows[ci]
 		blowup := "–"
-		if baseline > 0 && res.BestScore > 0 && res.Broken == 0 {
-			blowup = fmt.Sprintf("%.2f×", float64(res.BestScore)/float64(baseline))
+		if r.baseline > 0 && r.best > 0 && r.broken == 0 {
+			blowup = fmt.Sprintf("%.2f×", float64(r.best)/float64(r.baseline))
 		}
-		t.AddRow(fmt.Sprintf("%.1f×practical", scale), res.Evals, res.Broken,
-			res.BestScore, baseline, blowup)
+		t.AddRow(fmt.Sprintf("%.1f×practical", scale), r.evals, r.broken,
+			r.best, r.baseline, blowup)
 	}
 	return t
 }

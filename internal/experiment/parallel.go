@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"fmt"
+
+	"radiocolor/internal/fleet"
+)
+
+// This file is the bridge between the experiment generators and the
+// fleet batch engine: every experiment computes its per-trial (or
+// per-cell) measurements through parMap/parTrials and then folds the
+// ordered results into table rows sequentially. The fold order is
+// the job order, so a table is byte-identical whether the jobs ran on
+// one goroutine or many — the determinism contract cmd/experiments
+// -parallel relies on.
+
+// parMap runs fn(0..n-1) and returns the results in index order. With
+// o.Parallel > 1 the calls execute as jobs on a fleet engine bounded at
+// o.Parallel workers; otherwise they run inline. fn must be
+// deterministic and must not share mutable state across indices. A
+// panic inside fn is recovered by the engine, attributed to its job,
+// and re-raised here after the batch drains — matching the sequential
+// path, where experiments panic on a failed run.
+func parMap[T any](o Options, id string, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if o.Parallel <= 1 || n <= 1 {
+		if o.Progress != nil {
+			o.Progress.AddTotal(n)
+		}
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+			if o.Progress != nil {
+				o.Progress.JobDone()
+			}
+		}
+		return out
+	}
+	jobs := make([]fleet.Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = fleet.Job{
+			ID:  fmt.Sprintf("%s/%d", id, i),
+			Run: func() (any, error) { return fn(i), nil },
+		}
+	}
+	cfg := fleet.Config{Workers: o.Parallel}
+	if o.Progress != nil {
+		cfg.Progress = o.Progress
+	}
+	results, err := fleet.New(cfg).Run(jobs)
+	if err != nil {
+		panic(fmt.Sprintf("experiment %s: %v", id, err))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			panic(fmt.Sprintf("experiment %s: job %s: %v", id, r.ID, r.Err))
+		}
+		out[i] = r.Value.(T)
+	}
+	return out
+}
+
+// parTrials runs fn over the cells×trials grid — each table cell's
+// trials become fleet jobs — and returns the results indexed
+// [cell][trial]. The flat job order is cell-major, so folding
+// grid[cell] in trial order reproduces the sequential nested loop
+// exactly.
+func parTrials[T any](o Options, id string, cells, trials int, fn func(cell, trial int) T) [][]T {
+	flat := parMap(o, id, cells*trials, func(i int) T {
+		return fn(i/trials, i%trials)
+	})
+	grid := make([][]T, cells)
+	for c := range grid {
+		grid[c] = flat[c*trials : (c+1)*trials]
+	}
+	return grid
+}

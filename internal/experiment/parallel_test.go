@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"radiocolor/internal/monitor"
+)
+
+func TestParMapOrderAndBothPaths(t *testing.T) {
+	const n = 64
+	fn := func(i int) int { return i*i + 1 }
+	for _, workers := range []int{0, 1, 8} {
+		prog := monitor.NewProgress(nil, "t")
+		got := parMap(Options{Parallel: workers, Progress: prog}, "t", n, fn)
+		for i, v := range got {
+			if v != fn(i) {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, fn(i))
+			}
+		}
+		if s := prog.Snapshot(); s.Total != n || s.Done != n {
+			t.Fatalf("workers=%d: progress total=%d done=%d, want %d", workers, s.Total, s.Done, n)
+		}
+	}
+}
+
+func TestParTrialsGrid(t *testing.T) {
+	const cells, trials = 3, 4
+	grid := parTrials(Options{Parallel: 4}, "t", cells, trials, func(c, tr int) int {
+		return c*10 + tr
+	})
+	if len(grid) != cells {
+		t.Fatalf("got %d cells", len(grid))
+	}
+	for c := range grid {
+		if len(grid[c]) != trials {
+			t.Fatalf("cell %d has %d trials", c, len(grid[c]))
+		}
+		for tr, v := range grid[c] {
+			if v != c*10+tr {
+				t.Fatalf("grid[%d][%d] = %d, want %d", c, tr, v, c*10+tr)
+			}
+		}
+	}
+}
+
+func TestParMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("a job panic must re-raise from parMap, matching the sequential path")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "t/3") {
+			t.Fatalf("panic %v should name the failing job t/3", r)
+		}
+	}()
+	parMap(Options{Parallel: 4}, "t", 8, func(i int) int {
+		if i == 3 {
+			panic("deliberate")
+		}
+		return i
+	})
+}
+
+// TestE1ParallelMatchesSequential is the suite's determinism contract in
+// miniature: the same experiment rendered at 8 workers and at 1 worker
+// must produce byte-identical tables.
+func TestE1ParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := Quick()
+	o.Parallel = 1
+	seq := E1Kappa(o).String()
+	o.Parallel = 8
+	par := E1Kappa(o).String()
+	if seq != par {
+		t.Fatalf("E1 diverges across worker counts:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "udg(") {
+		t.Fatalf("suspicious E1 table:\n%s", seq)
+	}
+}

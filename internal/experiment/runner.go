@@ -11,6 +11,7 @@ import (
 
 	"radiocolor/internal/core"
 	"radiocolor/internal/graph"
+	"radiocolor/internal/monitor"
 	"radiocolor/internal/radio"
 	"radiocolor/internal/topology"
 	"radiocolor/internal/verify"
@@ -25,6 +26,14 @@ type Options struct {
 	SizeFactor float64
 	// Seed is the master seed; every trial derives its own.
 	Seed int64
+	// Parallel is the worker count trial jobs run on (via the fleet
+	// engine); 0 or 1 keeps the sequential path. Tables are
+	// byte-identical at any worker count: every trial derives its own
+	// seed and results are folded in deterministic job order.
+	Parallel int
+	// Progress, when non-nil, receives live job counts from the trial
+	// batches (see monitor.Progress and cmd/experiments).
+	Progress *monitor.Progress
 }
 
 // Full returns the options used to produce EXPERIMENTS.md.

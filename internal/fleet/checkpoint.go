@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// Checkpoint is a JSONL store of finished job payloads. Every line is
+// one record {"id", "attempts", "payload"}; the engine appends a record
+// the moment a job succeeds, so a killed sweep loses at most the jobs
+// that were in flight. A truncated final line (the signature of a kill
+// mid-write) is tolerated and that job simply recomputes; any earlier
+// malformed line is reported as corruption.
+type Checkpoint struct {
+	// Path is the JSONL file. It is created on first append.
+	Path string
+	// Encode serializes a payload for storage. Defaults to
+	// json.Marshal.
+	Encode func(any) ([]byte, error)
+	// Decode revives a stored payload. Defaults to returning the raw
+	// bytes as json.RawMessage.
+	Decode func([]byte) (any, error)
+}
+
+// record is the on-disk line format.
+type record struct {
+	ID       string          `json:"id"`
+	Attempts int             `json:"attempts"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// maxRecordBytes bounds a single checkpoint line (a rendered experiment
+// table is a few KB; 16MB leaves room for far larger payloads).
+const maxRecordBytes = 16 << 20
+
+func (c *Checkpoint) encode(v any) ([]byte, error) {
+	if c.Encode != nil {
+		return c.Encode(v)
+	}
+	return json.Marshal(v)
+}
+
+func (c *Checkpoint) decode(b []byte) (any, error) {
+	if c.Decode != nil {
+		return c.Decode(b)
+	}
+	return json.RawMessage(b), nil
+}
+
+// load reads the store into an id → payload map (the last record for an
+// id wins, so a re-run after a crash-and-retry sees the newest payload).
+func (c *Checkpoint) load() (map[string][]byte, error) {
+	f, err := os.Open(c.Path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	defer f.Close()
+	done := make(map[string][]byte)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), maxRecordBytes)
+	var bad error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if bad != nil {
+			// A malformed line followed by more data is corruption, not
+			// a truncated tail.
+			return nil, bad
+		}
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil || r.ID == "" {
+			bad = fmt.Errorf("fleet: checkpoint %s: malformed record: %q", c.Path, truncateForErr(line))
+			continue
+		}
+		payload := make([]byte, len(r.Payload))
+		copy(payload, r.Payload)
+		done[r.ID] = payload
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint %s: %w", c.Path, err)
+	}
+	return done, nil
+}
+
+// openAppend opens the store for streaming appends.
+func (c *Checkpoint) openAppend() (*checkpointWriter, error) {
+	f, err := os.OpenFile(c.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+// checkpointWriter appends records; the engine serializes calls.
+type checkpointWriter struct {
+	f *os.File
+}
+
+func (w *checkpointWriter) append(id string, attempts int, value any, c *Checkpoint) error {
+	payload, err := c.encode(value)
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint: encode job %q: %w", id, err)
+	}
+	line, err := json.Marshal(record{ID: id, Attempts: attempts, Payload: payload})
+	if err != nil {
+		return fmt.Errorf("fleet: checkpoint: job %q: %w", id, err)
+	}
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("fleet: checkpoint: %w", err)
+	}
+	return nil
+}
+
+func (w *checkpointWriter) close() error { return w.f.Close() }
+
+func truncateForErr(b []byte) string {
+	const n = 120
+	if len(b) > n {
+		return string(b[:n]) + "…"
+	}
+	return string(b)
+}

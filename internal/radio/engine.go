@@ -238,6 +238,7 @@ func (e *Engine) Step() bool {
 	}
 	obs.OnSlot(t)
 	e.slot++
+	simulatedSlots.Add(1)
 	e.res.Slots = e.slot
 	if e.numDone == e.n {
 		e.res.AllDone = true

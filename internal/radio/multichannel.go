@@ -152,6 +152,7 @@ func (m *multiChannel) step() bool {
 	}
 	obs.OnSlot(t)
 	e.slot++
+	simulatedSlots.Add(1)
 	e.res.Slots = e.slot
 	if e.numDone == e.n {
 		e.res.AllDone = true

@@ -19,7 +19,18 @@ package radio
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 )
+
+// simulatedSlots counts every slot simulated by any engine variant in
+// this process, across goroutines. It is the raw work measure behind
+// the live slots/s rate reported for long sweeps (monitor.Progress).
+var simulatedSlots atomic.Int64
+
+// SimulatedSlots returns the process-wide number of simulated slots.
+// The counter is monotonic and shared by the aligned, unaligned and
+// multichannel engines; rate reporting samples it over time.
+func SimulatedSlots() int64 { return simulatedSlots.Load() }
 
 // NodeID identifies a node. IDs are indices into the network graph, but
 // protocols must treat them as opaque identifiers (the paper requires

@@ -176,6 +176,7 @@ func (u *unaligned) step() bool {
 	}
 	obs.OnSlot(t)
 	e.slot++
+	simulatedSlots.Add(1)
 	e.res.Slots = e.slot
 	if e.numDone == e.n {
 		e.res.AllDone = true
