@@ -1,0 +1,255 @@
+package radiocolor
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"radiocolor/internal/obs"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Options
+		want string // substring of the error, "" for valid
+	}{
+		{"zero value", Options{}, ""},
+		{"typed wakeup", Options{Wakeup: WakeupAdversarial}, ""},
+		{"shim wakeup", Options{WakeupName: "bursty"}, ""},
+		{"bad shim", Options{WakeupName: "bogus"}, "unknown wakeup"},
+		{"bad typed", Options{Wakeup: Wakeup(99)}, "invalid wakeup"},
+		{"negative scale", Options{ParamScale: -1}, "ParamScale"},
+		{"negative slots", Options{MaxSlots: -5}, "MaxSlots"},
+		{"negative workers", Options{Workers: -2}, "Workers"},
+		{"trace no dest", Options{Trace: &TraceConfig{}}, "needs Path or W"},
+		{"trace two dests", Options{Trace: &TraceConfig{Path: "x", W: os.Stderr}}, "both Path and W"},
+		{"trace bad cap", Options{Trace: &TraceConfig{W: os.Stderr, Cap: -1}}, "Cap"},
+		{"trace bad kind", Options{Trace: &TraceConfig{W: os.Stderr, Kinds: []string{"nope"}}}, "nope"},
+		{"trace good kinds", Options{Trace: &TraceConfig{W: os.Stderr, Kinds: []string{"tx", "phase"}}}, ""},
+	}
+	for _, c := range cases {
+		err := c.opt.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestValidationBeforeWork checks misconfigured options fail fast from
+// the entry points (before graph measurement or simulation).
+func TestValidationBeforeWork(t *testing.T) {
+	_, err := ColorGraph([][]int{{1}, {0}}, Options{Workers: -1})
+	if err == nil || !strings.Contains(err.Error(), "Workers") {
+		t.Errorf("ColorGraph did not validate: %v", err)
+	}
+	_, err = ColorUnitDisk([][2]float64{{0, 0}}, 1, Options{ParamScale: -3})
+	if err == nil || !strings.Contains(err.Error(), "ParamScale") {
+		t.Errorf("ColorUnitDisk did not validate: %v", err)
+	}
+}
+
+func TestWakeupStrings(t *testing.T) {
+	for w := WakeupSynchronous; w < numWakeups; w++ {
+		name := w.String()
+		back, err := ParseWakeup(name)
+		if err != nil || back != w {
+			t.Errorf("round trip %v: %v, %v", w, back, err)
+		}
+	}
+	if Wakeup(200).String() == "" {
+		t.Error("out-of-range wakeup must still print")
+	}
+	if _, err := ParseWakeup("wakeup(3)"); err == nil {
+		t.Error("String form of invalid values must not parse")
+	}
+}
+
+func TestColorGraphContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// A clique this size needs thousands of slots, so the canceled
+	// context is seen at the first periodic check.
+	adj := make([][]int, 16)
+	for v := range adj {
+		for u := range adj {
+			if u != v {
+				adj[v] = append(adj[v], u)
+			}
+		}
+	}
+	out, err := ColorGraphContext(ctx, adj, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatal("canceled run returned an outcome")
+	}
+}
+
+func TestColorGraphContextComplete(t *testing.T) {
+	// An un-canceled context must not change the result: same seed,
+	// same colors as the plain entry point.
+	adj := [][]int{{1, 2}, {0, 2}, {0, 1}}
+	plain, err := ColorGraph(adj, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := ColorGraphContext(context.Background(), adj, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Colors {
+		if plain.Colors[i] != withCtx.Colors[i] {
+			t.Fatalf("colors diverge: %v vs %v", plain.Colors, withCtx.Colors)
+		}
+	}
+}
+
+// countObserver tallies events through the public Observer seam.
+type countObserver struct {
+	NopObserver
+	decides atomic.Int64
+	tx      atomic.Int64
+}
+
+func (c *countObserver) OnDecide(int64, int)   { c.decides.Add(1) }
+func (c *countObserver) OnTransmit(int64, int) { c.tx.Add(1) }
+
+func TestPublicObserver(t *testing.T) {
+	var c countObserver
+	out, err := ColorGraph([][]int{{1, 2}, {0, 2}, {0, 1}, {4}, {3}}, Options{Observer: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Complete {
+		t.Fatal("incomplete run")
+	}
+	if got := c.decides.Load(); got != 5 {
+		t.Errorf("observer saw %d decisions, want 5", got)
+	}
+	if c.tx.Load() == 0 {
+		t.Error("observer saw no transmissions")
+	}
+}
+
+// TestTraceMatchesStats is the acceptance contract of the observability
+// subsystem: the offline replay of a JSONL trace (cmd/tracestat's
+// obs.Summarize) reproduces the per-phase delivery/collision counts of
+// the online Outcome.Stats exactly.
+func TestTraceMatchesStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	adj := make([][]int, 14)
+	for v := range adj {
+		for u := range adj {
+			if u != v {
+				adj[v] = append(adj[v], u)
+			}
+		}
+	}
+	out, err := ColorGraph(adj, Options{
+		Seed:    3,
+		Metrics: true,
+		Trace:   &TraceConfig{Path: path},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats == nil {
+		t.Fatal("Metrics: true produced no Stats")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sum, err := obs.Summarize(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := sum.ByKind["tx"]; got != out.Stats.Transmissions {
+		t.Errorf("trace tx = %d, stats %d", got, out.Stats.Transmissions)
+	}
+	if got := sum.ByKind["rx"]; got != out.Stats.Deliveries {
+		t.Errorf("trace rx = %d, stats %d", got, out.Stats.Deliveries)
+	}
+	if got := sum.ByKind["coll"]; got != out.Stats.Collisions {
+		t.Errorf("trace coll = %d, stats %d", got, out.Stats.Collisions)
+	}
+	if sum.Decisions != out.Stats.Decisions {
+		t.Errorf("trace decisions = %d, stats %d", sum.Decisions, out.Stats.Decisions)
+	}
+	if got, want := sum.CollisionRate(), out.Stats.CollisionRate; got != want {
+		t.Errorf("trace collision rate = %v, stats %v", got, want)
+	}
+	for p, tot := range sum.Phases {
+		ps := out.Stats.Phases[p]
+		if tot.Transmissions != ps.Transmissions || tot.Deliveries != ps.Deliveries ||
+			tot.Collisions != ps.Collisions || tot.Entries != ps.Entries {
+			t.Errorf("phase %s: trace {tx %d rx %d coll %d entries %d} != stats {tx %d rx %d coll %d entries %d}",
+				ps.Name, tot.Transmissions, tot.Deliveries, tot.Collisions, tot.Entries,
+				ps.Transmissions, ps.Deliveries, ps.Collisions, ps.Entries)
+		}
+	}
+
+	// The stats themselves must be internally consistent with the run.
+	if out.Stats.Slots != out.Slots {
+		t.Errorf("stats slots = %d, outcome %d", out.Stats.Slots, out.Slots)
+	}
+	if out.Stats.Decisions != int64(len(adj)) {
+		t.Errorf("stats decisions = %d, want %d", out.Stats.Decisions, len(adj))
+	}
+	var nodeSlots int64
+	for _, p := range out.Stats.Phases {
+		nodeSlots += p.NodeSlots
+	}
+	if want := out.Stats.Slots * int64(len(adj)); nodeSlots != want {
+		t.Errorf("phase node-slots sum to %d, want slots×n = %d", nodeSlots, want)
+	}
+}
+
+// TestStatsWithoutTrace checks Metrics works standalone.
+func TestStatsWithoutTrace(t *testing.T) {
+	out, err := ColorGraph([][]int{{1}, {0, 2}, {1}}, Options{Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.Stats
+	if s == nil {
+		t.Fatal("no stats")
+	}
+	if s.Wakeups != 3 || s.Decisions != 3 {
+		t.Errorf("wakeups=%d decisions=%d, want 3", s.Wakeups, s.Decisions)
+	}
+	if s.CollisionRate < 0 || s.CollisionRate > 1 {
+		t.Errorf("collision rate %v out of range", s.CollisionRate)
+	}
+	if s.SlotsPerSec <= 0 {
+		t.Errorf("slots/sec %v not positive", s.SlotsPerSec)
+	}
+	if len(s.Buckets) == 0 {
+		t.Error("no timeline buckets")
+	}
+}
+
+// TestStatsDisabledByDefault pins the default-off contract.
+func TestStatsDisabledByDefault(t *testing.T) {
+	out, err := ColorGraph([][]int{{1}, {0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats != nil {
+		t.Error("Stats attached without Options.Metrics")
+	}
+}

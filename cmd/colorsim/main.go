@@ -16,6 +16,7 @@ import (
 
 	"radiocolor/internal/core"
 	"radiocolor/internal/experiment"
+	"radiocolor/internal/obs"
 	"radiocolor/internal/radio"
 	"radiocolor/internal/render"
 	"radiocolor/internal/stats"
@@ -35,7 +36,9 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "scale factor on the practical constants")
 		maxSlots = flag.Int64("max-slots", 0, "slot budget (0 = automatic)")
 		verbose  = flag.Bool("v", false, "print per-node colors")
-		traceN   = flag.Int("trace", 0, "dump the last N radio events")
+		traceOut = flag.String("trace", "", "stream all simulation events to this JSONL file (summarize with tracestat)")
+		traceN   = flag.Int("trace-tail", 0, "dump the last N radio events after the run")
+		metrics  = flag.Bool("metrics", false, "print the metrics registry and per-phase timeline")
 		energy   = flag.Bool("energy", false, "print the energy summary (tx=1, listen=0.5 per slot)")
 		saveFile = flag.String("save", "", "write the generated deployment to this file and exit")
 		loadFile = flag.String("load", "", "load the deployment from this file instead of generating")
@@ -93,20 +96,53 @@ func main() {
 	if budget <= 0 {
 		budget = int64(par.Kappa2+2) * par.Threshold() * 40
 	}
-	var tr *radio.Trace
-	var obs radio.Observer
-	if *traceN > 0 {
-		tr = &radio.Trace{Cap: *traceN}
-		obs = tr
+	// Observability: -trace streams JSONL, -trace-tail keeps a ring for
+	// the post-run dump, -metrics adds counters and the phase timeline.
+	var (
+		tracer   *obs.Tracer
+		met      *obs.Metrics
+		timeline *obs.Timeline
+		sink     *os.File
+	)
+	if *traceOut != "" {
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", ferr)
+			os.Exit(1)
+		}
+		sink = f
+		tracer = obs.NewTracer(*traceN, sink)
+	} else if *traceN > 0 {
+		tracer = obs.NewTracer(*traceN, nil)
 	}
+	if *metrics {
+		met = obs.NewMetrics()
+		timeline = obs.NewTimeline(d.N(), 0)
+	}
+	collector := &obs.Collector{Metrics: met, Tracer: tracer, Timeline: timeline}
 	nodes, protos := core.Nodes(d.N(), *seed, par, core.Ablation{})
+	core.ObservePhases(nodes, collector)
 	res, err := radio.Run(radio.Config{
 		G: d.G, Protocols: protos, Wake: wake,
-		MaxSlots: budget, NEstimate: par.N, Observer: obs,
+		MaxSlots: budget, NEstimate: par.N,
+		Observer: radio.CollectorObserver(collector),
+		Metrics:  met,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "colorsim:", err)
 		os.Exit(1)
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+			os.Exit(1)
+		}
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+			os.Exit(1)
+		}
 	}
 	colors := make([]int32, d.N())
 	tcs := make([]int32, d.N())
@@ -153,9 +189,25 @@ func main() {
 			fmt.Printf("  node %4d: color %4d (tc=%d)\n", v, colors[v], tcs[v])
 		}
 	}
-	if tr != nil {
-		fmt.Printf("trace      : last %d radio events\n", len(tr.Events()))
-		if err := tr.Dump(os.Stdout); err != nil {
+	if *metrics {
+		s := met.Snapshot()
+		fmt.Printf("metrics    : %v\n", s)
+		fmt.Printf("timeline   :\n")
+		ph := timeline.Phases()
+		for p := obs.Phase(0); p < obs.NumPhases; p++ {
+			tot := ph[p]
+			if tot.NodeSlots == 0 && tot.Entries == 0 {
+				continue
+			}
+			fmt.Printf("  %-8s: %8d node-slots  tx=%-8d rx=%-8d coll=%-8d entries=%d\n",
+				p, tot.NodeSlots, tot.Transmissions, tot.Deliveries, tot.Collisions, tot.Entries)
+		}
+	}
+	if *traceOut != "" {
+		fmt.Printf("trace      : wrote %d events to %s\n", tracer.Total(), *traceOut)
+	} else if tracer != nil {
+		fmt.Printf("trace      : last %d radio events\n", len(tracer.Events()))
+		if err := tracer.Dump(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "colorsim:", err)
 		}
 	}

@@ -53,10 +53,11 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count for trial jobs (1 = sequential)")
 		resume   = flag.String("resume", "", "JSONL checkpoint file; finished experiments are skipped on rerun")
 		quiet    = flag.Bool("quiet", false, "suppress progress and timing lines on stderr")
+		chanCols = flag.Bool("channel-stats", false, "append per-cell channel columns (collision rate) to supporting tables")
 	)
 	flag.Parse()
 
-	opts := experiment.Options{Trials: *trials, SizeFactor: *size, Seed: *seed, Parallel: *parallel}
+	opts := experiment.Options{Trials: *trials, SizeFactor: *size, Seed: *seed, Parallel: *parallel, ChannelStats: *chanCols}
 	var selected []experiment.Entry
 	if *exps == "all" {
 		selected = experiment.Registry

@@ -1,0 +1,65 @@
+// Command tracestat summarizes a JSONL simulation trace produced by
+// colorsim -trace or the radiocolor API's Options.Trace: event counts
+// by kind, slot span, collision rate, and channel activity attributed
+// to the protocol phase of the acting node.
+//
+// Examples:
+//
+//	colorsim -topology udg -n 100 -trace run.jsonl
+//	tracestat run.jsonl
+//	tracestat -json run.jsonl | jq .ByKind
+//	gzip -dc run.jsonl.gz | tracestat -
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"radiocolor/internal/obs"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON instead of the aligned report")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracestat [-json] <trace.jsonl | ->")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var r io.Reader
+	if name := flag.Arg(0); name == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracestat:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	s, err := obs.Summarize(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(s)
+	} else {
+		err = s.Render(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracestat:", err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package radiocolor_test
 
 import (
+	"bytes"
 	"fmt"
 
 	"radiocolor"
@@ -58,7 +59,7 @@ func ExampleOptions_wakeup() {
 	adj := [][]int{{1, 2}, {0, 2}, {0, 1}, {4}, {3}} // triangle + far pair
 	out, err := radiocolor.ColorGraph(adj, radiocolor.Options{
 		Seed:   5,
-		Wakeup: "adversarial",
+		Wakeup: radiocolor.WakeupAdversarial,
 	})
 	if err != nil {
 		panic(err)
@@ -66,4 +67,55 @@ func ExampleOptions_wakeup() {
 	fmt.Println("proper:", out.Proper, "complete:", out.Complete)
 	// Output:
 	// proper: true complete: true
+}
+
+// decisionWatcher counts decisions through the Observer seam; embedding
+// NopObserver implements the remaining events as no-ops.
+type decisionWatcher struct {
+	radiocolor.NopObserver
+	decided int
+}
+
+func (w *decisionWatcher) OnDecide(slot int64, node int) { w.decided++ }
+
+// ExampleOptions_observer attaches an Observer to watch the run live.
+// Observers see every simulation event (transmissions, deliveries,
+// collisions, wake-ups, decisions) as it happens.
+func ExampleOptions_observer() {
+	adj := [][]int{{1, 2}, {0, 2}, {0, 1}}
+	w := &decisionWatcher{}
+	out, err := radiocolor.ColorGraph(adj, radiocolor.Options{Seed: 4, Observer: w})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("complete:", out.Complete)
+	fmt.Println("decisions observed:", w.decided)
+	// Output:
+	// complete: true
+	// decisions observed: 3
+}
+
+// ExampleOptions_trace streams the run's slot-level events as JSONL and
+// collects aggregate statistics. The trace can be replayed offline with
+// cmd/tracestat, whose per-phase counts match Outcome.Stats exactly.
+func ExampleOptions_trace() {
+	var trace bytes.Buffer
+	adj := [][]int{{1, 2}, {0, 2}, {0, 1}}
+	out, err := radiocolor.ColorGraph(adj, radiocolor.Options{
+		Seed:    4,
+		Metrics: true,
+		Trace:   &radiocolor.TraceConfig{W: &trace},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("complete:", out.Complete)
+	fmt.Println("stats attached:", out.Stats != nil)
+	fmt.Println("decisions:", out.Stats.Decisions)
+	fmt.Println("trace non-empty:", trace.Len() > 0)
+	// Output:
+	// complete: true
+	// stats attached: true
+	// decisions: 3
+	// trace non-empty: true
 }

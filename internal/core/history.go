@@ -38,10 +38,29 @@ func (v *Node) EnableHistory() { v.recordHistory = true }
 // EnableHistory was called).
 func (v *Node) History() []Transition { return v.history }
 
-// logTransition appends to the node's history when enabled. The current
-// slot is tracked by the per-slot entry points (Send/Recv), which stamp
-// v.nowSlot before any transition can occur.
+// SetPhaseHook installs fn to be called on every phase transition with
+// (slot, node id, previous phase, new phase, class entered). Every phase
+// change in the state machine flows through logTransition, so the hook
+// sees the complete trajectory Asleep → Waiting → … → Colored.
+//
+// Transitions fire inside Send, which the engine may run on several
+// goroutines (radio.Config.Workers > 1), so fn must be safe for
+// concurrent use — the internal/obs collectors are. A nil fn disables
+// the hook; the disabled cost is one branch per transition, and a node
+// makes only O(κ₂) transitions over its lifetime.
+func (v *Node) SetPhaseHook(fn func(slot int64, node int32, from, to Phase, class int32)) {
+	v.phaseHook = fn
+}
+
+// logTransition reports a phase change to the hook and appends to the
+// node's history when enabled. The current slot is tracked by the
+// per-slot entry points (Send/Recv), which stamp v.nowSlot before any
+// transition can occur.
 func (v *Node) logTransition(phase Phase, class int32) {
+	if v.phaseHook != nil {
+		v.phaseHook(v.nowSlot, int32(v.id), v.prevPhase, phase, class)
+	}
+	v.prevPhase = phase
 	if !v.recordHistory {
 		return
 	}

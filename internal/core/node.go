@@ -87,10 +87,12 @@ type Node struct {
 	resets     int64
 	classMoves int64
 
-	// Optional transition history (see history.go).
+	// Optional transition history and phase hook (see history.go).
 	recordHistory bool
 	history       []Transition
 	nowSlot       int64
+	phaseHook     func(slot int64, node int32, from, to Phase, class int32)
+	prevPhase     Phase // last phase reported; zero value is PhaseAsleep
 
 	// leftA0 records the slot the node resolved its class-0 fate
 	// (became a leader or associated with one), −1 while still in A₀.

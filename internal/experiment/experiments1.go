@@ -61,8 +61,12 @@ func E1Kappa(o Options) *stats.Table {
 // patterns.
 func E2Correctness(o Options) *stats.Table {
 	o = o.normalized()
+	cols := []string{"topology", "wakeup", "trials", "correct", "complete", "mean colors", "mean maxT"}
+	if o.ChannelStats {
+		cols = append(cols, "coll rate")
+	}
 	t := stats.NewTable("E2: correctness/completeness (Theorems 2 & 5) across topologies × wake-up patterns",
-		"topology", "wakeup", "trials", "correct", "complete", "mean colors", "mean maxT")
+		cols...)
 	n := o.scale(120, 40)
 	makeDeps := func(seed int64) []*topology.Deployment {
 		return []*topology.Deployment{
@@ -79,6 +83,7 @@ func E2Correctness(o Options) *stats.Table {
 	type trial struct {
 		correct, complete bool
 		colors, maxT      float64
+		collRate          float64
 	}
 	grid := parTrials(o, "E2", len(baseDeps)*numPats, o.Trials, func(cell, tr int) trial {
 		di, pi := cell/numPats, cell%numPats
@@ -98,12 +103,15 @@ func E2Correctness(o Options) *stats.Table {
 		if r.correct {
 			r.colors = float64(run.Report.NumColors)
 		}
+		if rx := run.Radio.Deliveries + run.Radio.Collisions; rx > 0 {
+			r.collRate = float64(run.Radio.Collisions) / float64(rx)
+		}
 		return r
 	})
 	for di := range baseDeps {
 		for pi, pat := range radio.WakePatterns {
 			correct, complete := 0, 0
-			var colors, maxT []float64
+			var colors, maxT, collRates []float64
 			for _, r := range grid[di*numPats+pi] {
 				if r.complete {
 					complete++
@@ -113,11 +121,16 @@ func E2Correctness(o Options) *stats.Table {
 					correct++
 					colors = append(colors, r.colors)
 				}
+				collRates = append(collRates, r.collRate)
 			}
-			t.AddRow(baseDeps[di].Name, pat.Name, o.Trials,
+			row := []any{baseDeps[di].Name, pat.Name, o.Trials,
 				fmt.Sprintf("%d/%d", correct, o.Trials),
 				fmt.Sprintf("%d/%d", complete, o.Trials),
-				stats.Mean(colors), stats.Mean(maxT))
+				stats.Mean(colors), stats.Mean(maxT)}
+			if o.ChannelStats {
+				row = append(row, fmt.Sprintf("%.4f", stats.Mean(collRates)))
+			}
+			t.AddRow(row...)
 		}
 	}
 	return t

@@ -34,6 +34,10 @@ type Options struct {
 	// Progress, when non-nil, receives live job counts from the trial
 	// batches (see monitor.Progress and cmd/experiments).
 	Progress *monitor.Progress
+	// ChannelStats appends per-cell channel columns (collision rate) to
+	// the tables that support them. Off by default so the recorded
+	// EXPERIMENTS.md tables stay byte-identical.
+	ChannelStats bool
 }
 
 // Full returns the options used to produce EXPERIMENTS.md.

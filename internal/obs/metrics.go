@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the registry of atomic counters and gauges the simulation
+// engines increment. All methods are safe for concurrent use (the
+// parallel send phase may report from several goroutines) and cost one
+// uncontended atomic add each. A single registry may be shared across
+// runs and engines; counters are monotonic, gauges (the per-phase node
+// counts) go up and down.
+//
+// The zero value is ready to use. The engines take a *Metrics and treat
+// nil as "disabled": the hot paths pay exactly one branch per event and
+// never allocate, which is what keeps the no-observability configuration
+// within noise of the un-instrumented engine (see
+// TestDisabledObservabilityAllocatesNothing).
+type Metrics struct {
+	transmissions atomic.Int64
+	deliveries    atomic.Int64
+	collisions    atomic.Int64
+	captures      atomic.Int64
+	drops         atomic.Int64
+	decisions     atomic.Int64
+	wakeups       atomic.Int64
+	slots         atomic.Int64
+	phase         [NumPhases]atomic.Int64
+
+	// startNanos is the wall-clock origin for rate computation, set on
+	// the first counted slot (CAS so concurrent engines agree).
+	startNanos atomic.Int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// AddTransmission counts one transmission.
+func (m *Metrics) AddTransmission() { m.transmissions.Add(1) }
+
+// AddDelivery counts one clean (exactly-one-sender) reception.
+func (m *Metrics) AddDelivery() { m.deliveries.Add(1) }
+
+// AddCollision counts one (listener, slot) pair with ≥ 2 transmitting
+// neighbors.
+func (m *Metrics) AddCollision() { m.collisions.Add(1) }
+
+// AddCapture counts a delivery that survived a two-way collision via
+// the capture effect (also counted by AddDelivery).
+func (m *Metrics) AddCapture() { m.captures.Add(1) }
+
+// AddDrop counts a delivery suppressed by injected message loss.
+func (m *Metrics) AddDrop() { m.drops.Add(1) }
+
+// AddDecision counts one node's irrevocable decision.
+func (m *Metrics) AddDecision() { m.decisions.Add(1) }
+
+// AddWakeup counts one node waking up.
+func (m *Metrics) AddWakeup() { m.wakeups.Add(1) }
+
+// AddSlot counts one simulated slot and stamps the rate origin on the
+// first call.
+func (m *Metrics) AddSlot() {
+	if m.slots.Add(1) == 1 {
+		m.startNanos.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+// PhaseChange moves one node from phase `from` to phase `to` in the
+// occupancy gauges.
+func (m *Metrics) PhaseChange(from, to Phase) {
+	if int(from) < NumPhases {
+		m.phase[from].Add(-1)
+	}
+	if int(to) < NumPhases {
+		m.phase[to].Add(1)
+	}
+}
+
+// SetPhaseGauge initializes the occupancy gauge for `p` to n (used to
+// seed PhaseAsleep with the node count before a run).
+func (m *Metrics) SetPhaseGauge(p Phase, n int64) { m.phase[p].Store(n) }
+
+// Snapshot is a consistent-enough point-in-time view of a registry.
+// (Counters are read individually; a snapshot taken mid-slot may be off
+// by the events of that slot, which is irrelevant for reporting.)
+type Snapshot struct {
+	// Transmissions, Deliveries, Collisions, Captures, Drops, Decisions,
+	// Wakeups and Slots are the monotone event counters.
+	Transmissions, Deliveries, Collisions, Captures, Drops, Decisions, Wakeups, Slots int64
+	// PhaseNodes is the occupancy gauge: how many nodes currently sit in
+	// each phase.
+	PhaseNodes [NumPhases]int64
+	// At is the wall-clock time of the snapshot; Start the rate origin
+	// (zero time if no slot was counted yet).
+	At, Start time.Time
+}
+
+// Snapshot reads the registry.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Transmissions: m.transmissions.Load(),
+		Deliveries:    m.deliveries.Load(),
+		Collisions:    m.collisions.Load(),
+		Captures:      m.captures.Load(),
+		Drops:         m.drops.Load(),
+		Decisions:     m.decisions.Load(),
+		Wakeups:       m.wakeups.Load(),
+		Slots:         m.slots.Load(),
+		At:            time.Now(),
+	}
+	if ns := m.startNanos.Load(); ns != 0 {
+		s.Start = time.Unix(0, ns)
+	}
+	for i := range s.PhaseNodes {
+		s.PhaseNodes[i] = m.phase[i].Load()
+	}
+	return s
+}
+
+// CollisionRate is the fraction of channel resolutions that were lost
+// to collisions: collisions / (deliveries + collisions). 0 when nothing
+// was resolved.
+func (s Snapshot) CollisionRate() float64 {
+	total := s.Deliveries + s.Collisions
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Collisions) / float64(total)
+}
+
+// SlotsPerSec is the mean simulation rate since the first counted slot,
+// or 0 before any slot.
+func (s Snapshot) SlotsPerSec() float64 {
+	if s.Start.IsZero() {
+		return 0
+	}
+	sec := s.At.Sub(s.Start).Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return float64(s.Slots) / sec
+}
+
+// Sub returns the delta s − prev (counters only; gauges and timestamps
+// keep s's values). Use with two snapshots of a live registry to report
+// interval rates.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := s
+	d.Transmissions -= prev.Transmissions
+	d.Deliveries -= prev.Deliveries
+	d.Collisions -= prev.Collisions
+	d.Captures -= prev.Captures
+	d.Drops -= prev.Drops
+	d.Decisions -= prev.Decisions
+	d.Wakeups -= prev.Wakeups
+	d.Slots -= prev.Slots
+	d.Start = prev.At
+	return d
+}
+
+// Map renders the registry as name → value, the stable export format
+// (names are the JSONL/summary vocabulary).
+func (s Snapshot) Map() map[string]int64 {
+	m := map[string]int64{
+		"transmissions": s.Transmissions,
+		"deliveries":    s.Deliveries,
+		"collisions":    s.Collisions,
+		"captures":      s.Captures,
+		"drops":         s.Drops,
+		"decisions":     s.Decisions,
+		"wakeups":       s.Wakeups,
+		"slots":         s.Slots,
+	}
+	for i, v := range s.PhaseNodes {
+		m["phase_"+Phase(i).String()] = v
+	}
+	return m
+}
+
+// String implements fmt.Stringer with a stable one-line summary
+// (alphabetical keys).
+func (s Snapshot) String() string {
+	m := s.Map()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, m[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// TraceSummary is the aggregate view of a JSONL trace: event counts by
+// kind and the same per-phase attribution the Timeline computes online.
+// A trace recorded with all kinds enabled summarizes to exactly the
+// per-phase delivery/collision counts of the run's Timeline, which is
+// the cross-check cmd/tracestat performs against a run's reported
+// statistics.
+type TraceSummary struct {
+	// Events counts all decoded events; ByKind splits them.
+	Events int64
+	ByKind map[string]int64
+	// FirstSlot and LastSlot span the trace.
+	FirstSlot, LastSlot int64
+	// Nodes is the number of distinct node ids seen.
+	Nodes int
+	// Phases aggregates channel events by the acting node's phase,
+	// reconstructed by replaying the trace's phase events.
+	Phases [NumPhases]PhaseTotals
+	// Decisions counts decide events (also in ByKind).
+	Decisions int64
+}
+
+// CollisionRate is collisions / (deliveries + collisions) over the
+// whole trace.
+func (s *TraceSummary) CollisionRate() float64 {
+	var rx, coll int64
+	for _, p := range s.Phases {
+		rx += p.Deliveries
+		coll += p.Collisions
+	}
+	if rx+coll == 0 {
+		return 0
+	}
+	return float64(coll) / float64(rx+coll)
+}
+
+// Summarize replays a JSONL trace (as produced by Tracer with a sink)
+// into a TraceSummary. Phase attribution needs the trace to include
+// phase events; without them every event lands in the asleep row.
+func Summarize(r io.Reader) (*TraceSummary, error) {
+	s := &TraceSummary{ByKind: make(map[string]int64), FirstSlot: -1}
+	phaseOf := make(map[int32]Phase)
+	seen := make(map[int32]struct{})
+	err := ReadEvents(r, func(e Event) error {
+		s.Events++
+		s.ByKind[e.Kind.String()]++
+		if s.FirstSlot < 0 || e.Slot < s.FirstSlot {
+			s.FirstSlot = e.Slot
+		}
+		if e.Slot > s.LastSlot {
+			s.LastSlot = e.Slot
+		}
+		seen[e.Node] = struct{}{}
+		switch e.Kind {
+		case KindTransmit:
+			s.Phases[phaseOf[e.Node]].Transmissions++
+		case KindDeliver:
+			s.Phases[phaseOf[e.Node]].Deliveries++
+		case KindCollision:
+			s.Phases[phaseOf[e.Node]].Collisions++
+		case KindDecide:
+			s.Decisions++
+		case KindPhase:
+			s.Phases[e.Phase].Entries++
+			phaseOf[e.Node] = e.Phase
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.Nodes = len(seen)
+	return s, nil
+}
+
+// Render writes the summary as an aligned report (the cmd/tracestat
+// output format).
+func (s *TraceSummary) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "events\t%d\n", s.Events)
+	kinds := make([]string, 0, len(s.ByKind))
+	for k := range s.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(tw, "  %s\t%d\n", k, s.ByKind[k])
+	}
+	if s.Events > 0 {
+		fmt.Fprintf(tw, "slots\t%d–%d\n", s.FirstSlot, s.LastSlot)
+	}
+	fmt.Fprintf(tw, "nodes\t%d\n", s.Nodes)
+	fmt.Fprintf(tw, "collision rate\t%.4f\n", s.CollisionRate())
+	fmt.Fprintln(tw, "phase\tentries\ttx\trx\tcoll")
+	for p := 0; p < NumPhases; p++ {
+		t := s.Phases[p]
+		if t.Entries == 0 && t.Transmissions == 0 && t.Deliveries == 0 && t.Collisions == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\n",
+			Phase(p), t.Entries, t.Transmissions, t.Deliveries, t.Collisions)
+	}
+	return tw.Flush()
+}

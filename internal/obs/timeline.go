@@ -1,0 +1,161 @@
+package obs
+
+import "sync"
+
+// PhaseTotals aggregates channel events by the protocol phase of the
+// acting node: transmissions by the sender's phase, deliveries and
+// collisions by the listener's. Entries counts transitions into the
+// phase; NodeSlots is the occupancy integral (node·slots spent in the
+// phase), the denominator for per-phase rates.
+type PhaseTotals struct {
+	Transmissions int64
+	Deliveries    int64
+	Collisions    int64
+	Entries       int64
+	NodeSlots     int64
+}
+
+// Bucket is one aggregated time window of the run.
+type Bucket struct {
+	// Start is the first slot of the window; Slots how many were
+	// simulated in it (equal to the bucket width except for the last).
+	Start, Slots int64
+	// Transmissions, Deliveries, Collisions and Decisions count the
+	// window's channel events.
+	Transmissions, Deliveries, Collisions, Decisions int64
+	// PhaseNodes samples the phase occupancy at the window's last
+	// simulated slot.
+	PhaseNodes [NumPhases]int64
+}
+
+// Timeline aggregates slot events into per-phase totals and a bucketed
+// time series — the "dynamics" view the paper's analysis argues about
+// (phase intertwining under adversarial wake-up). It learns each node's
+// phase from OnPhase (fed by internal/core through the Collector) and
+// attributes channel events to the phase the node occupies when the
+// event fires. All methods are safe for concurrent use.
+type Timeline struct {
+	mu sync.Mutex
+
+	bucketSlots int64
+	phaseOf     []Phase
+	counts      [NumPhases]int64
+	perPhase    [NumPhases]PhaseTotals
+	buckets     []Bucket
+	slots       int64
+}
+
+// NewTimeline creates a timeline for n nodes (all initially asleep)
+// with the given bucket width in slots (≤ 0 means 4096).
+func NewTimeline(n int, bucketSlots int64) *Timeline {
+	if bucketSlots <= 0 {
+		bucketSlots = 4096
+	}
+	tl := &Timeline{bucketSlots: bucketSlots, phaseOf: make([]Phase, n)}
+	tl.counts[PhaseAsleep] = int64(n)
+	return tl
+}
+
+// bucket returns the bucket covering slot, growing the series as the
+// run advances. Callers hold tl.mu.
+func (tl *Timeline) bucket(slot int64) *Bucket {
+	idx := int(slot / tl.bucketSlots)
+	for len(tl.buckets) <= idx {
+		tl.buckets = append(tl.buckets, Bucket{Start: int64(len(tl.buckets)) * tl.bucketSlots})
+	}
+	return &tl.buckets[idx]
+}
+
+// OnPhase moves node into phase `to`.
+func (tl *Timeline) OnPhase(slot int64, node int32, from, to Phase) {
+	tl.mu.Lock()
+	if int(node) < len(tl.phaseOf) {
+		tl.phaseOf[node] = to
+	}
+	if int(from) < NumPhases {
+		tl.counts[from]--
+	}
+	if int(to) < NumPhases {
+		tl.counts[to]++
+		tl.perPhase[to].Entries++
+	}
+	tl.mu.Unlock()
+}
+
+// OnTransmit attributes one transmission to the sender's phase.
+func (tl *Timeline) OnTransmit(slot int64, from int32) {
+	tl.mu.Lock()
+	tl.perPhase[tl.phase(from)].Transmissions++
+	tl.bucket(slot).Transmissions++
+	tl.mu.Unlock()
+}
+
+// OnDeliver attributes one clean reception to the listener's phase.
+func (tl *Timeline) OnDeliver(slot int64, to int32) {
+	tl.mu.Lock()
+	tl.perPhase[tl.phase(to)].Deliveries++
+	tl.bucket(slot).Deliveries++
+	tl.mu.Unlock()
+}
+
+// OnCollision attributes one collision to the listener's phase.
+func (tl *Timeline) OnCollision(slot int64, at int32) {
+	tl.mu.Lock()
+	tl.perPhase[tl.phase(at)].Collisions++
+	tl.bucket(slot).Collisions++
+	tl.mu.Unlock()
+}
+
+// OnDecide counts one decision in the slot's bucket.
+func (tl *Timeline) OnDecide(slot int64, node int32) {
+	tl.mu.Lock()
+	tl.bucket(slot).Decisions++
+	tl.mu.Unlock()
+}
+
+// OnSlot closes the slot: occupancy integrals advance and the slot's
+// bucket samples the current phase distribution.
+func (tl *Timeline) OnSlot(slot int64) {
+	tl.mu.Lock()
+	b := tl.bucket(slot)
+	b.Slots++
+	for p := 0; p < NumPhases; p++ {
+		tl.perPhase[p].NodeSlots += tl.counts[p]
+		b.PhaseNodes[p] = tl.counts[p]
+	}
+	tl.slots = slot + 1
+	tl.mu.Unlock()
+}
+
+// phase returns node's current phase (asleep for out-of-range ids).
+// Callers hold tl.mu.
+func (tl *Timeline) phase(node int32) Phase {
+	if int(node) < len(tl.phaseOf) {
+		return tl.phaseOf[node]
+	}
+	return PhaseAsleep
+}
+
+// Phases returns the per-phase aggregates.
+func (tl *Timeline) Phases() [NumPhases]PhaseTotals {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.perPhase
+}
+
+// Buckets returns the bucketed time series in order.
+func (tl *Timeline) Buckets() []Bucket {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return append([]Bucket(nil), tl.buckets...)
+}
+
+// BucketSlots returns the configured bucket width.
+func (tl *Timeline) BucketSlots() int64 { return tl.bucketSlots }
+
+// Slots returns how many slots the timeline has seen.
+func (tl *Timeline) Slots() int64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.slots
+}

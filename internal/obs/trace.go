@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Kind classifies slot-level trace events.
+type Kind uint8
+
+const (
+	// KindTransmit records a node transmitting.
+	KindTransmit Kind = iota
+	// KindDeliver records a successful reception.
+	KindDeliver
+	// KindCollision records a listener with ≥ 2 transmitting neighbors.
+	KindCollision
+	// KindDecide records a node's irrevocable decision.
+	KindDecide
+	// KindWake records a node waking up.
+	KindWake
+	// KindPhase records a protocol phase transition (reported by
+	// internal/core through the Collector hook).
+	KindPhase
+
+	numKinds = 6
+)
+
+var kindNames = [numKinds]string{"tx", "rx", "coll", "decide", "wake", "phase"}
+
+// String implements fmt.Stringer with the wire name used in JSONL.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind inverts String (for sink filters and the JSONL decoder).
+func ParseKind(s string) (Kind, error) {
+	for i, name := range kindNames {
+		if name == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+// Event is one recorded slot event. The struct is fixed-size (no
+// strings), so the tracer's ring buffer is allocation-free once warm.
+type Event struct {
+	// Slot is the simulated slot the event occurred in.
+	Slot int64
+	// Kind classifies the event.
+	Kind Kind
+	// Node is the acting node: transmitter, receiver, collision victim,
+	// decider, waker, or phase-changer.
+	Node int32
+	// From is the sender for KindDeliver, −1 otherwise.
+	From int32
+	// Count is the transmitter count for KindCollision.
+	Count int32
+	// Phase is the entered phase for KindPhase.
+	Phase Phase
+	// Class is the verification/color class entered for KindPhase.
+	Class int32
+}
+
+// appendJSONL appends the event's single-line JSON form (no trailing
+// newline) to buf and returns the extended slice.
+func (e Event) appendJSONL(buf []byte) []byte {
+	buf = append(buf, `{"slot":`...)
+	buf = strconv.AppendInt(buf, e.Slot, 10)
+	buf = append(buf, `,"kind":"`...)
+	buf = append(buf, e.Kind.String()...)
+	buf = append(buf, `","node":`...)
+	buf = strconv.AppendInt(buf, int64(e.Node), 10)
+	switch e.Kind {
+	case KindDeliver:
+		buf = append(buf, `,"from":`...)
+		buf = strconv.AppendInt(buf, int64(e.From), 10)
+	case KindCollision:
+		buf = append(buf, `,"n":`...)
+		buf = strconv.AppendInt(buf, int64(e.Count), 10)
+	case KindPhase:
+		buf = append(buf, `,"phase":"`...)
+		buf = append(buf, e.Phase.String()...)
+		buf = append(buf, `","class":`...)
+		buf = strconv.AppendInt(buf, int64(e.Class), 10)
+	}
+	return append(buf, '}')
+}
+
+// MarshalJSONL renders the event as one JSONL line (without newline).
+func (e Event) MarshalJSONL() []byte { return e.appendJSONL(nil) }
+
+// jsonEvent is the decode side of the JSONL schema.
+type jsonEvent struct {
+	Slot  int64  `json:"slot"`
+	Kind  string `json:"kind"`
+	Node  int32  `json:"node"`
+	From  *int32 `json:"from"`
+	N     int32  `json:"n"`
+	Phase string `json:"phase"`
+	Class int32  `json:"class"`
+}
+
+// UnmarshalJSONL parses one JSONL line produced by MarshalJSONL.
+func (e *Event) UnmarshalJSONL(line []byte) error {
+	var j jsonEvent
+	if err := json.Unmarshal(line, &j); err != nil {
+		return fmt.Errorf("obs: bad trace line: %w", err)
+	}
+	k, err := ParseKind(j.Kind)
+	if err != nil {
+		return err
+	}
+	*e = Event{Slot: j.Slot, Kind: k, Node: j.Node, From: -1, Count: j.N}
+	if j.From != nil {
+		e.From = *j.From
+	}
+	if k == KindPhase {
+		p, err := ParsePhase(j.Phase)
+		if err != nil {
+			return err
+		}
+		e.Phase = p
+		e.Class = j.Class
+	}
+	return nil
+}
+
+// ReadEvents decodes a JSONL trace, invoking f for every event in
+// order. Blank lines are skipped; decoding stops at the first error.
+func ReadEvents(r io.Reader, f func(Event) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := e.UnmarshalJSONL(b); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := f(e); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Tracer records slot events into a bounded in-memory ring (the flight
+// recorder: the tail of a run is where stalls and livelocks surface)
+// and, when a sink is configured, streams every recorded event to it as
+// JSONL. Record is safe for concurrent use; with the parallel send
+// phase enabled, same-slot events from different nodes may interleave
+// in sink order (cross-slot order is always preserved because the
+// engines serialize between slots).
+type Tracer struct {
+	mu     sync.Mutex
+	cap    int
+	kinds  [numKinds]bool
+	all    bool
+	ring   []Event
+	next   int
+	total  int64
+	sink   *bufio.Writer
+	buf    []byte
+	errSnk error
+}
+
+// NewTracer creates a tracer retaining the last cap events (≤ 0 means
+// 4096). sink, when non-nil, additionally receives every event as one
+// JSON line; writes are buffered, call Flush before reading the sink.
+// kinds filters the recorded kinds; empty records everything.
+func NewTracer(cap int, sink io.Writer, kinds ...Kind) *Tracer {
+	if cap <= 0 {
+		cap = 4096
+	}
+	t := &Tracer{cap: cap, all: len(kinds) == 0}
+	for _, k := range kinds {
+		if int(k) < numKinds {
+			t.kinds[k] = true
+		}
+	}
+	if sink != nil {
+		t.sink = bufio.NewWriterSize(sink, 64*1024)
+	}
+	return t
+}
+
+// Record stores one event (subject to the kind filter).
+func (t *Tracer) Record(e Event) {
+	if !t.all && !t.kinds[e.Kind] {
+		return
+	}
+	t.mu.Lock()
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.next] = e
+		t.next = (t.next + 1) % t.cap
+	}
+	t.total++
+	if t.sink != nil && t.errSnk == nil {
+		t.buf = e.appendJSONL(t.buf[:0])
+		t.buf = append(t.buf, '\n')
+		if _, err := t.sink.Write(t.buf); err != nil {
+			t.errSnk = err
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Total returns how many matching events were recorded (including those
+// evicted from the ring).
+func (t *Tracer) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the retained events in chronological order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Flush drains the sink buffer and reports the first sink write error,
+// if any. Call once after the run (and before closing a file sink).
+func (t *Tracer) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sink == nil {
+		return t.errSnk
+	}
+	if t.errSnk != nil {
+		return t.errSnk
+	}
+	return t.sink.Flush()
+}
+
+// Dump writes the retained events to w, one line each, followed by a
+// totals line (the colorsim -trace-tail format).
+func (t *Tracer) Dump(w io.Writer) error {
+	events := t.Events()
+	for _, e := range events {
+		if _, err := fmt.Fprintln(w, eventLine(e)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "(%d events total, %d retained)\n", t.Total(), len(events))
+	return err
+}
+
+// eventLine renders a human-readable form of e.
+func eventLine(e Event) string {
+	switch e.Kind {
+	case KindDeliver:
+		return fmt.Sprintf("[%7d] rx    node %d ← %d", e.Slot, e.Node, e.From)
+	case KindTransmit:
+		return fmt.Sprintf("[%7d] tx    node %d", e.Slot, e.Node)
+	case KindCollision:
+		return fmt.Sprintf("[%7d] coll  node %d (%d transmitters)", e.Slot, e.Node, e.Count)
+	case KindPhase:
+		return fmt.Sprintf("[%7d] phase node %d → %s (class %d)", e.Slot, e.Node, e.Phase, e.Class)
+	default:
+		return fmt.Sprintf("[%7d] %-5s node %d", e.Slot, e.Kind, e.Node)
+	}
+}

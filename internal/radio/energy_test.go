@@ -1,0 +1,42 @@
+package radio
+
+import "testing"
+
+func TestPerNodeEnergy(t *testing.T) {
+	r := &Result{
+		Slots:     100,
+		WakeSlot:  []int64{0, 40, 200},
+		PerNodeTx: []int64{10, 0, 0},
+	}
+	m := EnergyModel{TxCost: 2, ListenCost: 1}
+	e := r.PerNodeEnergy(m)
+	// Node 0: 10 tx + 90 listen = 110; node 1: 60 listen; node 2: never
+	// woke (wake after end) → 0.
+	if e[0] != 110 || e[1] != 60 || e[2] != 0 {
+		t.Errorf("energy = %v", e)
+	}
+	if r.TotalEnergy(m) != 170 {
+		t.Errorf("total = %v", r.TotalEnergy(m))
+	}
+	if d := DefaultEnergyModel(); d.TxCost <= d.ListenCost || d.ListenCost <= 0 {
+		t.Errorf("default model odd: %+v", d)
+	}
+}
+
+func TestEnergyOnRealRun(t *testing.T) {
+	g := line(4)
+	_, cfg := buildScripted(g, [][]bool{{true, true}, nil, nil, {true}}, WakeUniform(4, 3, 9))
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.PerNodeEnergy(DefaultEnergyModel())
+	for v, x := range e {
+		if x < 0 {
+			t.Errorf("negative energy at %d: %v", v, x)
+		}
+	}
+	if res.TotalEnergy(DefaultEnergyModel()) <= 0 {
+		t.Error("total energy non-positive")
+	}
+}

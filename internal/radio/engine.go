@@ -1,12 +1,14 @@
 package radio
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"radiocolor/internal/graph"
+	"radiocolor/internal/obs"
 )
 
 // Config describes one simulation run.
@@ -20,8 +22,15 @@ type Config struct {
 	Wake []int64
 	// MaxSlots aborts the run after this many slots (default 50M).
 	MaxSlots int64
-	// Observer receives trace events (optional).
+	// Observer receives trace events. nil (the default) disables the
+	// seam entirely: the engines branch on nil per event and allocate
+	// nothing. Combine several observers with Observers.
 	Observer Observer
+	// Metrics, when non-nil, receives atomic event counters (see
+	// internal/obs). Like Observer, nil costs one branch per event.
+	// Metrics is independent of Observer so a shared registry can
+	// aggregate across concurrent runs without any fan-out indirection.
+	Metrics *obs.Metrics
 	// NEstimate is the network-size estimate used for message-size
 	// accounting (default G.N()).
 	NEstimate int
@@ -86,9 +95,6 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.MaxSlots <= 0 {
 		cfg.MaxSlots = 50_000_000
 	}
-	if cfg.Observer == nil {
-		cfg.Observer = NopObserver{}
-	}
 	if cfg.NEstimate <= 0 {
 		cfg.NEstimate = n
 	}
@@ -151,11 +157,18 @@ func (e *Engine) captured(slot int64, receiver int32) bool {
 // (everyone decided or the slot limit was reached).
 func (e *Engine) Step() bool {
 	t := e.slot
-	obs := e.cfg.Observer
+	ob := e.cfg.Observer
+	met := e.cfg.Metrics
 	// Wake-ups scheduled for this slot.
 	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
 		id := e.order[e.next]
 		e.awake[id] = true
+		if ob != nil {
+			ob.OnWake(t, NodeID(id))
+		}
+		if met != nil {
+			met.AddWakeup()
+		}
 		e.cfg.Protocols[id].Start(t)
 		e.next++
 	}
@@ -182,7 +195,12 @@ func (e *Engine) Step() bool {
 		if bits := msg.Bits(e.cfg.NEstimate); bits > e.res.MaxMessageBits {
 			e.res.MaxMessageBits = bits
 		}
-		obs.OnTransmit(t, NodeID(i), msg)
+		if ob != nil {
+			ob.OnTransmit(t, NodeID(i), msg)
+		}
+		if met != nil {
+			met.AddTransmission()
+		}
 		for _, u := range e.cfg.G.Adj(i) {
 			if e.recvCount[u] == 0 {
 				e.touched = append(e.touched, u)
@@ -207,19 +225,38 @@ func (e *Engine) Step() bool {
 				// transmitter's signal survives the two-way collision.
 				e.res.Deliveries++
 				e.res.Captures++
-				obs.OnDeliver(t, NodeID(u), msg)
+				if ob != nil {
+					ob.OnDeliver(t, NodeID(u), msg)
+				}
+				if met != nil {
+					met.AddDelivery()
+					met.AddCapture()
+				}
 				e.cfg.Protocols[u].Recv(t, msg)
 				continue
 			}
 			e.res.Collisions++
-			obs.OnCollision(t, NodeID(u), int(count))
+			if ob != nil {
+				ob.OnCollision(t, NodeID(u), int(count))
+			}
+			if met != nil {
+				met.AddCollision()
+			}
 			continue
 		}
 		if e.dropped(t, u) {
+			if met != nil {
+				met.AddDrop()
+			}
 			continue
 		}
 		e.res.Deliveries++
-		obs.OnDeliver(t, NodeID(u), msg)
+		if ob != nil {
+			ob.OnDeliver(t, NodeID(u), msg)
+		}
+		if met != nil {
+			met.AddDelivery()
+		}
 		e.cfg.Protocols[u].Recv(t, msg)
 	}
 	e.touched = e.touched[:0]
@@ -233,10 +270,20 @@ func (e *Engine) Step() bool {
 			e.decided[i] = true
 			e.numDone++
 			e.res.DecideSlot[i] = t
-			obs.OnDecide(t, NodeID(i))
+			if ob != nil {
+				ob.OnDecide(t, NodeID(i))
+			}
+			if met != nil {
+				met.AddDecision()
+			}
 		}
 	}
-	obs.OnSlot(t)
+	if ob != nil {
+		ob.OnSlot(t)
+	}
+	if met != nil {
+		met.AddSlot()
+	}
 	e.slot++
 	simulatedSlots.Add(1)
 	e.res.Slots = e.slot
@@ -282,11 +329,32 @@ func (e *Engine) Slot() int64 { return e.slot }
 
 // Run executes the configuration to completion and returns the result.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// cancelCheckMask gates the cancellation poll in the run loops: the
+// context is consulted once every 1024 slots, keeping the select off
+// the per-slot hot path (a full slot simulates n Send calls, so 1024
+// slots bound the cancellation latency to well under a millisecond of
+// wall time at realistic sizes).
+const cancelCheckMask = 1024 - 1
+
+// RunContext executes the configuration to completion, polling ctx
+// every 1024 slots. On cancellation it returns ctx.Err() and no result.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	e, err := NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
+	done := ctx.Done()
 	for e.Step() {
+		if done != nil && e.slot&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 	}
 	return e.Result(), nil
 }

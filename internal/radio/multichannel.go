@@ -71,11 +71,18 @@ func (m *multiChannel) hop(t int64, i int32) int32 {
 func (m *multiChannel) step() bool {
 	e := m.e
 	t := e.slot
-	obs := e.cfg.Observer
+	ob := e.cfg.Observer
+	met := e.cfg.Metrics
 
 	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
 		id := e.order[e.next]
 		e.awake[id] = true
+		if ob != nil {
+			ob.OnWake(t, NodeID(id))
+		}
+		if met != nil {
+			met.AddWakeup()
+		}
 		e.cfg.Protocols[id].Start(t)
 		e.next++
 	}
@@ -106,7 +113,12 @@ func (m *multiChannel) step() bool {
 		if bits := msg.Bits(e.cfg.NEstimate); bits > e.res.MaxMessageBits {
 			e.res.MaxMessageBits = bits
 		}
-		obs.OnTransmit(t, NodeID(i), msg)
+		if ob != nil {
+			ob.OnTransmit(t, NodeID(i), msg)
+		}
+		if met != nil {
+			met.AddTransmission()
+		}
 		for _, u := range e.cfg.G.Adj(i) {
 			if !e.awake[u] || m.chanOf[u] != m.chanOf[i] {
 				continue
@@ -128,14 +140,27 @@ func (m *multiChannel) step() bool {
 		}
 		if count >= 2 {
 			e.res.Collisions++
-			obs.OnCollision(t, NodeID(u), int(count))
+			if ob != nil {
+				ob.OnCollision(t, NodeID(u), int(count))
+			}
+			if met != nil {
+				met.AddCollision()
+			}
 			continue
 		}
 		if e.dropped(t, u) {
+			if met != nil {
+				met.AddDrop()
+			}
 			continue
 		}
 		e.res.Deliveries++
-		obs.OnDeliver(t, NodeID(u), msg)
+		if ob != nil {
+			ob.OnDeliver(t, NodeID(u), msg)
+		}
+		if met != nil {
+			met.AddDelivery()
+		}
 		e.cfg.Protocols[u].Recv(t, msg)
 	}
 	for i := 0; i < e.n; i++ {
@@ -147,10 +172,20 @@ func (m *multiChannel) step() bool {
 			e.decided[i] = true
 			e.numDone++
 			e.res.DecideSlot[i] = t
-			obs.OnDecide(t, NodeID(i))
+			if ob != nil {
+				ob.OnDecide(t, NodeID(i))
+			}
+			if met != nil {
+				met.AddDecision()
+			}
 		}
 	}
-	obs.OnSlot(t)
+	if ob != nil {
+		ob.OnSlot(t)
+	}
+	if met != nil {
+		met.AddSlot()
+	}
 	e.slot++
 	simulatedSlots.Add(1)
 	e.res.Slots = e.slot

@@ -1,0 +1,218 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+
+	"radiocolor/internal/obs"
+)
+
+func TestCollectorObserverRecordsInOrder(t *testing.T) {
+	g := line(3)
+	_, cfg := buildScripted(g, [][]bool{{true}, nil, {true, true}}, WakeSynchronous(3))
+	tr := obs.NewTracer(0, nil)
+	cfg.Observer = CollectorObserver(&obs.Collector{Tracer: tr})
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	prev := int64(-1)
+	for _, e := range events {
+		if e.Slot < prev {
+			t.Fatalf("events out of order: %v", events)
+		}
+		prev = e.Slot
+	}
+	// Slot 0: nodes 0 and 2 transmit; node 1 collides. Wake and decide
+	// events for all 3 nodes are present.
+	var tx, coll, decide, wake int
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindTransmit:
+			tx++
+		case obs.KindCollision:
+			coll++
+		case obs.KindDecide:
+			decide++
+		case obs.KindWake:
+			wake++
+		}
+	}
+	if tx != 3 || coll != 1 || decide != 3 || wake != 3 {
+		t.Errorf("tx=%d coll=%d decide=%d wake=%d", tx, coll, decide, wake)
+	}
+	if tr.Total() != int64(len(events)) {
+		t.Errorf("Total=%d, retained=%d", tr.Total(), len(events))
+	}
+}
+
+func TestCollectorObserverDeliverAttribution(t *testing.T) {
+	g := line(2)
+	_, cfg := buildScripted(g, [][]bool{{true}, nil}, WakeSynchronous(2))
+	tr := obs.NewTracer(0, nil, obs.KindDeliver)
+	cfg.Observer = CollectorObserver(&obs.Collector{Tracer: tr})
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("deliveries = %v, want exactly 1", events)
+	}
+	if events[0].Node != 1 || events[0].From != 0 {
+		t.Errorf("delivery %+v, want node=1 from=0", events[0])
+	}
+}
+
+func TestCollectorObserverNil(t *testing.T) {
+	if CollectorObserver(nil) != nil {
+		t.Error("nil collector must map to nil observer")
+	}
+	if CollectorObserver(&obs.Collector{Metrics: obs.NewMetrics()}) != nil {
+		t.Error("metrics-only collector must map to nil observer (metrics flow via Config.Metrics)")
+	}
+	if CollectorObserver(&obs.Collector{Tracer: obs.NewTracer(0, nil)}) == nil {
+		t.Error("tracer-bearing collector must yield an observer")
+	}
+}
+
+func TestCollectorObserverTimeline(t *testing.T) {
+	g := line(3)
+	_, cfg := buildScripted(g, [][]bool{{true}, nil, {true, true}}, WakeSynchronous(3))
+	tl := obs.NewTimeline(3, 0)
+	cfg.Observer = CollectorObserver(&obs.Collector{Timeline: tl})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Slots() != res.Slots {
+		t.Errorf("timeline saw %d slots, engine ran %d", tl.Slots(), res.Slots)
+	}
+	var tx, rx, coll int64
+	for _, p := range tl.Phases() {
+		tx += p.Transmissions
+		rx += p.Deliveries
+		coll += p.Collisions
+	}
+	if tx != res.Transmissions || rx != res.Deliveries || coll != res.Collisions {
+		t.Errorf("timeline tx=%d rx=%d coll=%d, result %v", tx, rx, coll, res)
+	}
+}
+
+// recordingObserver logs method invocations for fan-out tests.
+type recordingObserver struct {
+	NopObserver
+	log *strings.Builder
+	tag string
+}
+
+func (r *recordingObserver) OnSlot(int64)           { r.log.WriteString(r.tag + "s") }
+func (r *recordingObserver) OnDecide(int64, NodeID) { r.log.WriteString(r.tag + "d") }
+func (r *recordingObserver) OnWake(int64, NodeID)   { r.log.WriteString(r.tag + "w") }
+func (r *recordingObserver) OnCollision(int64, NodeID, int) {
+	r.log.WriteString(r.tag + "c")
+}
+
+func TestObserversFanOut(t *testing.T) {
+	var log strings.Builder
+	a := &recordingObserver{log: &log, tag: "a"}
+	b := &recordingObserver{log: &log, tag: "b"}
+	o := Observers(nil, a, nil, b)
+	o.OnWake(0, 1)
+	o.OnSlot(0)
+	o.OnDecide(1, 2)
+	if got := log.String(); got != "awbwasbsadbd" {
+		t.Errorf("fan-out order = %q", got)
+	}
+}
+
+func TestObserversDegenerate(t *testing.T) {
+	if Observers() != nil || Observers(nil, nil) != nil {
+		t.Error("empty composition must be nil (disabled fast path)")
+	}
+	var log strings.Builder
+	a := &recordingObserver{log: &log, tag: "a"}
+	if got := Observers(nil, a); got != Observer(a) {
+		t.Errorf("single observer must be returned unwrapped, got %T", got)
+	}
+}
+
+// TestMetricsMatchResult checks that Config.Metrics counters agree with
+// the engine's own Result accounting on a real protocol run.
+func TestMetricsMatchResult(t *testing.T) {
+	g := line(5)
+	_, cfg := buildScripted(g, [][]bool{{true}, nil, {true, true}, nil, {true}}, WakeUniform(5, 7, 11))
+	met := obs.NewMetrics()
+	cfg.Metrics = met
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := met.Snapshot()
+	if s.Transmissions != res.Transmissions {
+		t.Errorf("tx: metrics %d, result %d", s.Transmissions, res.Transmissions)
+	}
+	if s.Deliveries != res.Deliveries {
+		t.Errorf("rx: metrics %d, result %d", s.Deliveries, res.Deliveries)
+	}
+	if s.Collisions != res.Collisions {
+		t.Errorf("coll: metrics %d, result %d", s.Collisions, res.Collisions)
+	}
+	if s.Slots != res.Slots {
+		t.Errorf("slots: metrics %d, result %d", s.Slots, res.Slots)
+	}
+	if s.Wakeups != 5 || s.Decisions != 5 {
+		t.Errorf("wakeups=%d decisions=%d, want 5 and 5", s.Wakeups, s.Decisions)
+	}
+}
+
+// idleProto never transmits and never finishes: every Step exercises
+// the full wake/send/decide machinery with no protocol-side allocation,
+// isolating the observability seam's cost.
+type idleProto struct{}
+
+func (idleProto) Start(int64)         {}
+func (idleProto) Send(int64) Message  { return nil }
+func (idleProto) Recv(int64, Message) {}
+func (idleProto) Done() bool          { return false }
+
+func newIdleEngine(tb testing.TB, n int, met *obs.Metrics) *Engine {
+	tb.Helper()
+	protos := make([]Protocol, n)
+	for i := range protos {
+		protos[i] = idleProto{}
+	}
+	e, err := NewEngine(Config{
+		G:         line(n),
+		Protocols: protos,
+		Wake:      WakeSynchronous(n),
+		MaxSlots:  1 << 40,
+		Metrics:   met,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return e
+}
+
+// TestDisabledSeamZeroAlloc pins the zero-overhead contract: with no
+// Observer and no Metrics the engine allocates nothing per slot.
+func TestDisabledSeamZeroAlloc(t *testing.T) {
+	e := newIdleEngine(t, 32, nil)
+	e.Step() // absorb wake-up work
+	if allocs := testing.AllocsPerRun(500, func() { e.Step() }); allocs != 0 {
+		t.Errorf("disabled observability seam allocates %v per slot, want 0", allocs)
+	}
+}
+
+// TestMetricsZeroAlloc pins that the atomic counter registry adds no
+// allocations either — metrics are safe to leave on in hot sweeps.
+func TestMetricsZeroAlloc(t *testing.T) {
+	e := newIdleEngine(t, 32, obs.NewMetrics())
+	e.Step()
+	if allocs := testing.AllocsPerRun(500, func() { e.Step() }); allocs != 0 {
+		t.Errorf("metrics registry allocates %v per slot, want 0", allocs)
+	}
+}

@@ -74,10 +74,15 @@ type Protocol interface {
 }
 
 // Observer receives simulation events for tracing and statistics.
-// Implementations must be fast; the engine calls them in hot loops.
+// Implementations must be fast; the engine calls them in hot loops. A
+// nil Observer in Config is fully disabled: the engines pay one branch
+// per event and never allocate (the zero-overhead contract of the
+// observability subsystem, see internal/obs).
 type Observer interface {
 	// OnSlot is called once per slot after all sends/receives resolved.
 	OnSlot(slot int64)
+	// OnWake is called when a node wakes up, before its first Start.
+	OnWake(slot int64, node NodeID)
 	// OnTransmit is called for each transmission.
 	OnTransmit(slot int64, from NodeID, msg Message)
 	// OnDeliver is called when a listener successfully receives.
@@ -97,6 +102,9 @@ type NopObserver struct{}
 
 // OnSlot implements Observer.
 func (NopObserver) OnSlot(int64) {}
+
+// OnWake implements Observer.
+func (NopObserver) OnWake(int64, NodeID) {}
 
 // OnTransmit implements Observer.
 func (NopObserver) OnTransmit(int64, NodeID, Message) {}

@@ -87,12 +87,19 @@ func (u *unaligned) clearHalf(h int64) {
 func (u *unaligned) step() bool {
 	e := u.e
 	t := e.slot
-	obs := e.cfg.Observer
+	ob := e.cfg.Observer
+	met := e.cfg.Metrics
 
 	// Wake-ups.
 	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
 		id := e.order[e.next]
 		e.awake[id] = true
+		if ob != nil {
+			ob.OnWake(t, NodeID(id))
+		}
+		if met != nil {
+			met.AddWakeup()
+		}
 		e.cfg.Protocols[id].Start(t)
 		e.next++
 	}
@@ -119,7 +126,12 @@ func (u *unaligned) step() bool {
 		if bits := msg.Bits(e.cfg.NEstimate); bits > e.res.MaxMessageBits {
 			e.res.MaxMessageBits = bits
 		}
-		obs.OnTransmit(t, NodeID(i), msg)
+		if ob != nil {
+			ob.OnTransmit(t, NodeID(i), msg)
+		}
+		if met != nil {
+			met.AddTransmission()
+		}
 		for _, h := range [2]int64{h0, h0 + 1} {
 			u.selfTx[i][h&7] = true
 			for _, w := range e.cfg.G.Adj(i) {
@@ -151,15 +163,28 @@ func (u *unaligned) step() bool {
 			if blocked {
 				if collided {
 					e.res.Collisions++
-					obs.OnCollision(t, NodeID(w), 2)
+					if ob != nil {
+						ob.OnCollision(t, NodeID(w), 2)
+					}
+					if met != nil {
+						met.AddCollision()
+					}
 				}
 				continue
 			}
 			if e.dropped(t, w) {
+				if met != nil {
+					met.AddDrop()
+				}
 				continue
 			}
 			e.res.Deliveries++
-			obs.OnDeliver(t, NodeID(w), tx.msg)
+			if ob != nil {
+				ob.OnDeliver(t, NodeID(w), tx.msg)
+			}
+			if met != nil {
+				met.AddDelivery()
+			}
 			e.cfg.Protocols[w].Recv(t, tx.msg)
 		}
 	}
@@ -171,10 +196,20 @@ func (u *unaligned) step() bool {
 			e.decided[i] = true
 			e.numDone++
 			e.res.DecideSlot[i] = t
-			obs.OnDecide(t, NodeID(i))
+			if ob != nil {
+				ob.OnDecide(t, NodeID(i))
+			}
+			if met != nil {
+				met.AddDecision()
+			}
 		}
 	}
-	obs.OnSlot(t)
+	if ob != nil {
+		ob.OnSlot(t)
+	}
+	if met != nil {
+		met.AddSlot()
+	}
 	e.slot++
 	simulatedSlots.Add(1)
 	e.res.Slots = e.slot

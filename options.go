@@ -1,0 +1,166 @@
+package radiocolor
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"radiocolor/internal/obs"
+)
+
+// Wakeup selects the wake-up schedule of a run. The paper's guarantees
+// hold for every schedule, including the adversarial one.
+type Wakeup uint8
+
+const (
+	// WakeupSynchronous wakes every node in slot 0 (the default).
+	WakeupSynchronous Wakeup = iota
+	// WakeupUniform wakes nodes uniformly at random over a span
+	// proportional to the protocol's waiting period.
+	WakeupUniform
+	// WakeupSequential wakes nodes one by one at a fixed gap.
+	WakeupSequential
+	// WakeupBursty wakes nodes in groups separated by quiet periods.
+	WakeupBursty
+	// WakeupAdversarial staggers wake-ups to maximize the overlap of
+	// waiting periods — the hardest schedule for the protocol.
+	WakeupAdversarial
+
+	numWakeups
+)
+
+var wakeupNames = [numWakeups]string{
+	"synchronous", "uniform", "sequential", "bursty", "adversarial",
+}
+
+// String returns the schedule's name (the value accepted by
+// ParseWakeup and the -wakeup CLI flags).
+func (w Wakeup) String() string {
+	if w < numWakeups {
+		return wakeupNames[w]
+	}
+	return fmt.Sprintf("wakeup(%d)", uint8(w))
+}
+
+// ParseWakeup maps a schedule name to its Wakeup constant.
+func ParseWakeup(name string) (Wakeup, error) {
+	for i, s := range wakeupNames {
+		if s == name {
+			return Wakeup(i), nil
+		}
+	}
+	return 0, fmt.Errorf("radiocolor: unknown wakeup pattern %q", name)
+}
+
+// Options configures a coloring run. The zero value is a sensible
+// default: synchronous wake-up, practical constants, automatic budget,
+// observability disabled.
+type Options struct {
+	// Seed drives all randomness (placement excluded); runs with equal
+	// seeds are bit-identical. Defaults to 1.
+	Seed int64
+	// Wakeup selects the wake-up schedule (default WakeupSynchronous).
+	Wakeup Wakeup
+	// WakeupName selects the wake-up schedule by name and overrides
+	// Wakeup when non-empty.
+	//
+	// Deprecated: use the typed Wakeup constants instead.
+	WakeupName string
+	// ParamScale multiplies the practical protocol constants
+	// (default 1.0). Larger is safer but slower; experiment E7 maps the
+	// trade-off.
+	ParamScale float64
+	// MaxSlots caps the simulation (0 = automatic generous budget).
+	MaxSlots int64
+	// Workers > 1 runs the simulator's send phase on several
+	// goroutines. Results are bit-identical to the sequential engine:
+	// every node owns an independent random stream, so the schedule of
+	// goroutines cannot leak into the outcome.
+	Workers int
+
+	// Observer, when non-nil, receives every simulation event (see the
+	// Observer interface). The disabled path costs one nil check per
+	// event and allocates nothing.
+	Observer Observer
+	// Trace, when non-nil, streams every simulation event as JSONL to
+	// the configured destination; summarize the file with cmd/tracestat
+	// or obs.Summarize. Tracing is independent of Observer and Metrics.
+	Trace *TraceConfig
+	// Metrics, when true, attaches an Outcome.Stats snapshot: event
+	// counters, collision rate, throughput and the per-phase timeline.
+	Metrics bool
+}
+
+// TraceConfig configures slot-level JSONL tracing. Exactly one of Path
+// and W must be set.
+type TraceConfig struct {
+	// Path is the JSONL file to create (truncated if it exists).
+	Path string
+	// W receives the JSONL stream instead of a file.
+	W io.Writer
+	// Cap bounds the in-memory tail ring (default 4096 events); the
+	// JSONL destination always receives every event.
+	Cap int
+	// Kinds restricts tracing to the named event kinds ("tx", "rx",
+	// "coll", "decide", "wake", "phase"); empty traces everything.
+	// Filtering out "phase" events makes the per-phase attribution of a
+	// later replay (cmd/tracestat) degenerate to the asleep phase.
+	Kinds []string
+}
+
+// Validate reports whether the options are well-formed. ColorGraph and
+// friends call it before any expensive work (graph parameter
+// measurement, simulation), so a misconfigured run fails immediately.
+func (o Options) Validate() error {
+	if o.ParamScale < 0 {
+		return fmt.Errorf("radiocolor: negative ParamScale %g", o.ParamScale)
+	}
+	if o.MaxSlots < 0 {
+		return fmt.Errorf("radiocolor: negative MaxSlots %d", o.MaxSlots)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("radiocolor: negative Workers %d", o.Workers)
+	}
+	if _, err := o.wakeup(); err != nil {
+		return err
+	}
+	if t := o.Trace; t != nil {
+		if t.Path == "" && t.W == nil {
+			return errors.New("radiocolor: TraceConfig needs Path or W")
+		}
+		if t.Path != "" && t.W != nil {
+			return errors.New("radiocolor: TraceConfig has both Path and W")
+		}
+		if t.Cap < 0 {
+			return fmt.Errorf("radiocolor: negative trace Cap %d", t.Cap)
+		}
+		for _, k := range t.Kinds {
+			if _, err := obs.ParseKind(k); err != nil {
+				return fmt.Errorf("radiocolor: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// wakeup resolves the schedule selection, honoring the deprecated
+// WakeupName override.
+func (o Options) wakeup() (Wakeup, error) {
+	if o.WakeupName != "" {
+		return ParseWakeup(o.WakeupName)
+	}
+	if o.Wakeup >= numWakeups {
+		return 0, fmt.Errorf("radiocolor: invalid wakeup %d", uint8(o.Wakeup))
+	}
+	return o.Wakeup, nil
+}
+
+func (o Options) normalized() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.ParamScale <= 0 {
+		o.ParamScale = 1
+	}
+	return o
+}

@@ -23,50 +23,19 @@
 package radiocolor
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"os"
 
 	"radiocolor/internal/core"
 	"radiocolor/internal/geom"
 	"radiocolor/internal/graph"
+	"radiocolor/internal/obs"
 	"radiocolor/internal/radio"
 	"radiocolor/internal/sched"
 	"radiocolor/internal/verify"
 )
-
-// Options configures a coloring run. The zero value is a sensible
-// default: synchronous wake-up, practical constants, automatic budget.
-type Options struct {
-	// Seed drives all randomness (placement excluded); runs with equal
-	// seeds are bit-identical. Defaults to 1.
-	Seed int64
-	// Wakeup selects the wake-up schedule: "synchronous" (default),
-	// "uniform", "sequential", "bursty" or "adversarial". The paper's
-	// guarantees hold for all of them.
-	Wakeup string
-	// ParamScale multiplies the practical protocol constants
-	// (default 1.0). Larger is safer but slower; experiment E7 maps the
-	// trade-off.
-	ParamScale float64
-	// MaxSlots caps the simulation (0 = automatic generous budget).
-	MaxSlots int64
-	// Workers > 1 runs the simulator's send phase on several
-	// goroutines; results are identical to the sequential engine.
-	Workers int
-}
-
-func (o Options) normalized() Options {
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.Wakeup == "" {
-		o.Wakeup = "synchronous"
-	}
-	if o.ParamScale <= 0 {
-		o.ParamScale = 1
-	}
-	return o
-}
 
 // Outcome reports a completed coloring run.
 type Outcome struct {
@@ -94,6 +63,10 @@ type Outcome struct {
 	// MaxMessageBits is the largest message payload observed; the model
 	// requires O(log n).
 	MaxMessageBits int
+	// Stats snapshots the run's channel behavior (collision rate,
+	// per-phase timeline, throughput). Nil unless Options.Metrics was
+	// set.
+	Stats *Stats
 
 	g *graph.Graph
 }
@@ -155,6 +128,14 @@ type TDMASchedule struct {
 // given as adjacency lists (adj[v] lists the neighbors of v; symmetry is
 // enforced, self-loops rejected).
 func ColorGraph(adj [][]int, opt Options) (*Outcome, error) {
+	return ColorGraphContext(context.Background(), adj, opt)
+}
+
+// ColorGraphContext is ColorGraph with cancellation: the simulation
+// polls ctx about every thousand slots and returns ctx.Err() if it
+// fired. Long runs on large graphs can take minutes, so interactive
+// callers should prefer this entry point.
+func ColorGraphContext(ctx context.Context, adj [][]int, opt Options) (*Outcome, error) {
 	b := graph.NewBuilder(len(adj))
 	for v, ns := range adj {
 		for _, u := range ns {
@@ -167,13 +148,19 @@ func ColorGraph(adj [][]int, opt Options) (*Outcome, error) {
 			b.AddEdge(v, u)
 		}
 	}
-	return colorGraph(b.Build(), opt)
+	return colorGraph(ctx, b.Build(), opt)
 }
 
 // ColorUnitDisk places the given points in the plane, connects pairs
 // within the transmission radius (the unit disk model of Corollary 2)
 // and runs the full protocol.
 func ColorUnitDisk(points [][2]float64, radius float64, opt Options) (*Outcome, error) {
+	return ColorUnitDiskContext(context.Background(), points, radius, opt)
+}
+
+// ColorUnitDiskContext is ColorUnitDisk with cancellation, analogous to
+// ColorGraphContext.
+func ColorUnitDiskContext(ctx context.Context, points [][2]float64, radius float64, opt Options) (*Outcome, error) {
 	if radius <= 0 {
 		return nil, errors.New("radiocolor: non-positive radius")
 	}
@@ -189,26 +176,33 @@ func ColorUnitDisk(points [][2]float64, radius float64, opt Options) (*Outcome, 
 			}
 		}
 	}
-	return colorGraph(b.Build(), opt)
+	return colorGraph(ctx, b.Build(), opt)
 }
 
-func colorGraph(g *graph.Graph, opt Options) (*Outcome, error) {
+func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, error) {
+	// Validation precedes the graph parameter measurement below: Kappa
+	// alone can burn its full search budget before a typo'd option
+	// would surface.
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	opt = opt.normalized()
 	if g.N() == 0 {
 		return nil, errors.New("radiocolor: empty graph")
 	}
+	wk, _ := opt.wakeup() // validated above
 	delta := g.MaxDegree()
 	k := g.Kappa(graph.KappaOptions{Budget: 150_000, MaxNeighborhood: 140})
 	par := core.Practical(g.N(), delta, k.K1, k.K2).Scale(opt.ParamScale)
 
 	var wake []int64
 	for _, p := range radio.WakePatterns {
-		if p.Name == opt.Wakeup {
+		if p.Name == wk.String() {
 			wake = p.Make(g.N(), par.WaitSlots(), opt.Seed)
 		}
 	}
 	if wake == nil {
-		return nil, fmt.Errorf("radiocolor: unknown wakeup pattern %q", opt.Wakeup)
+		return nil, fmt.Errorf("radiocolor: unknown wakeup pattern %q", wk)
 	}
 	budget := opt.MaxSlots
 	if budget <= 0 {
@@ -217,15 +211,60 @@ func colorGraph(g *graph.Graph, opt Options) (*Outcome, error) {
 			budget = 1_000_000
 		}
 	}
+
+	// Observability: assemble the collectors the options ask for. All
+	// of this is nil (and the run allocation-free on the seam) when
+	// Observer, Trace and Metrics are unset.
+	var (
+		met      *obs.Metrics
+		timeline *obs.Timeline
+		tracer   *obs.Tracer
+		sink     *os.File
+	)
+	if opt.Metrics {
+		met = obs.NewMetrics()
+		timeline = obs.NewTimeline(g.N(), 0)
+	}
+	if t := opt.Trace; t != nil {
+		w := t.W
+		if t.Path != "" {
+			f, err := os.Create(t.Path)
+			if err != nil {
+				return nil, fmt.Errorf("radiocolor: %w", err)
+			}
+			sink = f
+			w = f
+		}
+		kinds := make([]obs.Kind, len(t.Kinds))
+		for i, name := range t.Kinds {
+			kinds[i], _ = obs.ParseKind(name) // validated above
+		}
+		tracer = obs.NewTracer(t.Cap, w, kinds...)
+	}
+	collector := &obs.Collector{Metrics: met, Tracer: tracer, Timeline: timeline}
+
 	nodes, protos := core.Nodes(g.N(), opt.Seed, par, core.Ablation{})
-	res, err := radio.Run(radio.Config{
+	core.ObservePhases(nodes, collector)
+	res, err := radio.RunContext(ctx, radio.Config{
 		G:         g,
 		Protocols: protos,
 		Wake:      wake,
 		MaxSlots:  budget,
 		NEstimate: par.N,
 		Workers:   opt.Workers,
+		Observer:  radio.Observers(radio.CollectorObserver(collector), adaptObserver(opt.Observer)),
+		Metrics:   met,
 	})
+	if tracer != nil {
+		if ferr := tracer.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("radiocolor: %w", ferr)
+		}
+	}
+	if sink != nil {
+		if cerr := sink.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("radiocolor: %w", cerr)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -255,5 +294,8 @@ func colorGraph(g *graph.Graph, opt Options) (*Outcome, error) {
 	out.Complete = rep.Complete && res.AllDone
 	out.NumColors = rep.NumColors
 	out.MaxColor = int(rep.MaxColor)
+	if met != nil {
+		out.Stats = buildStats(met, timeline)
+	}
 	return out, nil
 }

@@ -39,7 +39,7 @@ func TestColorGraphValidation(t *testing.T) {
 	if _, err := ColorGraph([][]int{{5}}, Options{}); err == nil {
 		t.Error("out-of-range neighbor accepted")
 	}
-	if _, err := ColorGraph([][]int{{1}, {0}}, Options{Wakeup: "bogus"}); err == nil {
+	if _, err := ColorGraph([][]int{{1}, {0}}, Options{WakeupName: "bogus"}); err == nil {
 		t.Error("unknown wakeup accepted")
 	}
 }
@@ -50,7 +50,7 @@ func TestColorUnitDisk(t *testing.T) {
 	for i := range points {
 		points[i] = [2]float64{r.Float64() * 5, r.Float64() * 5}
 	}
-	out, err := ColorUnitDisk(points, 1.2, Options{Seed: 9, Wakeup: "uniform"})
+	out, err := ColorUnitDisk(points, 1.2, Options{Seed: 9, WakeupName: "uniform"})
 	if err != nil {
 		t.Fatal(err)
 	}
