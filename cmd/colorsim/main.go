@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"radiocolor/internal/core"
 	"radiocolor/internal/experiment"
@@ -40,6 +41,7 @@ func main() {
 		traceN   = flag.Int("trace-tail", 0, "dump the last N radio events after the run")
 		metrics  = flag.Bool("metrics", false, "print the metrics registry and per-phase timeline")
 		energy   = flag.Bool("energy", false, "print the energy summary (tx=1, listen=0.5 per slot)")
+		benchK   = flag.Bool("bench-kernel", false, "time the CSR kernel against the reference slot loop on this deployment and exit")
 		saveFile = flag.String("save", "", "write the generated deployment to this file and exit")
 		loadFile = flag.String("load", "", "load the deployment from this file instead of generating")
 		svgFile  = flag.String("svg", "", "render the colored deployment to this SVG file")
@@ -95,6 +97,13 @@ func main() {
 	budget := *maxSlots
 	if budget <= 0 {
 		budget = int64(par.Kappa2+2) * par.Threshold() * 40
+	}
+	if *benchK {
+		if err := benchKernel(d, par, wake, budget, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	// Observability: -trace streams JSONL, -trace-tail keeps a ring for
 	// the post-run dump, -metrics adds counters and the phase timeline.
@@ -235,6 +244,50 @@ func main() {
 	if !res.AllDone || !report.OK() {
 		os.Exit(1)
 	}
+}
+
+// benchKernel times the CSR slot kernel against the retained reference
+// loop on the same deployment, schedule, and protocol parameters, and
+// prints slot throughput plus the speedup. Both runs use fresh protocol
+// instances with the same master seed, so they simulate identical slots.
+func benchKernel(d *topology.Deployment, par core.Params, wake []int64, budget int64, seed int64) error {
+	run := func(reference bool) (int64, time.Duration, error) {
+		_, protos := core.Nodes(d.N(), seed, par, core.Ablation{})
+		cfg := radio.Config{
+			G: d.G, Protocols: protos, Wake: wake,
+			MaxSlots: budget, NEstimate: par.N,
+		}
+		start := time.Now()
+		var res *radio.Result
+		var err error
+		if reference {
+			res, err = radio.RunReference(cfg)
+		} else {
+			res, err = radio.Run(cfg)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Slots, time.Since(start), nil
+	}
+	refSlots, refDur, err := run(true)
+	if err != nil {
+		return err
+	}
+	csrSlots, csrDur, err := run(false)
+	if err != nil {
+		return err
+	}
+	if refSlots != csrSlots {
+		return fmt.Errorf("kernels diverged: reference ran %d slots, csr %d", refSlots, csrSlots)
+	}
+	refRate := float64(refSlots) / refDur.Seconds()
+	csrRate := float64(csrSlots) / csrDur.Seconds()
+	fmt.Printf("kernel bench: n=%d m=%d slots=%d\n", d.N(), d.G.M(), csrSlots)
+	fmt.Printf("  reference : %8.0f slots/s (%v)\n", refRate, refDur.Round(time.Millisecond))
+	fmt.Printf("  csr       : %8.0f slots/s (%v)\n", csrRate, csrDur.Round(time.Millisecond))
+	fmt.Printf("  speedup   : %.2fx\n", csrRate/refRate)
+	return nil
 }
 
 func summarizeFloats(xs []float64) string {

@@ -1,0 +1,59 @@
+package graph
+
+// CSR is the compressed-sparse-row view of a Graph: the flat arrays the
+// simulation kernel iterates instead of chasing per-vertex slice headers.
+// Row v occupies Edges[Offsets[v]:Offsets[v+1]], sorted ascending; the
+// arrays are shared with the Graph and must not be modified.
+//
+// The layout is the standard one for static sparse structures (every
+// neighbor scan is a contiguous read, and sorted rows make membership a
+// binary search), which is what lets the slot loop in internal/radio
+// stream a transmitter's whole neighborhood through cache with no
+// pointer dereferences.
+type CSR struct {
+	// Offsets has length N+1; Offsets[0] == 0 and Offsets[N] == 2·M.
+	Offsets []int32
+	// Edges concatenates the sorted neighbor rows.
+	Edges []int32
+}
+
+// CSR returns the graph's compressed-sparse-row view. The view costs
+// nothing to produce: Build already lays the graph out this way.
+func (g *Graph) CSR() CSR {
+	return CSR{Offsets: g.offsets, Edges: g.edges}
+}
+
+// N returns the number of vertices.
+func (c CSR) N() int { return len(c.Offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (c CSR) NumEdges() int { return len(c.Edges) / 2 }
+
+// Row returns the sorted neighbor row of v (excluding v itself).
+func (c CSR) Row(v int32) []int32 {
+	return c.Edges[c.Offsets[v]:c.Offsets[v+1]]
+}
+
+// Degree returns δ_v = |N(v)| including v, per the paper's convention.
+func (c CSR) Degree(v int) int {
+	return int(c.Offsets[v+1]-c.Offsets[v]) + 1
+}
+
+// HasEdge reports whether (u, v) is an edge, by binary search over the
+// sorted row of u.
+func (c CSR) HasEdge(u, v int) bool {
+	if u == v {
+		return false
+	}
+	lo, hi := c.Offsets[u], c.Offsets[u+1]
+	w := int32(v)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if c.Edges[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < c.Offsets[u+1] && c.Edges[lo] == w
+}

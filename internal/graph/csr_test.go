@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveAdjacency builds adjacency sets the slow, obviously-correct way:
+// a map per vertex, ignoring self-loops and duplicates. It is the oracle
+// the CSR build is checked against.
+func naiveAdjacency(n int, edges [][2]int32) []map[int32]bool {
+	adj := make([]map[int32]bool, n)
+	for i := range adj {
+		adj[i] = map[int32]bool{}
+	}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	return adj
+}
+
+func checkAgainstNaive(t *testing.T, n int, edges [][2]int32) {
+	t.Helper()
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(int(e[0]), int(e[1]))
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("built graph fails validation: %v", err)
+	}
+	want := naiveAdjacency(n, edges)
+	c := g.CSR()
+	if c.N() != n {
+		t.Fatalf("CSR.N() = %d, want %d", c.N(), n)
+	}
+	m := 0
+	for v := 0; v < n; v++ {
+		m += len(want[v])
+	}
+	if c.NumEdges() != m/2 || g.M() != m/2 {
+		t.Fatalf("edge count: CSR=%d graph=%d want %d", c.NumEdges(), g.M(), m/2)
+	}
+	for v := 0; v < n; v++ {
+		row := c.Row(int32(v))
+		if len(row) != len(want[v]) {
+			t.Fatalf("vertex %d: row %v, want the %d neighbors %v", v, row, len(want[v]), want[v])
+		}
+		if !sort.SliceIsSorted(row, func(i, j int) bool { return row[i] < row[j] }) {
+			t.Fatalf("vertex %d: row %v not sorted", v, row)
+		}
+		for _, u := range row {
+			if !want[v][u] {
+				t.Fatalf("vertex %d: spurious neighbor %d", v, u)
+			}
+		}
+		if c.Degree(v) != len(want[v])+1 || g.Degree(v) != len(want[v])+1 {
+			t.Fatalf("vertex %d: degree CSR=%d graph=%d want %d", v, c.Degree(v), g.Degree(v), len(want[v])+1)
+		}
+		for u := 0; u < n; u++ {
+			if c.HasEdge(v, u) != want[v][int32(u)] {
+				t.Fatalf("CSR.HasEdge(%d,%d) = %v, want %v", v, u, c.HasEdge(v, u), want[v][int32(u)])
+			}
+			if g.HasEdge(v, u) != want[v][int32(u)] {
+				t.Fatalf("HasEdge(%d,%d) = %v, want %v", v, u, g.HasEdge(v, u), want[v][int32(u)])
+			}
+		}
+	}
+}
+
+// FuzzCSRBuild cross-checks the single-pass CSR build (adjacency rows,
+// HasEdge, Degree) against the naive set-based construction on arbitrary
+// edge lists, including duplicates and self-loops.
+func FuzzCSRBuild(f *testing.F) {
+	f.Add(uint16(4), []byte{0, 1, 1, 2, 2, 3})
+	f.Add(uint16(3), []byte{0, 0, 1, 1, 2, 2})       // all self-loops
+	f.Add(uint16(2), []byte{0, 1, 1, 0, 0, 1, 0, 1}) // duplicates both ways
+	f.Add(uint16(1), []byte{})
+	f.Add(uint16(0), []byte{})
+	f.Fuzz(func(t *testing.T, nRaw uint16, raw []byte) {
+		n := int(nRaw%64) + 1
+		var edges [][2]int32
+		for i := 0; i+1 < len(raw); i += 2 {
+			u := int32(raw[i]) % int32(n)
+			v := int32(raw[i+1]) % int32(n)
+			edges = append(edges, [2]int32{u, v})
+		}
+		checkAgainstNaive(t, n, edges)
+	})
+}
+
+// TestCSRBuildRandomized is the deterministic companion of FuzzCSRBuild:
+// it runs the same cross-check on random edge lists so `go test` covers
+// the property without the fuzz engine.
+func TestCSRBuildRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(40)
+		edges := make([][2]int32, r.Intn(4*n))
+		for i := range edges {
+			edges[i] = [2]int32{int32(r.Intn(n)), int32(r.Intn(n))}
+		}
+		checkAgainstNaive(t, n, edges)
+	}
+}
+
+// TestHasEdgeDuplicatesAndSelfLoops pins the regression the binary-search
+// HasEdge must survive: duplicate edges collapse to one row entry, and
+// self-loops are discarded entirely, so membership answers stay exact.
+func TestHasEdgeDuplicatesAndSelfLoops(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(1, 3)
+	b.AddEdge(3, 1) // duplicate, reversed
+	b.AddEdge(1, 3) // duplicate, same orientation
+	b.AddEdge(2, 2) // self-loop: dropped
+	b.AddEdge(0, 4)
+	b.AddEdge(4, 4) // self-loop on an endpoint that has real edges
+	g := b.Build()
+
+	if g.M() != 2 {
+		t.Fatalf("M() = %d, want 2 (duplicates and self-loops dropped)", g.M())
+	}
+	for _, tc := range []struct {
+		u, v int
+		want bool
+	}{
+		{1, 3, true}, {3, 1, true}, {0, 4, true}, {4, 0, true},
+		{2, 2, false}, {4, 4, false}, {1, 1, false},
+		{0, 1, false}, {2, 3, false}, {4, 3, false},
+	} {
+		if got := g.HasEdge(tc.u, tc.v); got != tc.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", tc.u, tc.v, got, tc.want)
+		}
+		if got := g.CSR().HasEdge(tc.u, tc.v); got != tc.want {
+			t.Errorf("CSR.HasEdge(%d,%d) = %v, want %v", tc.u, tc.v, got, tc.want)
+		}
+	}
+	if got := len(g.Adj(1)); got != 1 {
+		t.Errorf("Adj(1) has %d entries, want 1 (duplicate edge collapsed)", got)
+	}
+	if got := len(g.Adj(2)); got != 0 {
+		t.Errorf("Adj(2) has %d entries, want 0 (self-loop dropped)", got)
+	}
+}

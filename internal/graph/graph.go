@@ -13,12 +13,17 @@ import (
 	"sort"
 )
 
-// Graph is an undirected simple graph over vertices 0..N-1, stored as
-// sorted adjacency lists. It is immutable after Build; concurrent readers
-// need no synchronization.
+// Graph is an undirected simple graph over vertices 0..N-1, stored in
+// compressed sparse row (CSR) form: one flat, sorted edge array plus
+// per-vertex offsets. The adjacency slices in adj are views into the
+// shared edge array, so both the slice API (Adj) and the flat API (CSR)
+// walk the same cache-friendly memory. It is immutable after Build;
+// concurrent readers need no synchronization.
 type Graph struct {
-	n   int
-	adj [][]int32
+	n       int
+	adj     [][]int32 // adj[v] aliases edges[offsets[v]:offsets[v+1]]
+	edges   []int32   // concatenated sorted neighbor rows, len 2·M
+	offsets []int32   // len n+1; row v is edges[offsets[v]:offsets[v+1]]
 }
 
 // Builder accumulates edges for a Graph. Duplicate edges and self-loops
@@ -53,6 +58,14 @@ func (b *Builder) AddEdge(u, v int) {
 
 // Build finalizes the graph. The builder may be reused afterwards, but
 // the built graph is independent of it.
+//
+// The result is laid out in CSR form in a single pass: edges are sorted
+// by (min endpoint, max endpoint) and deduplicated, degrees prefix-summed
+// into offsets, and each row filled by one scan over the unique edges.
+// Because the scan visits min endpoints in ascending order, row v first
+// receives its smaller neighbors (ascending) and then, during v's own
+// block, its larger neighbors (ascending) — every row comes out sorted
+// without a per-row sort.
 func (b *Builder) Build() *Graph {
 	sort.Slice(b.edges, func(i, j int) bool {
 		if b.edges[i][0] != b.edges[j][0] {
@@ -60,7 +73,7 @@ func (b *Builder) Build() *Graph {
 		}
 		return b.edges[i][1] < b.edges[j][1]
 	})
-	deg := make([]int, b.n)
+	deg := make([]int32, b.n)
 	uniq := b.edges[:0]
 	var prev [2]int32 = [2]int32{-1, -1}
 	for _, e := range b.edges {
@@ -72,16 +85,30 @@ func (b *Builder) Build() *Graph {
 		deg[e[0]]++
 		deg[e[1]]++
 	}
-	g := &Graph{n: b.n, adj: make([][]int32, b.n)}
-	for v := range g.adj {
-		g.adj[v] = make([]int32, 0, deg[v])
+	if int64(len(uniq))*2 > int64(1<<31-1) {
+		panic(fmt.Sprintf("graph: %d edges overflow int32 CSR offsets", len(uniq)))
+	}
+	g := &Graph{
+		n:       b.n,
+		adj:     make([][]int32, b.n),
+		edges:   make([]int32, 2*len(uniq)),
+		offsets: make([]int32, b.n+1),
+	}
+	for v := 0; v < b.n; v++ {
+		g.offsets[v+1] = g.offsets[v] + deg[v]
+	}
+	cursor := deg // reuse as fill cursor: next free index relative to row start
+	for v := range cursor {
+		cursor[v] = g.offsets[v]
 	}
 	for _, e := range uniq {
-		g.adj[e[0]] = append(g.adj[e[0]], e[1])
-		g.adj[e[1]] = append(g.adj[e[1]], e[0])
+		g.edges[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+		g.edges[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
 	}
-	for v := range g.adj {
-		sort.Slice(g.adj[v], func(i, j int) bool { return g.adj[v][i] < g.adj[v][j] })
+	for v := 0; v < b.n; v++ {
+		g.adj[v] = g.edges[g.offsets[v]:g.offsets[v+1]:g.offsets[v+1]]
 	}
 	return g
 }
@@ -90,26 +117,29 @@ func (b *Builder) Build() *Graph {
 func (g *Graph) N() int { return g.n }
 
 // M returns the number of undirected edges.
-func (g *Graph) M() int {
-	total := 0
-	for _, a := range g.adj {
-		total += len(a)
-	}
-	return total / 2
-}
+func (g *Graph) M() int { return len(g.edges) / 2 }
 
 // Adj returns the sorted neighbor list of v (excluding v). The returned
 // slice is shared with the graph and must not be modified.
 func (g *Graph) Adj(v int) []int32 { return g.adj[v] }
 
-// HasEdge reports whether (u, v) is an edge, by binary search.
+// HasEdge reports whether (u, v) is an edge, by binary search over the
+// sorted CSR row of u (no closure per probe, unlike sort.Search).
 func (g *Graph) HasEdge(u, v int) bool {
 	if u == v {
 		return false
 	}
-	a := g.adj[u]
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
-	return i < len(a) && a[i] == int32(v)
+	lo, hi := g.offsets[u], g.offsets[u+1]
+	w := int32(v)
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if g.edges[mid] < w {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < g.offsets[u+1] && g.edges[lo] == w
 }
 
 // Degree returns δ_v = |N(v)| including v itself, per the paper's

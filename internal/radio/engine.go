@@ -24,12 +24,15 @@ type Config struct {
 	MaxSlots int64
 	// Observer receives trace events. nil (the default) disables the
 	// seam entirely: the engines branch on nil per event and allocate
-	// nothing. Combine several observers with Observers.
+	// nothing. Combine several observers with Observers. A non-nil
+	// Observer also keeps the deliver phase sequential under Workers > 1
+	// so that traced event streams stay fully ordered.
 	Observer Observer
 	// Metrics, when non-nil, receives atomic event counters (see
 	// internal/obs). Like Observer, nil costs one branch per event.
 	// Metrics is independent of Observer so a shared registry can
 	// aggregate across concurrent runs without any fan-out indirection.
+	// Being atomic, Metrics does not force the sequential deliver path.
 	Metrics *obs.Metrics
 	// NEstimate is the network-size estimate used for message-size
 	// accounting (default G.N()).
@@ -48,15 +51,27 @@ type Config struct {
 	// the collision. Real radios often exhibit capture; the model
 	// assumes none. Used by robustness experiments.
 	CaptureProb float64
-	// Workers > 1 runs the per-slot Send phase on that many goroutines.
-	// Results are bit-identical to the sequential engine because every
-	// node owns an independent random stream.
+	// Workers > 1 runs the per-slot Send, resolve and deliver phases on
+	// that many goroutines. Results are bit-identical to the sequential
+	// engine: every node owns an independent random stream, the resolve
+	// phase partitions the transmitters' CSR edge ranges and merges the
+	// per-worker (count, lowest sender) accumulators deterministically
+	// (sum and min are order-free), and the deliver phase partitions
+	// receivers, which never share protocol state.
 	Workers int
 }
 
 // Engine executes a Config slot by slot. Use Run for the common case;
 // the step-wise API supports protocols that need outside inspection
 // between slots (tests, visualizers).
+//
+// The slot loop works on the graph's CSR view (one flat edge array plus
+// offsets) and is zero-alloc in steady state: per-slot scratch is
+// kept valid by standing sentinels rather than cleared, transmissions and undecided nodes
+// are tracked in compact lists so no phase scans all n nodes, and a
+// transmitter's whole neighborhood is one contiguous read. The original
+// slice-chasing slot loop is retained verbatim as the reference engine
+// (reference.go); differential tests pin this kernel to it bit-for-bit.
 type Engine struct {
 	cfg     Config
 	n       int
@@ -69,27 +84,113 @@ type Engine struct {
 	decided []bool
 	res     Result
 
-	// Per-slot scratch, reset via the touched list.
-	recvCount []int32
-	recvMsg   []Message
-	touched   []int32
+	// CSR view of cfg.G, hoisted out of the per-edge hot path.
+	offsets []int32
+	edges   []int32
+
+	// Compact activity lists, all in ascending node order. Ascending
+	// matters: protocol state and per-node RNG arrays are allocated
+	// node-by-node, so an ascending sweep is a regular-stride memory
+	// walk the prefetcher can follow, while wake-order iteration is a
+	// random permutation that stalls on every node at large n. tx holds
+	// this slot's transmitters; awakeList every awake node (newly woken
+	// ids are merged in, staying sorted); undecided the awake nodes that
+	// have not decided, compacted stably in place as decisions land.
+	tx        []int32
+	awakeList []int32
+	pending   []int32 // recently woken, not yet merged into awakeList
+	undecided []int32
+
+	// Per-slot receive scratch. The between-slot invariant: count == 0
+	// for awake listeners, count == asleepCount for asleep nodes (set at
+	// init, flipped at wake). Resolve treats count == 0 as "first touch
+	// this slot", accumulates positive counts, and ignores negative ones
+	// (asleep, or this slot's transmitters via txMarker) — negative
+	// entries are never modified, so only touched listeners and
+	// transmitters need a restore, both on lines already in hand.
+	// Packing (from, count) into one 8-byte struct makes the resolve
+	// phase's random accesses as dense as possible: eight receivers per
+	// cache line.
+	rs      []recvSlot
+	touched []int32
+
+	// Parallel-phase scratch, allocated on first use when Workers > 1.
+	scratch []resolveScratch
+}
+
+// recvSlot is one receiver's per-slot resolve accumulator. The
+// between-slot invariant is count == 0 for awake nodes and
+// count == asleepCount for asleep ones, so the resolve phase reads the
+// receiver's sleep state from the accumulator it must load anyway and
+// never consults the awake array.
+type recvSlot struct {
+	from  int32 // lowest-indexed transmitting neighbor this slot
+	count int32 // transmitting neighbors this slot
+}
+
+// asleepCount is the standing count of an asleep receiver: negative, so
+// the resolve phase skips the node without consulting the awake array.
+// The entry is never modified while the node sleeps; a wake-up resets
+// it to 0.
+const asleepCount = -1 << 30
+
+// txMarker is the count a node's own transmission stamps into its rs
+// entry during the Send phase. Negative like asleepCount, it keeps
+// transmitting receivers out of touched, so the deliver phase needs no
+// outbox check; the per-slot tx sweep restores the entries to 0.
+const txMarker = -1 << 28
+
+// resolveScratch is one worker's private accumulator for the parallel
+// resolve phase.
+type resolveScratch struct {
+	rs      []recvSlot
+	touched []int32
+	cleared []int32
 }
 
 // NewEngine validates the configuration and prepares a run.
 func NewEngine(cfg Config) (*Engine, error) {
+	if err := validateConfig(&cfg); err != nil {
+		return nil, err
+	}
+	n := cfg.G.N()
+	csr := cfg.G.CSR()
+	e := &Engine{
+		cfg:       cfg,
+		n:         n,
+		awake:     make([]bool, n),
+		out:       make([]Message, n),
+		decided:   make([]bool, n),
+		offsets:   csr.Offsets,
+		edges:     csr.Edges,
+		awakeList: make([]int32, 0, n),
+		undecided: make([]int32, 0, n),
+		rs:        make([]recvSlot, n),
+	}
+	for i := range e.rs {
+		e.rs[i].count = asleepCount // everyone starts asleep
+	}
+	e.order = wakeOrder(cfg.Wake)
+	e.res = newResult(cfg.Wake)
+	return e, nil
+}
+
+// validateConfig checks and normalizes a Config in place. Shared with
+// the reference engine so both reject exactly the same inputs.
+func validateConfig(cfg *Config) error {
 	if cfg.G == nil {
-		return nil, errors.New("radio: nil graph")
+		return errors.New("radio: nil graph")
 	}
 	n := cfg.G.N()
 	if len(cfg.Protocols) != n {
-		return nil, fmt.Errorf("radio: %d protocols for %d nodes", len(cfg.Protocols), n)
+		return fmt.Errorf("radio: %d protocols for %d nodes", len(cfg.Protocols), n)
 	}
 	if len(cfg.Wake) != n {
-		return nil, fmt.Errorf("radio: %d wake slots for %d nodes", len(cfg.Wake), n)
+		return fmt.Errorf("radio: %d wake slots for %d nodes", len(cfg.Wake), n)
 	}
 	for i, w := range cfg.Wake {
 		if w < 0 {
-			return nil, fmt.Errorf("radio: node %d has negative wake slot %d", i, w)
+			return fmt.Errorf("radio: node %d has negative wake slot %d", i, w)
 		}
 	}
 	if cfg.MaxSlots <= 0 {
@@ -101,31 +202,33 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	e := &Engine{
-		cfg:       cfg,
-		n:         n,
-		awake:     make([]bool, n),
-		out:       make([]Message, n),
-		decided:   make([]bool, n),
-		recvCount: make([]int32, n),
-		recvMsg:   make([]Message, n),
+	return nil
+}
+
+// wakeOrder returns node ids sorted stably by wake slot (ties keep id
+// order, so synchronous schedules wake in ascending id order).
+func wakeOrder(wake []int64) []int32 {
+	order := make([]int32, len(wake))
+	for i := range order {
+		order[i] = int32(i)
 	}
-	e.order = make([]int32, n)
-	for i := range e.order {
-		e.order[i] = int32(i)
-	}
-	sort.SliceStable(e.order, func(a, b int) bool {
-		return cfg.Wake[e.order[a]] < cfg.Wake[e.order[b]]
+	sort.SliceStable(order, func(a, b int) bool {
+		return wake[order[a]] < wake[order[b]]
 	})
-	e.res = Result{
-		WakeSlot:   append([]int64(nil), cfg.Wake...),
-		DecideSlot: make([]int64, n),
-		PerNodeTx:  make([]int64, n),
+	return order
+}
+
+// newResult initializes the per-run Result bookkeeping.
+func newResult(wake []int64) Result {
+	res := Result{
+		WakeSlot:   append([]int64(nil), wake...),
+		DecideSlot: make([]int64, len(wake)),
+		PerNodeTx:  make([]int64, len(wake)),
 	}
-	for i := range e.res.DecideSlot {
-		e.res.DecideSlot[i] = -1
+	for i := range res.DecideSlot {
+		res.DecideSlot[i] = -1
 	}
-	return e, nil
+	return res
 }
 
 // splitmix64 advances a SplitMix64 state; used for the stateless drop
@@ -137,20 +240,32 @@ func splitmix64(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-func (e *Engine) dropped(slot int64, receiver int32) bool {
-	if e.cfg.DropProb <= 0 {
+// dropCoin reports whether the delivery to receiver in slot is dropped:
+// a pure function of (seed, slot, receiver), so the outcome is identical
+// across engines, worker counts and phase orderings.
+func dropCoin(seed, slot int64, receiver int32, prob float64) bool {
+	if prob <= 0 {
 		return false
 	}
-	h := splitmix64(splitmix64(uint64(e.cfg.DropSeed)^uint64(slot)) ^ uint64(receiver))
-	return float64(h>>11)/float64(1<<53) < e.cfg.DropProb
+	h := splitmix64(splitmix64(uint64(seed)^uint64(slot)) ^ uint64(receiver))
+	return float64(h>>11)/float64(1<<53) < prob
+}
+
+// captureCoin is the equally pure coin for the capture effect.
+func captureCoin(seed, slot int64, receiver int32, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	h := splitmix64(splitmix64(uint64(seed)^uint64(slot)*0x9E3779B9) ^ uint64(receiver) ^ 0xCA97)
+	return float64(h>>11)/float64(1<<53) < prob
+}
+
+func (e *Engine) dropped(slot int64, receiver int32) bool {
+	return dropCoin(e.cfg.DropSeed, slot, receiver, e.cfg.DropProb)
 }
 
 func (e *Engine) captured(slot int64, receiver int32) bool {
-	if e.cfg.CaptureProb <= 0 {
-		return false
-	}
-	h := splitmix64(splitmix64(uint64(e.cfg.DropSeed)^uint64(slot)*0x9E3779B9) ^ uint64(receiver) ^ 0xCA97)
-	return float64(h>>11)/float64(1<<53) < e.cfg.CaptureProb
+	return captureCoin(e.cfg.DropSeed, slot, receiver, e.cfg.CaptureProb)
 }
 
 // Step simulates one slot. It returns false when the run is over
@@ -159,10 +274,16 @@ func (e *Engine) Step() bool {
 	t := e.slot
 	ob := e.cfg.Observer
 	met := e.cfg.Metrics
-	// Wake-ups scheduled for this slot.
+
+	// Wake-ups scheduled for this slot. The block e.order[prevNext:next]
+	// is in ascending id order (wakeOrder sorts stably, so ties keep id
+	// order), letting the sorted activity lists absorb it with one
+	// backward merge each.
+	prevNext := e.next
 	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
 		id := e.order[e.next]
 		e.awake[id] = true
+		e.rs[id].count = 0 // standing state flips from asleep to awake-idle
 		if ob != nil {
 			ob.OnWake(t, NodeID(id))
 		}
@@ -172,101 +293,151 @@ func (e *Engine) Step() bool {
 		e.cfg.Protocols[id].Start(t)
 		e.next++
 	}
+	if e.next > prevNext {
+		woken := e.order[prevNext:e.next]
+		e.undecided = mergeSorted(e.undecided, woken)
+		// Newly woken ids go to a small pending list first; merging the
+		// whole awake list every slot of a long wake ramp would cost
+		// O(awake) per slot. The pending list is flushed once it exceeds
+		// an eighth of the merged list, so total merge work stays O(n)
+		// over any ramp while Send still walks mostly-ascending ids.
+		e.pending = append(e.pending, woken...)
+	}
+	// A traced run flushes every slot so OnTransmit events keep the
+	// reference's ascending-id order; so does the parallel path, whose
+	// workers partition one list.
+	if len(e.pending) > 0 &&
+		(e.cfg.Workers > 1 || ob != nil ||
+			len(e.pending) >= 256 && len(e.pending)*8 >= len(e.awakeList)) {
+		sortInt32s(e.pending)
+		e.awakeList = mergeSorted(e.awakeList, e.pending)
+		e.pending = e.pending[:0]
+	}
 
 	// Send phase: every awake node ticks and chooses transmit/listen.
+	// Iterating the sorted awake list touches exactly the awake nodes in
+	// ascending order; protocols are independent state machines, so call
+	// order within a slot cannot influence results. Transmission
+	// bookkeeping (counters, max message size, events) is order-free and
+	// fused into the same sweep.
 	if e.cfg.Workers > 1 {
-		e.parallelSend(t)
+		e.parallelSend(t, e.awakeList)
+		for _, v := range e.tx {
+			e.noteTx(t, v, e.out[v], ob, met)
+		}
 	} else {
-		for i := 0; i < e.n; i++ {
-			if e.awake[i] {
-				e.out[i] = e.cfg.Protocols[i].Send(t)
+		protos := e.cfg.Protocols
+		for _, i := range e.awakeList {
+			if msg := protos[i].Send(t); msg != nil {
+				e.out[i] = msg
+				e.rs[i].count = txMarker
+				e.tx = append(e.tx, i)
+				e.noteTx(t, i, msg, ob, met)
+			}
+		}
+		for _, i := range e.pending {
+			if msg := protos[i].Send(t); msg != nil {
+				e.out[i] = msg
+				e.rs[i].count = txMarker
+				e.tx = append(e.tx, i)
+				e.noteTx(t, i, msg, ob, met)
 			}
 		}
 	}
 
-	// Resolve phase: count transmitting neighbors at each node.
-	for i := 0; i < e.n; i++ {
-		msg := e.out[i]
-		if msg == nil {
-			continue
-		}
-		e.res.Transmissions++
-		e.res.PerNodeTx[i]++
-		if bits := msg.Bits(e.cfg.NEstimate); bits > e.res.MaxMessageBits {
-			e.res.MaxMessageBits = bits
-		}
-		if ob != nil {
-			ob.OnTransmit(t, NodeID(i), msg)
-		}
-		if met != nil {
-			met.AddTransmission()
-		}
-		for _, u := range e.cfg.G.Adj(i) {
-			if e.recvCount[u] == 0 {
-				e.touched = append(e.touched, u)
-				e.recvMsg[u] = msg
+	// Resolve phase: accumulate per-receiver transmitting-neighbor counts
+	// and the lowest-indexed transmitter into the per-slot scratch.
+	if e.cfg.Workers > 1 && len(e.tx) > 1 {
+		e.parallelResolve()
+	} else {
+		for _, v := range e.tx {
+			row := e.edges[e.offsets[v]:e.offsets[v+1]]
+			for _, u := range row {
+				r := &e.rs[u]
+				if r.count == 0 {
+					r.count = 1
+					r.from = v
+					e.touched = append(e.touched, u)
+				} else if r.count > 0 {
+					r.count++
+					if v < r.from {
+						r.from = v
+					}
+				}
+				// count < 0: asleep (standing asleepCount) or
+				// transmitting (txMarker) — not a listener; the entry is
+				// left untouched, so there is nothing to restore.
 			}
-			e.recvCount[u]++
 		}
 	}
 
-	// Deliver phase: exactly-one rule at awake listeners.
-	for _, u := range e.touched {
-		count := e.recvCount[u]
-		e.recvCount[u] = 0
-		msg := e.recvMsg[u]
-		e.recvMsg[u] = nil
-		if !e.awake[u] || e.out[u] != nil {
-			continue // asleep, or transmitting: hears nothing
-		}
-		if count >= 2 {
-			if count == 2 && e.captured(t, u) {
-				// Capture effect: the first-recorded (lowest-indexed)
-				// transmitter's signal survives the two-way collision.
-				e.res.Deliveries++
-				e.res.Captures++
+	// Deliver phase: exactly-one rule at awake listeners. The delivered
+	// message is recovered from the sender's outbox (out is cleared only
+	// after this phase), so no per-receiver message scratch exists. Each
+	// touched rs entry is zeroed here, while its line is in hand,
+	// restoring the between-slot count == 0 invariant.
+	if e.cfg.Workers > 1 && ob == nil && len(e.touched) > 1 {
+		e.parallelDeliver(t)
+	} else {
+		for _, u := range e.touched {
+			r := &e.rs[u]
+			count, from := r.count, r.from
+			r.count = 0
+			if count >= 2 {
+				if count == 2 && e.captured(t, u) {
+					// Capture effect: the lowest-indexed transmitter's
+					// signal survives the two-way collision.
+					e.res.Deliveries++
+					e.res.Captures++
+					msg := e.out[from]
+					if ob != nil {
+						ob.OnDeliver(t, NodeID(u), msg)
+					}
+					if met != nil {
+						met.AddDelivery()
+						met.AddCapture()
+					}
+					e.cfg.Protocols[u].Recv(t, msg)
+					continue
+				}
+				e.res.Collisions++
 				if ob != nil {
-					ob.OnDeliver(t, NodeID(u), msg)
+					ob.OnCollision(t, NodeID(u), int(count))
 				}
 				if met != nil {
-					met.AddDelivery()
-					met.AddCapture()
+					met.AddCollision()
 				}
-				e.cfg.Protocols[u].Recv(t, msg)
 				continue
 			}
-			e.res.Collisions++
+			if e.dropped(t, u) {
+				if met != nil {
+					met.AddDrop()
+				}
+				continue
+			}
+			e.res.Deliveries++
+			msg := e.out[from]
 			if ob != nil {
-				ob.OnCollision(t, NodeID(u), int(count))
+				ob.OnDeliver(t, NodeID(u), msg)
 			}
 			if met != nil {
-				met.AddCollision()
+				met.AddDelivery()
 			}
-			continue
+			e.cfg.Protocols[u].Recv(t, msg)
 		}
-		if e.dropped(t, u) {
-			if met != nil {
-				met.AddDrop()
-			}
-			continue
-		}
-		e.res.Deliveries++
-		if ob != nil {
-			ob.OnDeliver(t, NodeID(u), msg)
-		}
-		if met != nil {
-			met.AddDelivery()
-		}
-		e.cfg.Protocols[u].Recv(t, msg)
 	}
 	e.touched = e.touched[:0]
-	for i := 0; i < e.n; i++ {
-		e.out[i] = nil
+	for _, v := range e.tx {
+		e.out[v] = nil
+		e.rs[v].count = 0 // transmitters return to the awake-idle state
 	}
+	e.tx = e.tx[:0]
 
-	// Decision detection.
-	for i := 0; i < e.n; i++ {
-		if !e.decided[i] && e.awake[i] && e.cfg.Protocols[i].Done() {
+	// Decision detection over the compact undecided list.
+	w := 0
+	protos := e.cfg.Protocols
+	for _, i := range e.undecided {
+		if protos[i].Done() {
 			e.decided[i] = true
 			e.numDone++
 			e.res.DecideSlot[i] = t
@@ -276,8 +447,13 @@ func (e *Engine) Step() bool {
 			if met != nil {
 				met.AddDecision()
 			}
+		} else {
+			e.undecided[w] = i
+			w++
 		}
 	}
+	e.undecided = e.undecided[:w]
+
 	if ob != nil {
 		ob.OnSlot(t)
 	}
@@ -294,30 +470,262 @@ func (e *Engine) Step() bool {
 	return e.slot < e.cfg.MaxSlots
 }
 
-func (e *Engine) parallelSend(t int64) {
-	workers := e.cfg.Workers
-	chunk := (e.n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+// noteTx records one transmission: run counters, the maximum message
+// size, and the per-event seams. All of it is order-free (sums, maxes,
+// per-node counters), so it may run inside any Send sweep order.
+func (e *Engine) noteTx(t int64, v int32, msg Message, ob Observer, met *obs.Metrics) {
+	e.res.Transmissions++
+	e.res.PerNodeTx[v]++
+	if bits := msg.Bits(e.cfg.NEstimate); bits > e.res.MaxMessageBits {
+		e.res.MaxMessageBits = bits
+	}
+	if ob != nil {
+		ob.OnTransmit(t, NodeID(v), msg)
+	}
+	if met != nil {
+		met.AddTransmission()
+	}
+}
+
+// sortInt32s sorts ids ascending. Used on the pending wake list, which
+// is a concatenation of already-ascending per-slot blocks, just before
+// it is merged into the main awake list.
+func sortInt32s(ids []int32) {
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+}
+
+// mergeSorted merges the ascending block add into the ascending list
+// dst in place (backward merge over the appended tail), preserving
+// ascending order. add must not alias dst.
+func mergeSorted(dst, add []int32) []int32 {
+	old := len(dst)
+	dst = append(dst, add...)
+	if old == 0 || dst[old-1] < add[0] {
+		return dst // already in order (synchronous and sequential wakes)
+	}
+	i, j := old-1, len(add)-1
+	for k := len(dst) - 1; j >= 0; k-- {
+		if i >= 0 && dst[i] > add[j] {
+			dst[k] = dst[i]
+			i--
+		} else {
+			dst[k] = add[j]
+			j--
+		}
+	}
+	return dst
+}
+
+// workerRanges splits [0, n) into at most workers contiguous ranges.
+func workerRanges(n, workers int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var out [][2]int
+	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
-		if hi > e.n {
-			hi = e.n
+		if hi > n {
+			hi = n
 		}
-		if lo >= hi {
-			break
-		}
+		out = append(out, [2]int{lo, hi})
+	}
+	return out
+}
+
+// parallelSend runs the Send phase over the awake nodes on Workers
+// goroutines. Each worker appends its transmitters to a private list;
+// the lists are concatenated in worker order, so tx is deterministic.
+func (e *Engine) parallelSend(t int64, awakeIDs []int32) {
+	ranges := workerRanges(len(awakeIDs), e.cfg.Workers)
+	txLocal := make([][]int32, len(ranges))
+	var wg sync.WaitGroup
+	for w, r := range ranges {
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w int, ids []int32) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if e.awake[i] {
-					e.out[i] = e.cfg.Protocols[i].Send(t)
+			var local []int32
+			for _, i := range ids {
+				if msg := e.cfg.Protocols[i].Send(t); msg != nil {
+					e.out[i] = msg
+					e.rs[i].count = txMarker // workers own disjoint ids
+					local = append(local, i)
 				}
 			}
-		}(lo, hi)
+			txLocal[w] = local
+		}(w, awakeIDs[r[0]:r[1]])
 	}
 	wg.Wait()
+	for _, local := range txLocal {
+		e.tx = append(e.tx, local...)
+	}
+}
+
+// parallelResolve partitions the transmitters' concatenated CSR rows
+// into contiguous ranges of roughly equal edge count, lets each worker
+// accumulate (count, lowest sender) into private zero-invariant scratch,
+// and merges the partial accumulators sequentially. The merged state is
+// independent of the partition because counts add and senders take the
+// minimum — both order-free — so the result is bit-identical to the
+// sequential resolve for any worker count.
+func (e *Engine) parallelResolve() {
+	workers := e.cfg.Workers
+	if e.scratch == nil {
+		e.scratch = make([]resolveScratch, 0, workers)
+	}
+	for len(e.scratch) < workers {
+		e.scratch = append(e.scratch, resolveScratch{
+			rs: make([]recvSlot, e.n),
+		})
+	}
+
+	// Partition tx at row granularity by cumulative edge count.
+	total := 0
+	for _, v := range e.tx {
+		total += int(e.offsets[v+1] - e.offsets[v])
+	}
+	target := (total + workers - 1) / workers
+	if target < 1 {
+		target = 1
+	}
+	type span struct{ lo, hi int }
+	var spans []span
+	lo, acc := 0, 0
+	for i, v := range e.tx {
+		acc += int(e.offsets[v+1] - e.offsets[v])
+		if acc >= target && len(spans) < workers-1 {
+			spans = append(spans, span{lo, i + 1})
+			lo, acc = i+1, 0
+		}
+	}
+	if lo < len(e.tx) {
+		spans = append(spans, span{lo, len(e.tx)})
+	}
+
+	var wg sync.WaitGroup
+	for w, s := range spans {
+		wg.Add(1)
+		go func(ws *resolveScratch, txs []int32) {
+			defer wg.Done()
+			ws.touched = ws.touched[:0]
+			for _, v := range txs {
+				row := e.edges[e.offsets[v]:e.offsets[v+1]]
+				for _, u := range row {
+					r := &ws.rs[u]
+					if r.count == 0 {
+						if !e.awake[u] {
+							r.count = asleepCount
+							ws.cleared = append(ws.cleared, u)
+							continue
+						}
+						r.count = 1
+						r.from = v
+						ws.touched = append(ws.touched, u)
+					} else {
+						r.count++
+						if v < r.from {
+							r.from = v
+						}
+					}
+				}
+			}
+		}(&e.scratch[w], e.tx[s.lo:s.hi])
+	}
+	wg.Wait()
+
+	// Deterministic merge in worker order; each worker entry is zeroed as
+	// it is folded in, restoring the workers' count == 0 invariant.
+	for w := range spans {
+		ws := &e.scratch[w]
+		for _, u := range ws.touched {
+			p := &ws.rs[u]
+			r := &e.rs[u]
+			if r.count == 0 {
+				*r = *p
+				e.touched = append(e.touched, u)
+			} else {
+				r.count += p.count
+				if p.from < r.from {
+					r.from = p.from
+				}
+			}
+			p.count = 0
+		}
+		for _, u := range ws.cleared {
+			ws.rs[u].count = 0
+		}
+		ws.cleared = ws.cleared[:0]
+	}
+}
+
+// deliverTally is one worker's share of the deliver-phase counters.
+type deliverTally struct {
+	deliveries, captures, collisions int64
+}
+
+// parallelDeliver partitions the touched receivers across workers. A
+// receiver appears in touched exactly once (the first-touch count dedupes), so
+// no two workers ever call the same protocol, and all per-receiver
+// inputs (the rs accumulator, out, the drop and capture coins) are
+// read-only pure data. Counter partials are summed in worker order;
+// sums are order-free, so the totals match the sequential deliver
+// exactly. Only taken when Config.Observer is nil: a traced run keeps
+// the sequential path so its event stream stays fully ordered.
+func (e *Engine) parallelDeliver(t int64) {
+	met := e.cfg.Metrics
+	ranges := workerRanges(len(e.touched), e.cfg.Workers)
+	tallies := make([]deliverTally, len(ranges))
+	var wg sync.WaitGroup
+	for w, r := range ranges {
+		wg.Add(1)
+		go func(w int, us []int32) {
+			defer wg.Done()
+			var tl deliverTally
+			for _, u := range us {
+				r := &e.rs[u]
+				count, from := r.count, r.from
+				r.count = 0 // each receiver is in exactly one partition
+				if count >= 2 {
+					if count == 2 && e.captured(t, u) {
+						tl.deliveries++
+						tl.captures++
+						if met != nil {
+							met.AddDelivery()
+							met.AddCapture()
+						}
+						e.cfg.Protocols[u].Recv(t, e.out[from])
+						continue
+					}
+					tl.collisions++
+					if met != nil {
+						met.AddCollision()
+					}
+					continue
+				}
+				if e.dropped(t, u) {
+					if met != nil {
+						met.AddDrop()
+					}
+					continue
+				}
+				tl.deliveries++
+				if met != nil {
+					met.AddDelivery()
+				}
+				e.cfg.Protocols[u].Recv(t, e.out[from])
+			}
+			tallies[w] = tl
+		}(w, e.touched[r[0]:r[1]])
+	}
+	wg.Wait()
+	for _, tl := range tallies {
+		e.res.Deliveries += tl.deliveries
+		e.res.Captures += tl.captures
+		e.res.Collisions += tl.collisions
+	}
 }
 
 // Result returns the statistics accumulated so far. It is valid after

@@ -56,9 +56,10 @@ type multiChannel struct {
 	k    int
 	seed int64
 
-	chanOf []int32 // this slot's channel per node
-	count  []int32 // transmitting neighbors on the listener's channel
-	first  []Message
+	chanOf  []int32 // this slot's channel per node
+	count   []int32 // transmitting neighbors on the listener's channel
+	first   []Message
+	touched []int32 // per-slot scratch, reused across slots
 }
 
 // hop returns node i's channel in slot t: a pure function so the
@@ -102,7 +103,7 @@ func (m *multiChannel) step() bool {
 
 	// Resolve per channel: count transmitting neighbors that share the
 	// listener's channel.
-	var touched []int32
+	touched := m.touched[:0]
 	for i := 0; i < e.n; i++ {
 		msg := e.out[i]
 		if msg == nil {
@@ -119,7 +120,7 @@ func (m *multiChannel) step() bool {
 		if met != nil {
 			met.AddTransmission()
 		}
-		for _, u := range e.cfg.G.Adj(i) {
+		for _, u := range e.edges[e.offsets[i]:e.offsets[i+1]] {
 			if !e.awake[u] || m.chanOf[u] != m.chanOf[i] {
 				continue
 			}
@@ -163,6 +164,7 @@ func (m *multiChannel) step() bool {
 		}
 		e.cfg.Protocols[u].Recv(t, msg)
 	}
+	m.touched = touched
 	for i := 0; i < e.n; i++ {
 		e.out[i] = nil
 	}

@@ -134,7 +134,7 @@ func (u *unaligned) step() bool {
 		}
 		for _, h := range [2]int64{h0, h0 + 1} {
 			u.selfTx[i][h&7] = true
-			for _, w := range e.cfg.G.Adj(i) {
+			for _, w := range e.edges[e.offsets[i]:e.offsets[i+1]] {
 				u.occ[w][h&7]++
 			}
 		}
@@ -144,7 +144,7 @@ func (u *unaligned) step() bool {
 	// (2(t−1) .. 2t) are now finalized.
 	for _, tx := range u.prev {
 		v := int(tx.node)
-		for _, w := range e.cfg.G.Adj(v) {
+		for _, w := range e.edges[e.offsets[v]:e.offsets[v+1]] {
 			if !e.awake[w] {
 				continue
 			}

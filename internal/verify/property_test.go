@@ -5,7 +5,10 @@ import (
 	"testing"
 	"testing/quick"
 
+	"radiocolor/internal/core"
 	"radiocolor/internal/graph"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
 )
 
 func randomGraphAndColors(n int, p float64, maxColor int32, seed int64) (*graph.Graph, []int32) {
@@ -86,6 +89,68 @@ func TestQuickViolationsAreRealEdges(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Property: every terminating protocol run produces a proper, complete
+// coloring with an O(Δ) palette — checked on random bounded-independence
+// graphs (unit disk deployments deformed by obstacle walls, so generally
+// NOT unit disk graphs) under all five wakeup schedules, not just the
+// synchronous UDG setting the unit tests cover. The palette bound is the
+// one Theorem 4's proof yields globally: the highest color anywhere is
+// at most (κ₂+1)·Δ, since every φ_v ≤ (κ₂+1)·θ_v and θ_v ≤ Δ.
+func TestPropertyColoringOnRandomBIGsAllSchedules(t *testing.T) {
+	seeds := []int64{5, 21}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	terminated := 0
+	for _, seed := range seeds {
+		d := topology.BIGWithWalls(topology.UDGConfig{
+			N: 50, Side: 5, Radius: 1.3, Seed: seed,
+		}, 12)
+		g := d.G
+		delta := g.MaxDegree()
+		k := g.Kappa(graph.KappaOptions{Budget: 20_000, MaxNeighborhood: 60})
+		par := core.Practical(g.N(), delta, k.K1, k.K2)
+		budget := int64(par.Kappa2+2) * par.Threshold() * 40
+		for _, pat := range radio.WakePatterns {
+			nodes, protos := core.Nodes(g.N(), seed, par, core.Ablation{})
+			res, err := radio.Run(radio.Config{
+				G: g, Protocols: protos,
+				Wake:     pat.Make(g.N(), par.WaitSlots(), seed),
+				MaxSlots: budget, NEstimate: par.N,
+			})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, pat.Name, err)
+			}
+			if !res.AllDone {
+				// The paper's guarantees are with high probability; a run
+				// that exhausts its budget is not a counterexample, but
+				// the test must not pass vacuously (see the check below).
+				t.Logf("seed %d %s: run did not terminate within %d slots", seed, pat.Name, budget)
+				continue
+			}
+			terminated++
+			colors := make([]int32, g.N())
+			for i, v := range nodes {
+				colors[i] = v.Color()
+			}
+			rep := Check(g, colors)
+			if !rep.OK() {
+				t.Errorf("seed %d %s: coloring not proper+complete: %v", seed, pat.Name, rep)
+			}
+			if bound := int32((k.K2 + 1) * delta); rep.MaxColor > bound {
+				t.Errorf("seed %d %s: palette exceeds O(Δ): max color %d > (κ₂+1)·Δ = %d",
+					seed, pat.Name, rep.MaxColor, bound)
+			}
+			if viol := CheckLocality(g, colors, k.K2); len(viol) > 0 {
+				t.Errorf("seed %d %s: %d locality violations (first %+v)", seed, pat.Name, len(viol), viol[0])
+			}
+		}
+	}
+	if terminated < 3 {
+		t.Fatalf("only %d runs terminated — the property was barely exercised", terminated)
 	}
 }
 
