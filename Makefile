@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench fuzz experiments examples clean
+.PHONY: all build test short race bench fuzz experiments examples serve clean
 
 all: build test
 
@@ -29,6 +29,10 @@ fuzz:
 # Regenerate every table recorded in EXPERIMENTS.md (several minutes).
 experiments:
 	$(GO) run ./cmd/experiments -trials 3 -size 1.0 -seed 1
+
+# Run the coloring-simulation daemon (see README "Running as a service").
+serve:
+	$(GO) run ./cmd/colord -addr :8080 -queue 64
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -31,6 +31,10 @@ func TestOptionsValidate(t *testing.T) {
 		{"trace bad cap", Options{Trace: &TraceConfig{W: os.Stderr, Cap: -1}}, "Cap"},
 		{"trace bad kind", Options{Trace: &TraceConfig{W: os.Stderr, Kinds: []string{"nope"}}}, "nope"},
 		{"trace good kinds", Options{Trace: &TraceConfig{W: os.Stderr, Kinds: []string{"tx", "phase"}}}, ""},
+		{"measured good", Options{Measured: &Measured{Delta: 4, Kappa1: 1, Kappa2: 2}}, ""},
+		{"measured isolated nodes", Options{Measured: &Measured{Delta: 0, Kappa1: 1, Kappa2: 1}}, ""},
+		{"measured negative delta", Options{Measured: &Measured{Delta: -1, Kappa1: 1, Kappa2: 1}}, "Delta"},
+		{"measured zero kappa", Options{Measured: &Measured{Delta: 3}}, "κ"},
 	}
 	for _, c := range cases {
 		err := c.opt.Validate()
@@ -72,6 +76,39 @@ func TestWakeupStrings(t *testing.T) {
 	}
 	if _, err := ParseWakeup("wakeup(3)"); err == nil {
 		t.Error("String form of invalid values must not parse")
+	}
+	// ParseWakeup is exact-match: case and whitespace variants fail.
+	for _, bad := range []string{"", "Uniform", " uniform", "uniform "} {
+		if _, err := ParseWakeup(bad); err == nil {
+			t.Errorf("ParseWakeup(%q) accepted", bad)
+		}
+	}
+}
+
+// TestWakeupShimPrecedence pins the resolution order of the deprecated
+// WakeupName shim against the typed Wakeup field.
+func TestWakeupShimPrecedence(t *testing.T) {
+	// A non-empty name overrides the typed constant...
+	w, err := Options{Wakeup: WakeupUniform, WakeupName: "adversarial"}.wakeup()
+	if err != nil || w != WakeupAdversarial {
+		t.Errorf("shim should win: got %v, %v", w, err)
+	}
+	// ...even an invalid typed constant, which the shim shadows entirely.
+	w, err = Options{Wakeup: Wakeup(99), WakeupName: "uniform"}.wakeup()
+	if err != nil || w != WakeupUniform {
+		t.Errorf("shim should shadow invalid typed value: got %v, %v", w, err)
+	}
+	// An invalid name is an error even when the typed constant is fine.
+	if _, err := (Options{Wakeup: WakeupBursty, WakeupName: "bogus"}).wakeup(); err == nil {
+		t.Error("invalid shim name must not fall back to the typed value")
+	}
+	// An empty name defers to the typed constant.
+	w, err = Options{Wakeup: WakeupSequential}.wakeup()
+	if err != nil || w != WakeupSequential {
+		t.Errorf("typed value ignored: got %v, %v", w, err)
+	}
+	if _, err := (Options{Wakeup: Wakeup(99)}).wakeup(); err == nil {
+		t.Error("invalid typed value must error when no shim is set")
 	}
 }
 

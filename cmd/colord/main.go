@@ -1,0 +1,90 @@
+// Command colord is the coloring-simulation daemon: an HTTP JSON API
+// over internal/serve that runs the paper's protocol as queued,
+// cancellable jobs with streaming progress and Prometheus metrics.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs              submit (429 + Retry-After under backpressure)
+//	GET    /v1/jobs              list
+//	GET    /v1/jobs/{id}         poll
+//	GET    /v1/jobs/{id}/stream  NDJSON (or SSE with Accept: text/event-stream)
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /healthz              liveness
+//	GET    /metrics              Prometheus text
+//
+// Example session:
+//
+//	colord -addr :8080 -queue 16 -workers 4 &
+//	curl -s localhost:8080/v1/jobs -d '{"topology":{"kind":"udg","n":200},"seed":7}'
+//	curl -sN localhost:8080/v1/jobs/j-000001/stream
+//	curl -s localhost:8080/metrics | grep colord_
+//
+// SIGINT/SIGTERM starts a graceful drain: in-flight jobs get
+// -drain-timeout to finish, the rest are canceled via context.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"radiocolor/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		queueCap = flag.Int("queue", 64, "admission queue bound (full queue → 429)")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent job executions")
+		cache    = flag.Int("cache", 128, "deployment cache entries (negative disables)")
+		maxNodes = flag.Int("max-nodes", 200_000, "largest admissible job")
+		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight jobs")
+		stream   = flag.Duration("stream-interval", 250*time.Millisecond, "progress sampling period of /stream")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.New(serve.Config{
+		QueueCap:       *queueCap,
+		Workers:        *workers,
+		CacheSize:      *cache,
+		MaxNodes:       *maxNodes,
+		StreamInterval: *stream,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "colord: listening on %s (queue=%d workers=%d)\n", *addr, *queueCap, *workers)
+
+	select {
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		fmt.Fprintf(os.Stderr, "colord: draining (deadline %s)\n", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Stop accepting connections first, then drain the job pool.
+		if err := httpSrv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "colord: http shutdown:", err)
+		}
+		if err := srv.Shutdown(drainCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "colord: drain deadline hit, canceled in-flight jobs:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "colord: drained cleanly")
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "colord:", err)
+			os.Exit(1)
+		}
+	}
+}

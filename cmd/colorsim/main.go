@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"radiocolor/internal/core"
@@ -47,6 +51,11 @@ func main() {
 		svgFile  = flag.String("svg", "", "render the colored deployment to this SVG file")
 	)
 	flag.Parse()
+
+	// ^C / SIGTERM cancels the simulation at the next poll point (the
+	// engine checks every 1024 slots); a second signal kills hard.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var d *topology.Deployment
 	var err error
@@ -126,18 +135,23 @@ func main() {
 	}
 	if *metrics {
 		met = obs.NewMetrics()
+		met.SetPhaseGauge(obs.PhaseAsleep, int64(d.N()))
 		timeline = obs.NewTimeline(d.N(), 0)
 	}
 	collector := &obs.Collector{Metrics: met, Tracer: tracer, Timeline: timeline}
 	nodes, protos := core.Nodes(d.N(), *seed, par, core.Ablation{})
 	core.ObservePhases(nodes, collector)
-	res, err := radio.Run(radio.Config{
+	res, err := radio.RunContext(ctx, radio.Config{
 		G: d.G, Protocols: protos, Wake: wake,
 		MaxSlots: budget, NEstimate: par.N,
 		Observer: radio.CollectorObserver(collector),
 		Metrics:  met,
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "colorsim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "colorsim:", err)
 		os.Exit(1)
 	}

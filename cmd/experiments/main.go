@@ -20,13 +20,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"radiocolor/internal/experiment"
 	"radiocolor/internal/fleet"
@@ -56,6 +59,12 @@ func main() {
 		chanCols = flag.Bool("channel-stats", false, "append per-cell channel columns (collision rate) to supporting tables")
 	)
 	flag.Parse()
+
+	// ^C / SIGTERM stops the sweep at the next experiment boundary:
+	// jobs not yet started fail fast as "interrupted", the checkpoint
+	// keeps what finished, and -resume picks up from there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := experiment.Options{Trials: *trials, SizeFactor: *size, Seed: *seed, Parallel: *parallel, ChannelStats: *chanCols}
 	var selected []experiment.Entry
@@ -95,8 +104,13 @@ func main() {
 	for i, e := range selected {
 		e := e
 		jobs[i] = fleet.Job{
-			ID:  fmt.Sprintf("%s|trials=%d|size=%g|seed=%d", e.ID, opts.Trials, opts.SizeFactor, opts.Seed),
-			Run: func() (any, error) { return renderOne(e, opts) },
+			ID: fmt.Sprintf("%s|trials=%d|size=%g|seed=%d", e.ID, opts.Trials, opts.SizeFactor, opts.Seed),
+			Run: func() (any, error) {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("interrupted: %w", err)
+				}
+				return renderOne(e, opts)
+			},
 		}
 	}
 	cfg := fleet.Config{Workers: 1, OnResult: func(r fleet.Result) { emit(r, *csvDir, *quiet) }}
@@ -120,6 +134,10 @@ func main() {
 		if r.Failed() {
 			exit = 1
 		}
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "experiments: interrupted — rerun with -resume to continue")
+		exit = 130
 	}
 	os.Exit(exit)
 }

@@ -85,6 +85,13 @@ func (m *Metrics) PhaseChange(from, to Phase) {
 // seed PhaseAsleep with the node count before a run).
 func (m *Metrics) SetPhaseGauge(p Phase, n int64) { m.phase[p].Store(n) }
 
+// AddPhaseGauge shifts the occupancy gauge for `p` by n. Registries
+// shared across concurrent runs (the serving layer's aggregate) use it
+// to seed a run's node count in and subtract a finished run's terminal
+// occupancy back out, where the absolute Store of SetPhaseGauge would
+// clobber the other runs' contributions.
+func (m *Metrics) AddPhaseGauge(p Phase, n int64) { m.phase[p].Add(n) }
+
 // Snapshot is a consistent-enough point-in-time view of a registry.
 // (Counters are read individually; a snapshot taken mid-slot may be off
 // by the events of that slot, which is irrelevant for reporting.)
@@ -163,22 +170,31 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return d
 }
 
+// Export calls fn once per metric in a fixed, documented order: the
+// eight monotone counters first (Counter true), then the per-phase
+// occupancy gauges (Counter false). It is the deterministic export hook
+// text encoders build on — the Prometheus exposition of internal/serve
+// and the Map/String renderings here all derive from it, so the
+// vocabulary cannot drift between formats.
+func (s Snapshot) Export(fn func(name string, value int64, counter bool)) {
+	fn("transmissions", s.Transmissions, true)
+	fn("deliveries", s.Deliveries, true)
+	fn("collisions", s.Collisions, true)
+	fn("captures", s.Captures, true)
+	fn("drops", s.Drops, true)
+	fn("decisions", s.Decisions, true)
+	fn("wakeups", s.Wakeups, true)
+	fn("slots", s.Slots, true)
+	for i, v := range s.PhaseNodes {
+		fn("phase_"+Phase(i).String(), v, false)
+	}
+}
+
 // Map renders the registry as name → value, the stable export format
 // (names are the JSONL/summary vocabulary).
 func (s Snapshot) Map() map[string]int64 {
-	m := map[string]int64{
-		"transmissions": s.Transmissions,
-		"deliveries":    s.Deliveries,
-		"collisions":    s.Collisions,
-		"captures":      s.Captures,
-		"drops":         s.Drops,
-		"decisions":     s.Decisions,
-		"wakeups":       s.Wakeups,
-		"slots":         s.Slots,
-	}
-	for i, v := range s.PhaseNodes {
-		m["phase_"+Phase(i).String()] = v
-	}
+	m := make(map[string]int64, 8+NumPhases)
+	s.Export(func(name string, v int64, _ bool) { m[name] = v })
 	return m
 }
 

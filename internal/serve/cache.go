@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"radiocolor"
+)
+
+// cacheEntry is one cached deployment: the built adjacency and, once a
+// job on it completed, the measured graph parameters. Entries are
+// immutable after insertion except for the measured pointer, which is
+// atomic because submissions read it while a completing worker stores
+// it (idempotently — measurement is deterministic, so every writer
+// stores the same values).
+type cacheEntry struct {
+	key string
+	// adj is the built communication graph, shared read-only by every
+	// job that hits this entry.
+	adj [][]int
+	// measured is filled from the first completed Outcome so later jobs
+	// skip the κ measurement via radiocolor.Options.Measured.
+	measured atomic.Pointer[radiocolor.Measured]
+}
+
+// lru is the size-bounded deployment cache, keyed by TopologySpec.key.
+// A plain mutex suffices: lookups happen once per submission, never on
+// the simulation hot path.
+type lru struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List
+	items map[string]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+func newLRU(max int) *lru {
+	return &lru{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key and marks it most-recently-used, or nil
+// on a miss. Disabled caches (max ≤ 0) always miss.
+func (c *lru) get(key string) *cacheEntry {
+	if c.max <= 0 {
+		c.misses.Add(1)
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry)
+}
+
+// add inserts an entry for key (returning the existing one if a
+// concurrent submission won the race) and evicts the least-recently
+// used entries beyond the bound.
+func (c *lru) add(key string, adj [][]int) *cacheEntry {
+	if c.max <= 0 {
+		return &cacheEntry{key: key, adj: adj}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry)
+	}
+	e := &cacheEntry{key: key, adj: adj}
+	c.items[key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheEntry).key)
+	}
+	return e
+}
+
+// setMeasured records the measured parameters on key's entry, if it is
+// still cached.
+func (c *lru) setMeasured(key string, m radiocolor.Measured) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).measured.Store(&m)
+	}
+}
+
+// len is the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

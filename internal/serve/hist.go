@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a fixed-bucket latency histogram in the Prometheus
+// cumulative style: counts[i] observes durations ≤ bounds[i], the last
+// slot is the +Inf overflow. Observe is lock-free (one atomic add per
+// bucket touched), Prometheus exposition derives the cumulative counts
+// at scrape time.
+type histogram struct {
+	bounds   []float64 // seconds, ascending
+	counts   []atomic.Int64
+	sumNanos atomic.Int64
+	count    atomic.Int64
+}
+
+// defaultLatencyBounds spans the realistic job range: milliseconds for
+// toy graphs to minutes for large deployments.
+var defaultLatencyBounds = []float64{
+	0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one duration.
+func (h *histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && sec > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNanos.Add(int64(d))
+	h.count.Add(1)
+}
+
+// snapshot returns the cumulative bucket counts (one per bound, plus
+// +Inf last), the observation sum in seconds, and the total count.
+func (h *histogram) snapshot() (cum []int64, sum float64, count int64) {
+	cum = make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, time.Duration(h.sumNanos.Load()).Seconds(), h.count.Load()
+}

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// errQueueFull is the backpressure signal: the admission queue is at
+// capacity and the submission must be retried later (HTTP 429).
+var errQueueFull = errors.New("serve: queue full")
+
+// errQueueClosed rejects submissions after shutdown began (HTTP 503).
+var errQueueClosed = errors.New("serve: queue closed")
+
+// queue is the bounded admission queue between the HTTP handlers and
+// the worker pool. Push never blocks: a full queue is an explicit
+// rejection, which is what lets the server shed load instead of
+// accumulating unbounded goroutines or memory under overload.
+type queue struct {
+	mu     sync.Mutex
+	ch     chan *job
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{ch: make(chan *job, capacity)}
+}
+
+// tryPush enqueues j or fails immediately with errQueueFull /
+// errQueueClosed.
+func (q *queue) tryPush(j *job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return errQueueFull
+	}
+}
+
+// depth is the number of queued jobs (the backpressure gauge).
+func (q *queue) depth() int { return len(q.ch) }
+
+// capacity is the queue bound.
+func (q *queue) capacity() int { return cap(q.ch) }
+
+// close stops admissions and lets the workers drain the channel.
+// Idempotent.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}

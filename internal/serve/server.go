@@ -1,0 +1,633 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"radiocolor"
+	"radiocolor/internal/fleet"
+	"radiocolor/internal/graph"
+	"radiocolor/internal/monitor"
+	"radiocolor/internal/obs"
+	"radiocolor/internal/radio"
+)
+
+// Config parameterizes a Server. The zero value is usable: a queue of
+// 64, GOMAXPROCS workers, a 128-entry deployment cache.
+type Config struct {
+	// QueueCap bounds the admission queue; a full queue rejects
+	// submissions with 429 + Retry-After. Defaults to 64.
+	QueueCap int
+	// Workers is the number of jobs executing concurrently. Defaults to
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheSize bounds the deployment LRU (entries). 0 defaults to 128;
+	// negative disables caching.
+	CacheSize int
+	// MaxNodes rejects jobs larger than this with 413 (admission
+	// control: a single huge job should not starve the pool unnoticed).
+	// Defaults to 200000.
+	MaxNodes int
+	// MaxAttempts is the fleet retry bound per job. Defaults to 1 — the
+	// simulation is deterministic, so failures are too.
+	MaxAttempts int
+	// RetryAfter is the hint sent with 429 responses. Defaults to 1s.
+	RetryAfter time.Duration
+	// StreamInterval is the progress sampling period of the stream
+	// endpoints. Defaults to 250ms.
+	StreamInterval time.Duration
+	// MaxBodyBytes bounds the request body. Defaults to 32 MiB (a
+	// million-edge adjacency fits comfortably).
+	MaxBodyBytes int64
+	// MaxRetained bounds the finished jobs kept for status queries;
+	// older terminal jobs are pruned as new ones are admitted. Defaults
+	// to 4096.
+	MaxRetained int
+
+	// run substitutes the job execution for tests.
+	run func(ctx context.Context, j *job) (*radiocolor.Outcome, error)
+	// now substitutes the clock for tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 128
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 200_000
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = 250 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.MaxRetained <= 0 {
+		c.MaxRetained = 4096
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// job is the server-side record of one submission.
+type job struct {
+	id       string
+	opt      radiocolor.Options
+	adj      [][]int
+	points   [][2]float64
+	radius   float64
+	cacheKey string
+	cacheHit bool
+	// metrics is the per-job live registry the stream endpoints sample;
+	// the run feeds it (and the server aggregate) through the observer
+	// seam.
+	metrics *obs.Metrics
+
+	submitted time.Time
+	// done is closed exactly once, on the transition into a terminal
+	// state; streamers select on it.
+	done chan struct{}
+
+	mu       sync.Mutex
+	state    JobState
+	started  time.Time
+	finished time.Time
+	attempts int
+	canceled bool // cancellation requested while running
+	cancel   context.CancelFunc
+	outcome  *radiocolor.Outcome
+	errMsg   string
+}
+
+// status snapshots the job for the wire.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Submitted: j.submitted,
+		Attempts:  j.attempts,
+		CacheHit:  j.cacheHit,
+		Error:     j.errMsg,
+		Outcome:   j.outcome,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Server is the coloring service: HTTP handlers in front of a bounded
+// queue and a worker pool. Create with New, serve with any http.Server,
+// stop with Shutdown.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	queue    *queue
+	cache    *lru
+	engine   *fleet.Engine
+	progress *monitor.Progress
+	obsReg   *obs.Metrics
+	latency  *histogram
+	start    time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job // submission order, for retention pruning
+	draining bool
+
+	nextID    atomic.Int64
+	submitted atomic.Int64
+	accepted  atomic.Int64
+	rejected  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	inflight  atomic.Int64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		queue:    newQueue(cfg.QueueCap),
+		cache:    newLRU(cfg.CacheSize),
+		progress: monitor.NewProgress(nil, "colord"),
+		obsReg:   obs.NewMetrics(),
+		latency:  newHistogram(defaultLatencyBounds),
+		start:    cfg.now(),
+		jobs:     make(map[string]*job),
+	}
+	s.progress.SetUnits("slots", radio.SimulatedSlots)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	// Each worker runs its job through a single-job fleet batch: the
+	// engine contributes panic recovery, the retry loop, wall-time
+	// accounting, and the monitor.Progress wiring — the same execution
+	// substrate the experiment suite uses.
+	s.engine = fleet.New(fleet.Config{
+		Workers:     1,
+		MaxAttempts: cfg.MaxAttempts,
+		Progress:    s.progress,
+	})
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) now() time.Time { return s.cfg.now() }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server: submissions are refused, queued jobs are
+// canceled, and in-flight jobs get until ctx's deadline to finish
+// before their contexts are canceled. It returns nil when everything
+// drained in time and ctx.Err() when the deadline forced cancellation;
+// in both cases the worker pool has fully exited on return.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.queue.close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		// Deadline: cancel every in-flight job's context; the
+		// simulation polls cancellation every ~1024 slots, so the pool
+		// exits promptly.
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker pulls jobs off the queue until it closes and drains.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue.ch {
+		s.execute(j)
+	}
+}
+
+// execute runs one dequeued job through its lifecycle.
+func (s *Server) execute(j *job) {
+	// The draining flag is read before j.mu so the lock order is always
+	// s.mu → j.mu (register nests that way); a job that slips past the
+	// flag as shutdown begins simply becomes in-flight and gets the
+	// drain deadline like any other.
+	draining := s.isDraining()
+	j.mu.Lock()
+	if j.state.Terminal() {
+		// Canceled while queued; nothing to run.
+		j.mu.Unlock()
+		return
+	}
+	if draining {
+		// Shutdown policy: queued-but-unstarted jobs are canceled, only
+		// in-flight ones get the drain deadline.
+		j.state = StateCanceled
+		j.finished = s.now()
+		close(j.done)
+		j.mu.Unlock()
+		s.canceled.Add(1)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.state = StateRunning
+	j.started = s.now()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	s.inflight.Add(1)
+	results, _ := s.engine.Run([]fleet.Job{{
+		ID: j.id,
+		Run: func() (any, error) {
+			out, err := s.runJob(ctx, j)
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+	}})
+	s.inflight.Add(-1)
+	res := results[0]
+	s.latency.Observe(res.Duration)
+
+	j.mu.Lock()
+	j.finished = s.now()
+	j.attempts = res.Attempts
+	j.cancel = nil
+	switch {
+	case res.Err == nil:
+		j.outcome = res.Value.(*radiocolor.Outcome)
+		j.state = StateDone
+		s.completed.Add(1)
+	case j.canceled || errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded):
+		j.state = StateCanceled
+		j.errMsg = res.Err.Error()
+		s.canceled.Add(1)
+	default:
+		j.state = StateFailed
+		j.errMsg = res.Err.Error()
+		s.failed.Add(1)
+	}
+	close(j.done)
+	j.mu.Unlock()
+
+	if j.state == StateDone && j.cacheKey != "" && j.outcome != nil {
+		// Record the measured parameters so the next job on this
+		// deployment skips the measurement pass. Identical by
+		// construction: measurement is deterministic.
+		s.cache.setMeasured(j.cacheKey, radiocolor.Measured{
+			Delta:  j.outcome.Delta,
+			Kappa1: j.outcome.Kappa1,
+			Kappa2: j.outcome.Kappa2,
+		})
+	}
+}
+
+// runJob executes the job through the public context-aware entry
+// points, feeding the per-job and server-aggregate obs registries
+// through the Observer/PhaseObserver seams (which cannot affect the
+// outcome). The node count is seeded into the asleep gauge before the
+// run and the terminal occupancy is subtracted back out after, so the
+// aggregate phase gauges always describe the currently running jobs.
+func (s *Server) runJob(ctx context.Context, j *job) (*radiocolor.Outcome, error) {
+	if s.cfg.run != nil {
+		return s.cfg.run(ctx, j)
+	}
+	n := int64(len(j.adj) + len(j.points))
+	j.metrics.AddPhaseGauge(obs.PhaseAsleep, n)
+	s.obsReg.AddPhaseGauge(obs.PhaseAsleep, n)
+	defer func() {
+		snap := j.metrics.Snapshot()
+		for p, v := range snap.PhaseNodes {
+			s.obsReg.AddPhaseGauge(obs.Phase(p), -v)
+		}
+	}()
+	opt := j.opt
+	opt.Observer = obsFeed{a: j.metrics, b: s.obsReg}
+	if j.points != nil {
+		return radiocolor.ColorUnitDiskContext(ctx, j.points, j.radius, opt)
+	}
+	return radiocolor.ColorGraphContext(ctx, j.adj, opt)
+}
+
+// obsFeed fans simulation events into two metrics registries: the
+// job's own (streamed) and the server aggregate (scraped). Both are
+// atomic, so the feed is safe under Options.Workers > 1. It implements
+// radiocolor.PhaseObserver, so the registries also carry live phase
+// occupancy.
+type obsFeed struct{ a, b *obs.Metrics }
+
+func (f obsFeed) OnSlot(int64) { f.a.AddSlot(); f.b.AddSlot() }
+func (f obsFeed) OnWake(int64, int) {
+	f.a.AddWakeup()
+	f.b.AddWakeup()
+}
+func (f obsFeed) OnTransmit(int64, int) {
+	f.a.AddTransmission()
+	f.b.AddTransmission()
+}
+func (f obsFeed) OnDeliver(int64, int, int) {
+	f.a.AddDelivery()
+	f.b.AddDelivery()
+}
+func (f obsFeed) OnCollision(int64, int, int) {
+	f.a.AddCollision()
+	f.b.AddCollision()
+}
+func (f obsFeed) OnDecide(int64, int) {
+	f.a.AddDecision()
+	f.b.AddDecision()
+}
+func (f obsFeed) OnPhase(_ int64, _ int, from, to string) {
+	pf, err1 := obs.ParsePhase(from)
+	pt, err2 := obs.ParsePhase(to)
+	if err1 != nil || err2 != nil {
+		return
+	}
+	f.a.PhaseChange(pf, pt)
+	f.b.PhaseChange(pf, pt)
+}
+
+// register adds j to the index, pruning the oldest terminal jobs
+// beyond the retention bound.
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	if len(s.order) <= s.cfg.MaxRetained {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.MaxRetained
+	for _, old := range s.order {
+		if excess > 0 && old.status().State.Terminal() {
+			delete(s.jobs, old.id)
+			excess--
+			continue
+		}
+		kept = append(kept, old)
+	}
+	s.order = kept
+}
+
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		delete(s.jobs, id)
+		for i, o := range s.order {
+			if o == j {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// errorResponse is the JSON error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	s.submitted.Add(1)
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req JobRequest
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	opt, err := req.validate()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if n := req.nodes(); n > s.cfg.MaxNodes {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorResponse{Error: fmt.Sprintf("serve: %d nodes exceeds the limit of %d", n, s.cfg.MaxNodes)})
+		return
+	}
+
+	j := &job{
+		opt:       opt,
+		submitted: s.now(),
+		state:     StateQueued,
+		done:      make(chan struct{}),
+		metrics:   obs.NewMetrics(),
+	}
+	switch {
+	case req.Topology != nil:
+		j.cacheKey = req.Topology.key()
+		if e := s.cache.get(j.cacheKey); e != nil {
+			j.adj = e.adj
+			j.cacheHit = true
+			if m := e.measured.Load(); m != nil {
+				j.opt.Measured = m
+			}
+		} else {
+			d, err := req.Topology.build()
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+			e := s.cache.add(j.cacheKey, adjacency(d.G))
+			j.adj = e.adj
+			if m := e.measured.Load(); m != nil {
+				j.opt.Measured = m
+			}
+		}
+	case req.Adjacency != nil:
+		j.adj = req.Adjacency
+	default:
+		j.points = req.Points
+		j.radius = req.Radius
+	}
+	j.id = fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	s.register(j)
+	if err := s.queue.tryPush(j); err != nil {
+		s.unregister(j.id)
+		if errors.Is(err, errQueueClosed) {
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+			return
+		}
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second)))
+		writeJSON(w, http.StatusTooManyRequests,
+			errorResponse{Error: fmt.Sprintf("queue full (%d/%d); retry later", s.queue.depth(), s.queue.capacity())})
+		return
+	}
+	s.accepted.Add(1)
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, len(s.order))
+	copy(jobs, s.order)
+	s.mu.Unlock()
+	statuses := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.status()
+		st.Outcome = nil // list stays light; fetch the job for the result
+		statuses = append(statuses, st)
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	j.mu.Lock()
+	switch {
+	case j.state.Terminal():
+		// Nothing to do; report the final state.
+	case j.state == StateQueued:
+		j.state = StateCanceled
+		j.finished = s.now()
+		close(j.done)
+		s.canceled.Add(1)
+	default: // running
+		j.canceled = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	snap := s.progress.Snapshot()
+	h := Health{
+		Status:        "ok",
+		QueueDepth:    s.queue.depth(),
+		QueueCapacity: s.queue.capacity(),
+		Inflight:      int(s.inflight.Load()),
+		JobsDone:      snap.Done,
+		JobsFailed:    snap.Failed,
+		UptimeSeconds: s.now().Sub(s.start).Seconds(),
+		SlotsPerSec:   snap.UnitsPerSec,
+	}
+	code := http.StatusOK
+	if s.isDraining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writeMetrics(w)
+}
+
+// adjacency flattens a built graph back to the public adjacency-list
+// shape ColorGraphContext accepts.
+func adjacency(g *graph.Graph) [][]int {
+	adj := make([][]int, g.N())
+	for v := range adj {
+		row := g.Adj(v)
+		out := make([]int, len(row))
+		for i, u := range row {
+			out[i] = int(u)
+		}
+		adj[v] = out
+	}
+	return adj
+}

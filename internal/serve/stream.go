@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"radiocolor/internal/obs"
+)
+
+// handleStream serves GET /v1/jobs/{id}/stream: an initial "status"
+// event, periodic "progress" samples of the job's obs registry while it
+// runs, and a final "done" event carrying the full status (outcome
+// included). The format is NDJSON by default and SSE when the client
+// asks for text/event-stream; both flush per event, so a curl client
+// watches the run live.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported"})
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(ev StreamEvent) bool {
+		var err error
+		if sse {
+			var data []byte
+			data, err = json.Marshal(ev)
+			if err == nil {
+				_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			}
+		} else {
+			err = json.NewEncoder(w).Encode(ev)
+		}
+		if err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	st := j.status()
+	if !emit(StreamEvent{Type: "status", State: st.State}) {
+		return
+	}
+	if st.State.Terminal() {
+		emit(StreamEvent{Type: "done", State: st.State, Status: &st})
+		return
+	}
+
+	ticker := time.NewTicker(s.cfg.StreamInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			final := j.status()
+			emit(StreamEvent{Type: "done", State: final.State, Status: &final})
+			return
+		case <-ticker.C:
+			cur := j.status()
+			if cur.State != StateRunning {
+				// Still queued: re-emit the bare status so the client
+				// sees liveness without a fake progress sample.
+				if !emit(StreamEvent{Type: "status", State: cur.State}) {
+					return
+				}
+				continue
+			}
+			sample := sampleProgress(j.metrics)
+			if !emit(StreamEvent{Type: "progress", State: cur.State, Progress: &sample}) {
+				return
+			}
+		}
+	}
+}
+
+// sampleProgress converts an obs snapshot into the wire sample.
+func sampleProgress(m *obs.Metrics) ProgressSample {
+	snap := m.Snapshot()
+	p := ProgressSample{
+		Slots:         snap.Slots,
+		Wakeups:       snap.Wakeups,
+		Decisions:     snap.Decisions,
+		Transmissions: snap.Transmissions,
+		Deliveries:    snap.Deliveries,
+		Collisions:    snap.Collisions,
+		CollisionRate: snap.CollisionRate(),
+		SlotsPerSec:   snap.SlotsPerSec(),
+		PhaseNodes:    make(map[string]int64, obs.NumPhases),
+	}
+	snap.Export(func(name string, v int64, counter bool) {
+		if !counter {
+			p.PhaseNodes[strings.TrimPrefix(name, "phase_")] = v
+		}
+	})
+	return p
+}

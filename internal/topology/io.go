@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"radiocolor/internal/geom"
@@ -107,6 +108,9 @@ func ReadDeployment(r io.Reader) (*Deployment, error) {
 	if _, err := fmt.Sscanf(line, "radius %g", &d.Radius); err != nil {
 		return nil, fmt.Errorf("topology: bad radius line %q: %w", line, err)
 	}
+	if !isFinite(d.Radius) || d.Radius < 0 {
+		return nil, fmt.Errorf("topology: radius %g is not a finite non-negative number", d.Radius)
+	}
 
 	line, err = readLine()
 	if err != nil {
@@ -125,6 +129,11 @@ func ReadDeployment(r io.Reader) (*Deployment, error) {
 			}
 			if _, err := fmt.Sscanf(line, "%g %g", &d.Points[i].X, &d.Points[i].Y); err != nil {
 				return nil, fmt.Errorf("topology: bad point %q: %w", line, err)
+			}
+			// Sscanf's %g happily parses NaN and ±Inf, but geometry on
+			// such coordinates silently corrupts every distance test.
+			if !isFinite(d.Points[i].X) || !isFinite(d.Points[i].Y) {
+				return nil, fmt.Errorf("topology: point %d has non-finite coordinates %q", i, line)
 			}
 		}
 		line, err = readLine()
@@ -147,6 +156,9 @@ func ReadDeployment(r io.Reader) (*Deployment, error) {
 			if _, err := fmt.Sscanf(line, "%g %g %g %g", &s.A.X, &s.A.Y, &s.B.X, &s.B.Y); err != nil {
 				return nil, fmt.Errorf("topology: bad wall %q: %w", line, err)
 			}
+			if !isFinite(s.A.X) || !isFinite(s.A.Y) || !isFinite(s.B.X) || !isFinite(s.B.Y) {
+				return nil, fmt.Errorf("topology: wall %d has non-finite coordinates %q", i, line)
+			}
 		}
 		line, err = readLine()
 		if err != nil {
@@ -164,4 +176,9 @@ func ReadDeployment(r io.Reader) (*Deployment, error) {
 		return nil, fmt.Errorf("topology: %d points for %d vertices", len(d.Points), g.N())
 	}
 	return d, nil
+}
+
+// isFinite reports whether f is neither NaN nor ±Inf.
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
 }

@@ -3,6 +3,8 @@ package topology
 import (
 	"strings"
 	"testing"
+
+	"radiocolor/internal/geom"
 )
 
 func roundTrip(t *testing.T, d *Deployment) *Deployment {
@@ -59,19 +61,68 @@ func TestDeploymentRoundTripAbstract(t *testing.T) {
 }
 
 func TestReadDeploymentErrors(t *testing.T) {
-	cases := []string{
-		"",
-		"deployment \"x\"\n",           // missing radius
-		"deployment \"x\"\nradius 1\n", // missing graph
-		"deployment \"x\"\nradius 1\npoints 2\n0 0\n",        // truncated points
-		"deployment \"x\"\nradius 1\nwalls 1\n",              // truncated walls
-		"deployment \"x\"\nradius 1\npoints 1\n0 0\nn 2 0\n", // point/vertex mismatch
-		"radius 1\nn 0 0\n",                                  // header missing
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"missing radius", "deployment \"x\"\n"},
+		{"missing graph", "deployment \"x\"\nradius 1\n"},
+		{"truncated points", "deployment \"x\"\nradius 1\npoints 2\n0 0\n"},
+		{"truncated walls", "deployment \"x\"\nradius 1\nwalls 1\n"},
+		{"point/vertex mismatch", "deployment \"x\"\nradius 1\npoints 1\n0 0\nn 2 0\n"},
+		{"header missing", "radius 1\nn 0 0\n"},
+		{"truncated after points header", "deployment \"x\"\nradius 1\npoints 2\n"},
+		{"truncated mid graph", "deployment \"x\"\nradius 1\nn 3 2\n0 1\n"},
+		{"negative points count", "deployment \"x\"\nradius 1\npoints -1\nn 0 0\n"},
+		{"negative walls count", "deployment \"x\"\nradius 1\nwalls -1\nn 0 0\n"},
+		{"NaN radius", "deployment \"x\"\nradius NaN\nn 0 0\n"},
+		{"negative radius", "deployment \"x\"\nradius -2\nn 0 0\n"},
+		{"Inf radius", "deployment \"x\"\nradius +Inf\nn 0 0\n"},
+		{"NaN point x", "deployment \"x\"\nradius 1\npoints 1\nNaN 0\nn 1 0\n"},
+		{"NaN point y", "deployment \"x\"\nradius 1\npoints 1\n0 NaN\nn 1 0\n"},
+		{"Inf point", "deployment \"x\"\nradius 1\npoints 1\n-Inf 0\nn 1 0\n"},
+		{"NaN wall", "deployment \"x\"\nradius 1\nwalls 1\n0 0 NaN 1\nn 0 0\n"},
+		{"non-numeric point", "deployment \"x\"\nradius 1\npoints 1\na b\nn 1 0\n"},
+		{"edge out of range", "deployment \"x\"\nradius 1\nn 2 1\n0 5\n"},
+		{"self-loop edge", "deployment \"x\"\nradius 1\nn 2 1\n1 1\n"},
 	}
-	for i, in := range cases {
-		if _, err := ReadDeployment(strings.NewReader(in)); err == nil {
-			t.Errorf("case %d accepted", i)
+	for _, c := range cases {
+		if _, err := ReadDeployment(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
 		}
+	}
+}
+
+// TestReadDeploymentDuplicateEdges pins the duplicate-edge contract:
+// repeated (and reversed) edge lines collapse to one undirected edge
+// rather than erroring, matching graph.Builder's dedup-at-Build rule.
+func TestReadDeploymentDuplicateEdges(t *testing.T) {
+	in := "deployment \"x\"\nradius 1\nn 3 4\n0 1\n1 0\n0 1\n1 2\n"
+	d, err := ReadDeployment(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.G.M() != 2 {
+		t.Fatalf("M = %d, want 2 (duplicates deduped)", d.G.M())
+	}
+	if !d.G.HasEdge(0, 1) || !d.G.HasEdge(1, 2) {
+		t.Fatal("expected edges missing after dedup")
+	}
+}
+
+// TestReadDeploymentFiniteRoundTrip ensures the validation accepts
+// every value the writer can produce (large magnitudes included).
+func TestReadDeploymentFiniteRoundTrip(t *testing.T) {
+	d := &Deployment{
+		Name:   "extremes",
+		Radius: 1e300,
+		Points: []geom.Point{{X: -1e308, Y: 1e308}, {X: 0, Y: 0}},
+		G:      Ring(2).G,
+	}
+	back := roundTrip(t, d)
+	if back.Radius != d.Radius || back.Points[0] != d.Points[0] {
+		t.Fatalf("extreme values mangled: %+v", back)
 	}
 }
 

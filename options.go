@@ -78,6 +78,16 @@ type Options struct {
 	// goroutines cannot leak into the outcome.
 	Workers int
 
+	// Measured, when non-nil, supplies precomputed graph parameters
+	// (max degree and the κ growth constants) so the run skips the
+	// measurement pass — the dominant setup cost on repeated workloads.
+	// The serving layer (internal/serve) caches these per topology.
+	// Callers are trusted: supplying values that differ from what
+	// measurement would return changes the protocol constants (and so
+	// the outcome), exactly as the paper's "rough bounds known at
+	// deployment time" would.
+	Measured *Measured
+
 	// Observer, when non-nil, receives every simulation event (see the
 	// Observer interface). The disabled path costs one nil check per
 	// event and allocates nothing.
@@ -89,6 +99,17 @@ type Options struct {
 	// Metrics, when true, attaches an Outcome.Stats snapshot: event
 	// counters, collision rate, throughput and the per-phase timeline.
 	Metrics bool
+}
+
+// Measured carries precomputed graph parameters for Options.Measured.
+// Obtain the values from a previous Outcome (Delta, Kappa1, Kappa2) of
+// a run on the same graph.
+type Measured struct {
+	// Delta is the maximum node degree (neighbors, exclusive).
+	Delta int
+	// Kappa1 and Kappa2 are the bounded-independence growth constants
+	// of Definition 1.
+	Kappa1, Kappa2 int
 }
 
 // TraceConfig configures slot-level JSONL tracing. Exactly one of Path
@@ -120,6 +141,14 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("radiocolor: negative Workers %d", o.Workers)
+	}
+	if m := o.Measured; m != nil {
+		if m.Delta < 0 {
+			return fmt.Errorf("radiocolor: negative Measured.Delta %d", m.Delta)
+		}
+		if m.Kappa1 < 1 || m.Kappa2 < 1 {
+			return fmt.Errorf("radiocolor: Measured κ values must be ≥ 1 (got κ₁=%d, κ₂=%d)", m.Kappa1, m.Kappa2)
+		}
 	}
 	if _, err := o.wakeup(); err != nil {
 		return err

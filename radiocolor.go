@@ -191,9 +191,15 @@ func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, err
 		return nil, errors.New("radiocolor: empty graph")
 	}
 	wk, _ := opt.wakeup() // validated above
-	delta := g.MaxDegree()
-	k := g.Kappa(graph.KappaOptions{Budget: 150_000, MaxNeighborhood: 140})
-	par := core.Practical(g.N(), delta, k.K1, k.K2).Scale(opt.ParamScale)
+	var delta, k1, k2 int
+	if m := opt.Measured; m != nil {
+		delta, k1, k2 = m.Delta, m.Kappa1, m.Kappa2
+	} else {
+		delta = g.MaxDegree()
+		k := g.Kappa(graph.KappaOptions{Budget: 150_000, MaxNeighborhood: 140})
+		k1, k2 = k.K1, k.K2
+	}
+	par := core.Practical(g.N(), delta, k1, k2).Scale(opt.ParamScale)
 
 	var wake []int64
 	for _, p := range radio.WakePatterns {
@@ -244,7 +250,20 @@ func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, err
 	collector := &obs.Collector{Metrics: met, Tracer: tracer, Timeline: timeline}
 
 	nodes, protos := core.Nodes(g.N(), opt.Seed, par, core.Ablation{})
-	core.ObservePhases(nodes, collector)
+	if po, ok := opt.Observer.(PhaseObserver); ok {
+		// Fan phase transitions out to both the collector and the
+		// caller's PhaseObserver (a node holds a single hook, so the
+		// collector path is inlined here instead of ObservePhases).
+		hook := func(slot int64, node int32, from, to core.Phase, class int32) {
+			collector.OnPhase(slot, node, obs.Phase(from), obs.Phase(to), class)
+			po.OnPhase(slot, int(node), obs.Phase(from).String(), obs.Phase(to).String())
+		}
+		for _, v := range nodes {
+			v.SetPhaseHook(hook)
+		}
+	} else {
+		core.ObservePhases(nodes, collector)
+	}
 	res, err := radio.RunContext(ctx, radio.Config{
 		G:         g,
 		Protocols: protos,
@@ -275,8 +294,8 @@ func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, err
 		Slots:          res.Slots,
 		MaxLatency:     res.MaxLatency(),
 		Delta:          delta,
-		Kappa1:         k.K1,
-		Kappa2:         k.K2,
+		Kappa1:         k1,
+		Kappa2:         k2,
 		MaxMessageBits: res.MaxMessageBits,
 		g:              g,
 	}
