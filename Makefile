@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench fuzz experiments examples serve clean
+.PHONY: all build test short race bench fuzz chaos experiments examples serve clean
 
 all: build test
 
@@ -25,6 +25,12 @@ bench:
 fuzz:
 	$(GO) test -fuzz FuzzReadGraph -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadDeployment -fuzztime 30s ./internal/topology/
+	$(GO) test -fuzz FuzzParseProfile -fuzztime 30s ./internal/fault/
+
+# Chaos smoke: fault-injection property tests under the race detector.
+chaos:
+	$(GO) test -race -run 'TestSurvivorsProperlyColoredUnderFaults' ./internal/verify/
+	$(GO) test -race -run 'TestFault' ./internal/radio/ ./internal/fault/
 
 # Regenerate every table recorded in EXPERIMENTS.md (several minutes).
 experiments:

@@ -47,6 +47,7 @@ func main() {
 		maxNodes = flag.Int("max-nodes", 200_000, "largest admissible job")
 		drain    = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight jobs")
 		stream   = flag.Duration("stream-interval", 250*time.Millisecond, "progress sampling period of /stream")
+		jobTO    = flag.Duration("job-timeout", 0, "wall-clock bound per job, 0 = unlimited (a request's timeout_ms overrides it)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,7 @@ func main() {
 		CacheSize:      *cache,
 		MaxNodes:       *maxNodes,
 		StreamInterval: *stream,
+		JobTimeout:     *jobTO,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -7,6 +7,7 @@
 //	colorsim -topology udg -n 200 -side 8 -radius 1.2 -wakeup uniform
 //	colorsim -topology big -walls 30 -n 150
 //	colorsim -topology clique -n 24 -v
+//	colorsim -faults loss=0.05,crash=3@500:900 -n 100
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"radiocolor/internal/core"
 	"radiocolor/internal/experiment"
+	"radiocolor/internal/fault"
 	"radiocolor/internal/obs"
 	"radiocolor/internal/radio"
 	"radiocolor/internal/render"
@@ -46,6 +48,7 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print the metrics registry and per-phase timeline")
 		energy   = flag.Bool("energy", false, "print the energy summary (tx=1, listen=0.5 per slot)")
 		benchK   = flag.Bool("bench-kernel", false, "time the CSR kernel against the reference slot loop on this deployment and exit")
+		faults   = flag.String("faults", "", "inject faults, e.g. loss=0.05,burst=0.1/64,crash=3@500:900,jam=100:400,skew=0.25 (seed= defaults to -seed)")
 		saveFile = flag.String("save", "", "write the generated deployment to this file and exit")
 		loadFile = flag.String("load", "", "load the deployment from this file instead of generating")
 		svgFile  = flag.String("svg", "", "render the colored deployment to this SVG file")
@@ -138,15 +141,42 @@ func main() {
 		met.SetPhaseGauge(obs.PhaseAsleep, int64(d.N()))
 		timeline = obs.NewTimeline(d.N(), 0)
 	}
+	// Fault injection: parse the profile, default its seed to the run
+	// seed, and compile it against the deployment. Clock-skew profiles
+	// route through the half-slot (non-aligned) engine.
+	var prof *fault.Profile
+	var inj *fault.Injector
+	if *faults != "" {
+		prof, err = fault.ParseProfile(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+			os.Exit(2)
+		}
+		if prof.Seed == 0 {
+			prof.Seed = *seed
+		}
+		inj, err = prof.Compile(d.N())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+			os.Exit(2)
+		}
+	}
 	collector := &obs.Collector{Metrics: met, Tracer: tracer, Timeline: timeline}
 	nodes, protos := core.Nodes(d.N(), *seed, par, core.Ablation{})
 	core.ObservePhases(nodes, collector)
-	res, err := radio.RunContext(ctx, radio.Config{
+	cfg := radio.Config{
 		G: d.G, Protocols: protos, Wake: wake,
 		MaxSlots: budget, NEstimate: par.N,
 		Observer: radio.CollectorObserver(collector),
 		Metrics:  met,
-	})
+		Faults:   inj,
+	}
+	var res *radio.Result
+	if inj.HasSkew() {
+		res, err = radio.RunUnalignedContext(ctx, cfg, nil)
+	} else {
+		res, err = radio.RunContext(ctx, cfg)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "colorsim: interrupted")
@@ -187,6 +217,18 @@ func main() {
 	fmt.Printf("radio      : %v\n", res)
 	fmt.Printf("coloring   : %v\n", report)
 	fmt.Printf("leaders    : %d (color 0)\n", leaders)
+	var srep *verify.SurvivorReport
+	if inj != nil {
+		srep = verify.CheckSurvivors(d.G, colors, verify.DownSet(d.N(), res.Down))
+		fmt.Printf("faults     : %s\n", prof)
+		fmt.Printf("             lost=%d jammed=%d crashes=%d restarts=%d down=%d\n",
+			res.Lost, res.Jammed, res.Crashes, res.Restarts, len(res.Down))
+		verdict := "graceful degradation"
+		if srep.Hard() {
+			verdict = "HARD FAILURE"
+		}
+		fmt.Printf("survivors  : %v — %s\n", srep, verdict)
+	}
 	if res.AllDone {
 		var lat []float64
 		for v := 0; v < d.N(); v++ {
@@ -255,7 +297,15 @@ func main() {
 			fmt.Printf("svg        : wrote %s\n", *svgFile)
 		}
 	}
-	if !res.AllDone || !report.OK() {
+	// Verdict: a faulted run may legitimately end incomplete (crashed
+	// nodes hold no color); only a hard violation — two live adjacent
+	// nodes sharing a color — fails it. Fault-free runs keep the strict
+	// completeness bar.
+	if inj != nil {
+		if srep.Hard() {
+			os.Exit(1)
+		}
+	} else if !res.AllDone || !report.OK() {
 		os.Exit(1)
 	}
 }

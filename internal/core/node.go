@@ -141,6 +141,33 @@ func (v *Node) Start(slot int64) {
 	v.enterVerify(0)
 }
 
+// Reset implements radio.Restartable: it clears the node back to its
+// pre-Start condition, as a fail-stop restart demands — identity, the
+// random stream position, parameters and the installed hooks survive,
+// but every piece of protocol state (phase, class, color, competitor
+// sets, the class-0 service queue) is forgotten. The transition back
+// to PhaseAsleep flows through logTransition so phase-occupancy gauges
+// and recorded histories stay consistent.
+func (v *Node) Reset() {
+	v.phase = PhaseAsleep
+	v.class = 0
+	v.tc = -1
+	v.leader = 0
+	v.color = -1
+	v.waitLeft = 0
+	v.counter = 0
+	v.comp = nil
+	v.queue = nil
+	v.inQueue = nil
+	v.assigned = nil
+	v.tcNext = 0
+	v.serveLeft = 0
+	v.serveTo = 0
+	v.serveTC = 0
+	v.leftA0 = -1
+	v.logTransition(PhaseAsleep, 0)
+}
+
 // enterVerify moves the node into state A_class, beginning with the
 // passive waiting period (Algorithm 1, "upon entering state A_i").
 func (v *Node) enterVerify(class int32) {

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -78,8 +79,8 @@ func TestTrialSeedDistinct(t *testing.T) {
 }
 
 func TestLookupAndRegistry(t *testing.T) {
-	if len(Registry) != 23 {
-		t.Fatalf("registry has %d entries, want 23", len(Registry))
+	if len(Registry) != 24 {
+		t.Fatalf("registry has %d entries, want 24", len(Registry))
 	}
 	seen := map[string]bool{}
 	for _, e := range Registry {
@@ -320,4 +321,34 @@ func TestE23Smoke(t *testing.T) {
 	}
 	tb := E23AdversarySearch(quickOpts())
 	checkTable(t, tb, 3)
+}
+
+func TestE24Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow fault sweep")
+	}
+	tb := E24FaultInjection(quickOpts())
+	checkTable(t, tb, 5)
+	// The hard-violation column is the safety verdict: it must be 0 at
+	// every loss rate.
+	var buf strings.Builder
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	anyDown := false
+	for _, ln := range lines[1:] {
+		fields := strings.Split(ln, ",")
+		if fields[1] != "0" {
+			t.Errorf("hard violations in row %q", ln)
+		}
+		if down, err := strconv.ParseFloat(fields[6], 64); err == nil && down > 0 {
+			anyDown = true
+		}
+	}
+	// Vacuity guard: the crash schedule must actually fell nodes — a
+	// window past the run's termination slot would leave every row 0.
+	if !anyDown {
+		t.Error("no row reports nodes down; crash schedule never fired")
+	}
 }

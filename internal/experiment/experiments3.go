@@ -2,11 +2,13 @@ package experiment
 
 import (
 	"fmt"
+	"math/rand"
 
 	"radiocolor/internal/adversary"
 	"radiocolor/internal/collect"
 	"radiocolor/internal/core"
 	"radiocolor/internal/estimate"
+	"radiocolor/internal/fault"
 	"radiocolor/internal/radio"
 	"radiocolor/internal/reduce"
 	"radiocolor/internal/sched"
@@ -898,4 +900,95 @@ func E23AdversarySearch(o Options) *stats.Table {
 			r.best, r.baseline, blowup)
 	}
 	return t
+}
+
+// E24FaultInjection sweeps the fault layer's link-loss rate under a
+// fixed random crash schedule (with some restarts) and measures
+// graceful degradation: a faulted run may leave crashed or stuck nodes
+// uncolored, but survivors must still form a proper partial coloring —
+// the "hard" column counts live-live color conflicts and must stay 0.
+func E24FaultInjection(o Options) *stats.Table {
+	o = o.normalized()
+	t := stats.NewTable("E24: fault injection — loss sweep with node crashes (graceful degradation)",
+		"loss prob", "hard viol", "survivors colored", "all-surv runs", "mean colors", "mean lost", "mean down")
+	n := o.scale(110, 40)
+	probs := []float64{0, 0.02, 0.05, 0.1, 0.2}
+	type trialRes struct {
+		hard, colored, surv int
+		colors              float64
+		lost, down          float64
+	}
+	grid := parTrials(o, "E24", len(probs), o.Trials, func(ci, tr int) trialRes {
+		seed := trialSeed(o.Seed, 1600+ci, tr)
+		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
+		par := MeasureParams(d)
+		budget := 4 * defaultBudget(par)
+		// Crash inside [0, Threshold()): no node can decide before the
+		// threshold, so every crash lands while the run is still live
+		// (a window scaled to the budget would mostly miss the run).
+		prof := &fault.Profile{Seed: seed, Loss: probs[ci], Crashes: crashSchedule(d.N(), par.Threshold(), seed)}
+		inj, err := prof.Compile(d.N())
+		if err != nil {
+			panic(err)
+		}
+		nodes, protos := core.Nodes(d.N(), seed, par, core0)
+		res, err := radio.Run(radio.Config{
+			G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+			MaxSlots: budget, NEstimate: par.N,
+			Faults: inj,
+		})
+		if err != nil {
+			panic(err)
+		}
+		cs := make([]int32, d.N())
+		for i, v := range nodes {
+			cs[i] = v.Color()
+		}
+		rep := verify.CheckSurvivors(d.G, cs, verify.DownSet(d.N(), res.Down))
+		return trialRes{
+			hard:    len(rep.HardViolations),
+			colored: rep.SurvivorsColored,
+			surv:    rep.Survivors,
+			colors:  float64(rep.NumColors),
+			lost:    float64(res.Lost),
+			down:    float64(len(res.Down)),
+		}
+	})
+	for ci, p := range probs {
+		hard, colored, surv, allSurv := 0, 0, 0, 0
+		var colors, lost, down []float64
+		for _, r := range grid[ci] {
+			hard += r.hard
+			colored += r.colored
+			surv += r.surv
+			if r.colored == r.surv {
+				allSurv++
+			}
+			colors = append(colors, r.colors)
+			lost = append(lost, r.lost)
+			down = append(down, r.down)
+		}
+		t.AddRow(p, hard, fmt.Sprintf("%d/%d", colored, surv),
+			fmt.Sprintf("%d/%d", allSurv, o.Trials),
+			stats.Mean(colors), stats.Mean(lost), stats.Mean(down))
+	}
+	return t
+}
+
+// crashSchedule fail-stops ~8% of the nodes at random slots in
+// [0, window); every other victim restarts within another window.
+// Deterministic in seed.
+func crashSchedule(n int, window, seed int64) []fault.Crash {
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	victims := rng.Perm(n)[:n/12+1]
+	crashes := make([]fault.Crash, 0, len(victims))
+	for i, v := range victims {
+		at := rng.Int63n(window)
+		c := fault.Crash{Node: v, At: at}
+		if i%2 == 1 {
+			c.Restart = at + 1 + rng.Int63n(window)
+		}
+		crashes = append(crashes, c)
+	}
+	return crashes
 }

@@ -42,6 +42,7 @@ var Registry = []Entry{
 	{"E21", "Sect. 2: multiple channels ([13, 14] assumption) vs the single-channel model", E21MultiChannel},
 	{"E22", "Introduction end-to-end: data collection over the coloring-derived TDMA", E22DataCollection},
 	{"E23", "Sect. 2 stress test: adversarial wake-up schedule search", E23AdversarySearch},
+	{"E24", "Extension: fault injection — loss sweep with crashes, graceful degradation", E24FaultInjection},
 }
 
 // Lookup finds an experiment by id, or nil.

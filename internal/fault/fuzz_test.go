@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseProfile hardens the profile parser: arbitrary input must
+// never panic, and any accepted profile must survive a
+// String→Parse→String round trip and compile cleanly whenever its
+// node references fit the network.
+func FuzzParseProfile(f *testing.F) {
+	f.Add("loss=0.05")
+	f.Add("loss=0.01,crash=3@500,crash=7@200:900,seed=42")
+	f.Add("burst=0.2/64/1/0.001,jam=100:400@0+1+2~0.8")
+	f.Add("jam=0:0:7:3,skew=0.5")
+	f.Add("crash=0@0:1")
+	f.Add("")
+	f.Add("loss=,=,@~:+//")
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ParseProfile(in)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(0); err != nil {
+			t.Fatalf("accepted profile fails Validate(0): %v", err)
+		}
+		s := p.String()
+		p2, err := ParseProfile(s)
+		if err != nil {
+			t.Fatalf("String %q of accepted profile does not reparse: %v", s, err)
+		}
+		if s2 := p2.String(); s2 != s {
+			t.Fatalf("round trip unstable: %q -> %q", s, s2)
+		}
+		// Compile with a network large enough for every node reference.
+		n := 1
+		for _, c := range p.Crashes {
+			if c.Node >= n {
+				n = c.Node + 1
+			}
+		}
+		for _, j := range p.Jammers {
+			for _, v := range j.Nodes {
+				if v >= n {
+					n = v + 1
+				}
+			}
+		}
+		if n > 1<<20 {
+			return // absurd node ids: skip the allocation
+		}
+		inj, err := p.Compile(n)
+		if err != nil {
+			if strings.Contains(err.Error(), "out of range") {
+				return // negative node id rejected at compile
+			}
+			t.Fatalf("accepted profile fails Compile(%d): %v", n, err)
+		}
+		if inj != nil {
+			inj.Lost(1, 0, 0)
+			inj.Jammed(1, 0)
+		}
+	})
+}

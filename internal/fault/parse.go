@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseProfile parses the compact textual profile syntax shared by
+// cmd/colorsim -faults and the serve job API's "faults" field:
+//
+//	profile := term (',' term)*
+//	term    := "seed=" int
+//	         | "loss=" float
+//	         | "burst=" pbad "/" window [ "/" lossbad [ "/" lossgood ] ]
+//	         | "crash=" node "@" at [ ":" restart ]
+//	         | "jam=" from ":" until [ ":" period ":" duty ]
+//	                  [ "@" node ("+" node)* ] [ "~" prob ]
+//	         | "skew=" float
+//
+// until=0 means the jammer never stops; omitting "@..." jams every
+// node; "~prob" jams each hit slot with that probability. Examples:
+//
+//	loss=0.05
+//	loss=0.01,crash=3@500,crash=7@200:900,seed=42
+//	burst=0.2/64/1/0.001,jam=100:400@0+1+2~0.8
+//
+// An empty string parses to an inactive profile. The result is
+// validated structurally (probability ranges, slot ordering); node
+// ranges are checked later at Compile time when n is known.
+func ParseProfile(s string) (*Profile, error) {
+	p := &Profile{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		key, val, ok := strings.Cut(term, "=")
+		if !ok || val == "" {
+			return nil, fmt.Errorf("fault: term %q is not key=value", term)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "loss":
+			p.Loss, err = parseProb(val)
+		case "burst":
+			err = parseBurst(p, val)
+		case "crash":
+			err = parseCrash(p, val)
+		case "jam":
+			err = parseJam(p, val)
+		case "skew":
+			p.SkewProb, err = parseProb(val)
+		default:
+			return nil, fmt.Errorf("fault: unknown term %q (want seed, loss, burst, crash, jam, or skew)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: term %q: %w", term, err)
+		}
+	}
+	if err := p.Validate(0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseProb(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 || v > 1 {
+		return 0, fmt.Errorf("probability %g outside [0,1]", v)
+	}
+	return v, nil
+}
+
+func parseBurst(p *Profile, val string) error {
+	if p.Burst != nil {
+		return fmt.Errorf("duplicate burst term")
+	}
+	parts := strings.Split(val, "/")
+	if len(parts) < 2 || len(parts) > 4 {
+		return fmt.Errorf("want pbad/window[/lossbad[/lossgood]]")
+	}
+	b := &Burst{}
+	var err error
+	if b.PBad, err = parseProb(parts[0]); err != nil {
+		return err
+	}
+	if b.Window, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+		return err
+	}
+	if len(parts) > 2 {
+		if b.LossBad, err = parseProb(parts[2]); err != nil {
+			return err
+		}
+	}
+	if len(parts) > 3 {
+		if b.LossGood, err = parseProb(parts[3]); err != nil {
+			return err
+		}
+	}
+	p.Burst = b
+	return nil
+}
+
+func parseCrash(p *Profile, val string) error {
+	nodeStr, when, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want node@at[:restart]")
+	}
+	var c Crash
+	var err error
+	if c.Node, err = strconv.Atoi(nodeStr); err != nil {
+		return err
+	}
+	atStr, restartStr, hasRestart := strings.Cut(when, ":")
+	if c.At, err = strconv.ParseInt(atStr, 10, 64); err != nil {
+		return err
+	}
+	if hasRestart {
+		if c.Restart, err = strconv.ParseInt(restartStr, 10, 64); err != nil {
+			return err
+		}
+	}
+	p.Crashes = append(p.Crashes, c)
+	return nil
+}
+
+func parseJam(p *Profile, val string) error {
+	var j Jammer
+	var err error
+	if body, probStr, ok := strings.Cut(val, "~"); ok {
+		val = body
+		if j.Prob, err = parseProb(probStr); err != nil {
+			return err
+		}
+	}
+	if body, nodesStr, ok := strings.Cut(val, "@"); ok {
+		val = body
+		for _, ns := range strings.Split(nodesStr, "+") {
+			v, err := strconv.Atoi(ns)
+			if err != nil {
+				return err
+			}
+			j.Nodes = append(j.Nodes, v)
+		}
+	}
+	parts := strings.Split(val, ":")
+	if len(parts) != 2 && len(parts) != 4 {
+		return fmt.Errorf("want from:until[:period:duty]")
+	}
+	if j.From, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+		return err
+	}
+	if j.Until, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+		return err
+	}
+	if len(parts) == 4 {
+		if j.Period, err = strconv.ParseInt(parts[2], 10, 64); err != nil {
+			return err
+		}
+		if j.Duty, err = strconv.ParseInt(parts[3], 10, 64); err != nil {
+			return err
+		}
+	}
+	p.Jammers = append(p.Jammers, j)
+	return nil
+}
+
+// String renders the profile back in ParseProfile's syntax; an
+// inactive profile renders as "". Parse(p.String()) reproduces p
+// except that unset optional fields take their parsed defaults.
+func (p *Profile) String() string {
+	if p == nil {
+		return ""
+	}
+	var terms []string
+	if p.Loss > 0 {
+		terms = append(terms, fmt.Sprintf("loss=%g", p.Loss))
+	}
+	if b := p.Burst; b != nil {
+		terms = append(terms, fmt.Sprintf("burst=%g/%d/%g/%g", b.PBad, b.Window, b.LossBad, b.LossGood))
+	}
+	for _, c := range p.Crashes {
+		if c.Restart != 0 {
+			terms = append(terms, fmt.Sprintf("crash=%d@%d:%d", c.Node, c.At, c.Restart))
+		} else {
+			terms = append(terms, fmt.Sprintf("crash=%d@%d", c.Node, c.At))
+		}
+	}
+	for _, j := range p.Jammers {
+		var b strings.Builder
+		if j.Period > 0 {
+			fmt.Fprintf(&b, "jam=%d:%d:%d:%d", j.From, j.Until, j.Period, j.Duty)
+		} else {
+			fmt.Fprintf(&b, "jam=%d:%d", j.From, j.Until)
+		}
+		for i, v := range j.Nodes {
+			if i == 0 {
+				fmt.Fprintf(&b, "@%d", v)
+			} else {
+				fmt.Fprintf(&b, "+%d", v)
+			}
+		}
+		if j.Prob > 0 && j.Prob < 1 {
+			fmt.Fprintf(&b, "~%g", j.Prob)
+		}
+		terms = append(terms, b.String())
+	}
+	if p.SkewProb > 0 {
+		terms = append(terms, fmt.Sprintf("skew=%g", p.SkewProb))
+	}
+	if p.Seed != 0 {
+		terms = append(terms, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	return strings.Join(terms, ",")
+}

@@ -16,6 +16,7 @@ package fleet
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -101,11 +102,14 @@ type Config struct {
 	// deterministically too, so callers opt into retries only for
 	// workloads with transient failure modes.
 	MaxAttempts int
-	// Backoff is the sleep before the first retry; it doubles per
-	// subsequent retry of the same job, capped at MaxBackoff.
-	// Defaults to 50ms.
+	// Backoff is the ceiling of the sleep before the first retry; it
+	// doubles per subsequent retry of the same job, capped at
+	// MaxBackoff. The actual sleep is drawn uniformly from
+	// [0, ceiling] ("full jitter"), so retries of jobs that failed
+	// together — a saturated disk, a blipped remote — don't thunder
+	// back in lockstep. Defaults to 50ms.
 	Backoff time.Duration
-	// MaxBackoff caps the per-job backoff. Defaults to 2s.
+	// MaxBackoff caps the per-job backoff ceiling. Defaults to 2s.
 	MaxBackoff time.Duration
 	// Checkpoint, when non-nil, streams finished payloads to a JSONL
 	// store and restores already-finished jobs on the next Run.
@@ -120,6 +124,9 @@ type Config struct {
 
 	// sleep is a test hook for the backoff delay.
 	sleep func(time.Duration)
+	// jitter is a test hook for the full-jitter draw: it returns a
+	// uniform value in [0, n). Defaults to the shared PRNG.
+	jitter func(n int64) int64
 }
 
 // Engine executes batches of jobs under one Config.
@@ -143,6 +150,9 @@ func New(cfg Config) *Engine {
 	}
 	if cfg.sleep == nil {
 		cfg.sleep = time.Sleep
+	}
+	if cfg.jitter == nil {
+		cfg.jitter = rand.Int63n
 	}
 	return &Engine{cfg: cfg}
 }
@@ -270,7 +280,7 @@ func (e *Engine) execute(index int, j Job) Result {
 		if e.cfg.Progress != nil {
 			e.cfg.Progress.JobRetried()
 		}
-		e.cfg.sleep(backoff)
+		e.cfg.sleep(time.Duration(e.cfg.jitter(int64(backoff) + 1)))
 		backoff *= 2
 		if backoff > e.cfg.MaxBackoff {
 			backoff = e.cfg.MaxBackoff

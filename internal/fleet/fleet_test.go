@@ -123,9 +123,16 @@ func TestPanicRecoveryAndRetry(t *testing.T) {
 		t.Fatalf("progress: retried=%d done=%d failed=%d",
 			prog.retried.Load(), prog.done.Load(), prog.failed.Load())
 	}
-	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
-	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
-		t.Fatalf("backoff sleeps = %v, want %v", slept, want)
+	// Full jitter: each sleep is uniform in [0, ceiling], ceilings
+	// doubling from Backoff.
+	ceilings := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(ceilings) {
+		t.Fatalf("backoff sleeps = %v, want %d draws", slept, len(ceilings))
+	}
+	for i, d := range slept {
+		if d < 0 || d > ceilings[i] {
+			t.Fatalf("sleep %d = %v outside [0, %v]", i, d, ceilings[i])
+		}
 	}
 }
 
@@ -147,9 +154,70 @@ func TestBackoffCap(t *testing.T) {
 	if !results[0].Failed() || results[0].Attempts != 4 {
 		t.Fatalf("doomed job: err=%v attempts=%d", results[0].Err, results[0].Attempts)
 	}
-	want := []time.Duration{40 * time.Millisecond, 50 * time.Millisecond, 50 * time.Millisecond}
-	if len(slept) != 3 || slept[0] != want[0] || slept[1] != want[1] || slept[2] != want[2] {
-		t.Fatalf("backoff sleeps = %v, want %v (doubling capped at MaxBackoff)", slept, want)
+	ceilings := []time.Duration{40 * time.Millisecond, 50 * time.Millisecond, 50 * time.Millisecond}
+	if len(slept) != len(ceilings) {
+		t.Fatalf("backoff sleeps = %v, want %d draws", slept, len(ceilings))
+	}
+	for i, d := range slept {
+		if d < 0 || d > ceilings[i] {
+			t.Fatalf("sleep %d = %v outside [0, %v] (doubling capped at MaxBackoff)", i, d, ceilings[i])
+		}
+	}
+}
+
+func TestBackoffFullJitterBounds(t *testing.T) {
+	// Pin the jitter contract exactly: the ceiling passed to the draw
+	// doubles from Backoff and caps at MaxBackoff, and the slept
+	// duration is precisely what the draw returns. A hook returning the
+	// maximum recovers the old deterministic schedule; returning 0
+	// sleeps not at all.
+	for _, mode := range []string{"max", "zero"} {
+		var mu sync.Mutex
+		var slept []time.Duration
+		var ceilings []int64
+		eng := New(Config{
+			Workers: 1, MaxAttempts: 5, Backoff: 10 * time.Millisecond,
+			MaxBackoff: 25 * time.Millisecond,
+			sleep:      func(d time.Duration) { mu.Lock(); slept = append(slept, d); mu.Unlock() },
+			jitter: func(n int64) int64 {
+				mu.Lock()
+				ceilings = append(ceilings, n-1)
+				mu.Unlock()
+				if mode == "zero" {
+					return 0
+				}
+				return n - 1
+			},
+		})
+		results, err := eng.Run([]Job{{
+			ID:  "doomed",
+			Run: func() (any, error) { return nil, errors.New("always") },
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !results[0].Failed() || results[0].Attempts != 5 {
+			t.Fatalf("%s: doomed job: err=%v attempts=%d", mode, results[0].Err, results[0].Attempts)
+		}
+		wantCeil := []int64{
+			int64(10 * time.Millisecond), int64(20 * time.Millisecond),
+			int64(25 * time.Millisecond), int64(25 * time.Millisecond),
+		}
+		if len(ceilings) != len(wantCeil) {
+			t.Fatalf("%s: %d draws, want %d", mode, len(ceilings), len(wantCeil))
+		}
+		for i, c := range ceilings {
+			if c != wantCeil[i] {
+				t.Fatalf("%s: draw %d ceiling = %v, want %v", mode, i, time.Duration(c), time.Duration(wantCeil[i]))
+			}
+			want := time.Duration(0)
+			if mode == "max" {
+				want = time.Duration(wantCeil[i])
+			}
+			if slept[i] != want {
+				t.Fatalf("%s: sleep %d = %v, want %v", mode, i, slept[i], want)
+			}
+		}
 	}
 }
 

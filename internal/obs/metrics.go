@@ -29,6 +29,10 @@ type Metrics struct {
 	decisions     atomic.Int64
 	wakeups       atomic.Int64
 	slots         atomic.Int64
+	lost          atomic.Int64
+	jammed        atomic.Int64
+	crashes       atomic.Int64
+	restarts      atomic.Int64
 	phase         [NumPhases]atomic.Int64
 
 	// startNanos is the wall-clock origin for rate computation, set on
@@ -55,6 +59,19 @@ func (m *Metrics) AddCapture() { m.captures.Add(1) }
 
 // AddDrop counts a delivery suppressed by injected message loss.
 func (m *Metrics) AddDrop() { m.drops.Add(1) }
+
+// AddLost counts a reception suppressed by the fault layer's link
+// loss (i.i.d. or burst).
+func (m *Metrics) AddLost() { m.lost.Add(1) }
+
+// AddJammed counts a would-be reception corrupted by a jammer.
+func (m *Metrics) AddJammed() { m.jammed.Add(1) }
+
+// AddCrash counts one fail-stop node crash.
+func (m *Metrics) AddCrash() { m.crashes.Add(1) }
+
+// AddRestart counts one crashed node rejoining with cleared state.
+func (m *Metrics) AddRestart() { m.restarts.Add(1) }
 
 // AddDecision counts one node's irrevocable decision.
 func (m *Metrics) AddDecision() { m.decisions.Add(1) }
@@ -99,6 +116,9 @@ type Snapshot struct {
 	// Transmissions, Deliveries, Collisions, Captures, Drops, Decisions,
 	// Wakeups and Slots are the monotone event counters.
 	Transmissions, Deliveries, Collisions, Captures, Drops, Decisions, Wakeups, Slots int64
+	// Lost, Jammed, Crashes and Restarts count injected fault events
+	// (zero unless a run has a fault profile).
+	Lost, Jammed, Crashes, Restarts int64
 	// PhaseNodes is the occupancy gauge: how many nodes currently sit in
 	// each phase.
 	PhaseNodes [NumPhases]int64
@@ -118,6 +138,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		Decisions:     m.decisions.Load(),
 		Wakeups:       m.wakeups.Load(),
 		Slots:         m.slots.Load(),
+		Lost:          m.lost.Load(),
+		Jammed:        m.jammed.Load(),
+		Crashes:       m.crashes.Load(),
+		Restarts:      m.restarts.Load(),
 		At:            time.Now(),
 	}
 	if ns := m.startNanos.Load(); ns != 0 {
@@ -166,12 +190,16 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Decisions -= prev.Decisions
 	d.Wakeups -= prev.Wakeups
 	d.Slots -= prev.Slots
+	d.Lost -= prev.Lost
+	d.Jammed -= prev.Jammed
+	d.Crashes -= prev.Crashes
+	d.Restarts -= prev.Restarts
 	d.Start = prev.At
 	return d
 }
 
 // Export calls fn once per metric in a fixed, documented order: the
-// eight monotone counters first (Counter true), then the per-phase
+// twelve monotone counters first (Counter true), then the per-phase
 // occupancy gauges (Counter false). It is the deterministic export hook
 // text encoders build on — the Prometheus exposition of internal/serve
 // and the Map/String renderings here all derive from it, so the
@@ -185,6 +213,10 @@ func (s Snapshot) Export(fn func(name string, value int64, counter bool)) {
 	fn("decisions", s.Decisions, true)
 	fn("wakeups", s.Wakeups, true)
 	fn("slots", s.Slots, true)
+	fn("lost", s.Lost, true)
+	fn("jammed", s.Jammed, true)
+	fn("crashes", s.Crashes, true)
+	fn("restarts", s.Restarts, true)
 	for i, v := range s.PhaseNodes {
 		fn("phase_"+Phase(i).String(), v, false)
 	}
@@ -193,7 +225,7 @@ func (s Snapshot) Export(fn func(name string, value int64, counter bool)) {
 // Map renders the registry as name → value, the stable export format
 // (names are the JSONL/summary vocabulary).
 func (s Snapshot) Map() map[string]int64 {
-	m := make(map[string]int64, 8+NumPhases)
+	m := make(map[string]int64, 12+NumPhases)
 	s.Export(func(name string, v int64, _ bool) { m[name] = v })
 	return m
 }

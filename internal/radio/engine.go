@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"radiocolor/internal/fault"
 	"radiocolor/internal/graph"
 	"radiocolor/internal/obs"
 )
@@ -51,6 +52,16 @@ type Config struct {
 	// the collision. Real radios often exhibit capture; the model
 	// assumes none. Used by robustness experiments.
 	CaptureProb float64
+	// Faults, when non-nil, threads the deterministic fault-injection
+	// layer through the slot loop: per-link loss and jamming suppress
+	// receptions, crash/restart events fail-stop nodes (see
+	// internal/fault). nil (the default) disables the seam entirely —
+	// the hot path pays one nil check per phase and the output is
+	// bit-identical to a fault-free engine. Compile the injector for
+	// exactly G.N() nodes; profiles with clock skew must run through
+	// RunUnaligned, and profiles that schedule restarts require the
+	// victims' protocols to implement Restartable.
+	Faults *fault.Injector
 	// Workers > 1 runs the per-slot Send, resolve and deliver phases on
 	// that many goroutines. Results are bit-identical to the sequential
 	// engine: every node owns an independent random stream, the resolve
@@ -116,6 +127,9 @@ type Engine struct {
 
 	// Parallel-phase scratch, allocated on first use when Workers > 1.
 	scratch []resolveScratch
+
+	// Fault-injection state; nil unless Config.Faults is set (fault.go).
+	fs *faultState
 }
 
 // recvSlot is one receiver's per-slot resolve accumulator. The
@@ -150,6 +164,12 @@ type resolveScratch struct {
 
 // NewEngine validates the configuration and prepares a run.
 func NewEngine(cfg Config) (*Engine, error) {
+	return newEngine(cfg, false)
+}
+
+// newEngine is NewEngine plus the skew escape hatch used by
+// RunUnaligned, which is the only engine that models clock offsets.
+func newEngine(cfg Config, allowSkew bool) (*Engine, error) {
 	if err := validateConfig(&cfg); err != nil {
 		return nil, err
 	}
@@ -172,6 +192,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	e.order = wakeOrder(cfg.Wake)
 	e.res = newResult(cfg.Wake)
+	if cfg.Faults != nil {
+		fs, err := newFaultState(cfg.Faults, &e.cfg, n, allowSkew)
+		if err != nil {
+			return nil, err
+		}
+		e.fs = fs
+	}
 	return e, nil
 }
 
@@ -275,33 +302,44 @@ func (e *Engine) Step() bool {
 	ob := e.cfg.Observer
 	met := e.cfg.Metrics
 
+	// Fault events (crash/restart) take effect at the start of the
+	// slot, before any protocol runs.
+	if e.fs != nil {
+		e.faultBeginSlot(t, ob, met)
+	}
+
 	// Wake-ups scheduled for this slot. The block e.order[prevNext:next]
 	// is in ascending id order (wakeOrder sorts stably, so ties keep id
 	// order), letting the sorted activity lists absorb it with one
-	// backward merge each.
-	prevNext := e.next
-	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
-		id := e.order[e.next]
-		e.awake[id] = true
-		e.rs[id].count = 0 // standing state flips from asleep to awake-idle
-		if ob != nil {
-			ob.OnWake(t, NodeID(id))
+	// backward merge each. The fault-aware variant additionally filters
+	// nodes that are crashed at their wake slot.
+	if e.fs != nil {
+		e.faultWake(t, ob, met)
+	} else {
+		prevNext := e.next
+		for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
+			id := e.order[e.next]
+			e.awake[id] = true
+			e.rs[id].count = 0 // standing state flips from asleep to awake-idle
+			if ob != nil {
+				ob.OnWake(t, NodeID(id))
+			}
+			if met != nil {
+				met.AddWakeup()
+			}
+			e.cfg.Protocols[id].Start(t)
+			e.next++
 		}
-		if met != nil {
-			met.AddWakeup()
+		if e.next > prevNext {
+			woken := e.order[prevNext:e.next]
+			e.undecided = mergeSorted(e.undecided, woken)
+			// Newly woken ids go to a small pending list first; merging the
+			// whole awake list every slot of a long wake ramp would cost
+			// O(awake) per slot. The pending list is flushed once it exceeds
+			// an eighth of the merged list, so total merge work stays O(n)
+			// over any ramp while Send still walks mostly-ascending ids.
+			e.pending = append(e.pending, woken...)
 		}
-		e.cfg.Protocols[id].Start(t)
-		e.next++
-	}
-	if e.next > prevNext {
-		woken := e.order[prevNext:e.next]
-		e.undecided = mergeSorted(e.undecided, woken)
-		// Newly woken ids go to a small pending list first; merging the
-		// whole awake list every slot of a long wake ramp would cost
-		// O(awake) per slot. The pending list is flushed once it exceeds
-		// an eighth of the merged list, so total merge work stays O(n)
-		// over any ramp while Send still walks mostly-ascending ids.
-		e.pending = append(e.pending, woken...)
 	}
 	// A traced run flushes every slot so OnTransmit events keep the
 	// reference's ascending-id order; so does the parallel path, whose
@@ -325,6 +363,8 @@ func (e *Engine) Step() bool {
 		for _, v := range e.tx {
 			e.noteTx(t, v, e.out[v], ob, met)
 		}
+	} else if e.fs != nil {
+		e.faultSend(t, ob, met)
 	} else {
 		protos := e.cfg.Protocols
 		for _, i := range e.awakeList {
@@ -385,6 +425,9 @@ func (e *Engine) Step() bool {
 			r.count = 0
 			if count >= 2 {
 				if count == 2 && e.captured(t, u) {
+					if e.fs != nil && e.faultSuppressed(t, from, u, &e.res.Jammed, &e.res.Lost, met) {
+						continue
+					}
 					// Capture effect: the lowest-indexed transmitter's
 					// signal survives the two-way collision.
 					e.res.Deliveries++
@@ -407,6 +450,9 @@ func (e *Engine) Step() bool {
 				if met != nil {
 					met.AddCollision()
 				}
+				continue
+			}
+			if e.fs != nil && e.faultSuppressed(t, from, u, &e.res.Jammed, &e.res.Lost, met) {
 				continue
 			}
 			if e.dropped(t, u) {
@@ -433,26 +479,32 @@ func (e *Engine) Step() bool {
 	}
 	e.tx = e.tx[:0]
 
-	// Decision detection over the compact undecided list.
-	w := 0
-	protos := e.cfg.Protocols
-	for _, i := range e.undecided {
-		if protos[i].Done() {
-			e.decided[i] = true
-			e.numDone++
-			e.res.DecideSlot[i] = t
-			if ob != nil {
-				ob.OnDecide(t, NodeID(i))
+	// Decision detection over the compact undecided list. The
+	// fault-aware variant keeps crashed nodes in the list (they may
+	// restart) without polling them.
+	if e.fs != nil {
+		e.faultDecide(t, ob, met)
+	} else {
+		w := 0
+		protos := e.cfg.Protocols
+		for _, i := range e.undecided {
+			if protos[i].Done() {
+				e.decided[i] = true
+				e.numDone++
+				e.res.DecideSlot[i] = t
+				if ob != nil {
+					ob.OnDecide(t, NodeID(i))
+				}
+				if met != nil {
+					met.AddDecision()
+				}
+			} else {
+				e.undecided[w] = i
+				w++
 			}
-			if met != nil {
-				met.AddDecision()
-			}
-		} else {
-			e.undecided[w] = i
-			w++
 		}
+		e.undecided = e.undecided[:w]
 	}
-	e.undecided = e.undecided[:w]
 
 	if ob != nil {
 		ob.OnSlot(t)
@@ -465,6 +517,12 @@ func (e *Engine) Step() bool {
 	e.res.Slots = e.slot
 	if e.numDone == e.n {
 		e.res.AllDone = true
+		return false
+	}
+	if e.fs != nil && e.numDone+e.fs.neverDone == e.n {
+		// Graceful degradation: every node that can still decide has;
+		// the remainder are down for good. AllDone stays false so
+		// callers see the run as incomplete.
 		return false
 	}
 	return e.slot < e.cfg.MaxSlots
@@ -540,6 +598,10 @@ func workerRanges(n, workers int) [][2]int {
 // goroutines. Each worker appends its transmitters to a private list;
 // the lists are concatenated in worker order, so tx is deterministic.
 func (e *Engine) parallelSend(t int64, awakeIDs []int32) {
+	var crashed []bool
+	if e.fs != nil {
+		crashed = e.fs.crashed
+	}
 	ranges := workerRanges(len(awakeIDs), e.cfg.Workers)
 	txLocal := make([][]int32, len(ranges))
 	var wg sync.WaitGroup
@@ -549,6 +611,9 @@ func (e *Engine) parallelSend(t int64, awakeIDs []int32) {
 			defer wg.Done()
 			var local []int32
 			for _, i := range ids {
+				if crashed != nil && crashed[i] {
+					continue
+				}
 				if msg := e.cfg.Protocols[i].Send(t); msg != nil {
 					e.out[i] = msg
 					e.rs[i].count = txMarker // workers own disjoint ids
@@ -664,6 +729,7 @@ func (e *Engine) parallelResolve() {
 // deliverTally is one worker's share of the deliver-phase counters.
 type deliverTally struct {
 	deliveries, captures, collisions int64
+	jammed, lost                     int64
 }
 
 // parallelDeliver partitions the touched receivers across workers. A
@@ -690,6 +756,9 @@ func (e *Engine) parallelDeliver(t int64) {
 				r.count = 0 // each receiver is in exactly one partition
 				if count >= 2 {
 					if count == 2 && e.captured(t, u) {
+						if e.fs != nil && e.faultSuppressed(t, from, u, &tl.jammed, &tl.lost, met) {
+							continue
+						}
 						tl.deliveries++
 						tl.captures++
 						if met != nil {
@@ -703,6 +772,9 @@ func (e *Engine) parallelDeliver(t int64) {
 					if met != nil {
 						met.AddCollision()
 					}
+					continue
+				}
+				if e.fs != nil && e.faultSuppressed(t, from, u, &tl.jammed, &tl.lost, met) {
 					continue
 				}
 				if e.dropped(t, u) {
@@ -725,12 +797,19 @@ func (e *Engine) parallelDeliver(t int64) {
 		e.res.Deliveries += tl.deliveries
 		e.res.Captures += tl.captures
 		e.res.Collisions += tl.collisions
+		e.res.Jammed += tl.jammed
+		e.res.Lost += tl.lost
 	}
 }
 
 // Result returns the statistics accumulated so far. It is valid after
 // the run finishes (Step returned false) and between steps.
-func (e *Engine) Result() *Result { return &e.res }
+func (e *Engine) Result() *Result {
+	if e.fs != nil {
+		e.res.Down = e.fs.downList(e.res.Down[:0])
+	}
+	return &e.res
+}
 
 // Slot returns the next slot to be simulated.
 func (e *Engine) Slot() int64 { return e.slot }

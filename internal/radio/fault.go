@@ -1,0 +1,298 @@
+package radio
+
+import (
+	"fmt"
+
+	"radiocolor/internal/fault"
+	"radiocolor/internal/obs"
+)
+
+// Restartable is implemented by protocols whose state can be cleared
+// back to the pre-Start condition. A fault profile that schedules a
+// node restart requires the victim's protocol to implement it: a
+// restarted node rejoins as if waking for the first time, with no
+// memory of the run so far (fail-stop semantics).
+type Restartable interface {
+	Reset()
+}
+
+// faultState is the engine's per-run mutable view of a compiled fault
+// injector: which nodes are currently crashed, the event cursor, and
+// small scratch lists reused across slots. It exists only when
+// Config.Faults is set, so the fault seam costs the fault-free hot
+// path exactly one nil check per phase (the same discipline as the
+// Observer seam, pinned by the AllocsPerRun tests).
+type faultState struct {
+	inj     *fault.Injector
+	events  []fault.Event
+	next    int    // cursor into events
+	crashed []bool // node is currently fail-stopped
+	// everWoke tracks membership in awakeList∪pending (entries are
+	// never removed from those lists), so a restart knows whether the
+	// node must be re-inserted or is merely reactivated in place.
+	everWoke []bool
+	// neverDone counts nodes that are down for good without having
+	// decided; numDone + neverDone == n ends the run (graceful
+	// degradation: every node that still can decide has).
+	neverDone int
+
+	woken   []int32 // scratch: this slot's surviving wake block
+	rejoinU []int32 // scratch: restarts to merge into undecided
+	rejoinA []int32 // scratch: restarts to insert into the awake lists
+}
+
+// newFaultState validates the injector against the run and prepares
+// the mutable state. Skew profiles are rejected here for the aligned
+// engine; RunUnaligned (which models the half-slot offsets) passes
+// allowSkew.
+func newFaultState(inj *fault.Injector, cfg *Config, n int, allowSkew bool) (*faultState, error) {
+	if inj.N() != n {
+		return nil, fmt.Errorf("radio: fault injector compiled for %d nodes, graph has %d", inj.N(), n)
+	}
+	if !allowSkew && inj.HasSkew() {
+		return nil, fmt.Errorf("radio: fault profile has clock skew; run it through RunUnaligned")
+	}
+	for _, ev := range inj.Events() {
+		if ev.Kind == fault.EventRestart {
+			if _, ok := cfg.Protocols[ev.Node].(Restartable); !ok {
+				return nil, fmt.Errorf("radio: fault profile restarts node %d but its protocol does not implement Restartable: %w",
+					ev.Node, fault.ErrNeedsReset)
+			}
+		}
+	}
+	return &faultState{
+		inj:      inj,
+		events:   inj.Events(),
+		crashed:  make([]bool, n),
+		everWoke: make([]bool, n),
+	}, nil
+}
+
+// faultBeginSlot applies the crash/restart events scheduled for slot t
+// before any protocol runs. Crash: the node goes silent immediately —
+// its standing rs state returns to asleep so resolve skips it, and it
+// stays out of every phase until (and unless) it restarts. Restart:
+// the node rejoins with cleared protocol state as a fresh wake-up; if
+// it had already decided, the decision is retracted (the color died
+// with the state).
+func (e *Engine) faultBeginSlot(t int64, ob Observer, met *obs.Metrics) {
+	fs := e.fs
+	if fs.next >= len(fs.events) || fs.events[fs.next].Slot > t {
+		return
+	}
+	fs.rejoinU = fs.rejoinU[:0]
+	fs.rejoinA = fs.rejoinA[:0]
+	for fs.next < len(fs.events) && fs.events[fs.next].Slot == t {
+		ev := fs.events[fs.next]
+		fs.next++
+		v := ev.Node
+		if ev.Kind == fault.EventCrash {
+			if fs.crashed[v] {
+				continue
+			}
+			fs.crashed[v] = true
+			e.res.Crashes++
+			if met != nil {
+				met.AddCrash()
+			}
+			if ev.Final && !e.decided[v] {
+				fs.neverDone++
+			}
+			if e.awake[v] {
+				e.awake[v] = false
+				e.rs[v].count = asleepCount
+			}
+			continue
+		}
+		// Restart.
+		if !fs.crashed[v] {
+			continue
+		}
+		fs.crashed[v] = false
+		e.res.Restarts++
+		if met != nil {
+			met.AddRestart()
+		}
+		if e.cfg.Wake[v] >= t {
+			// The node crashed before its wake slot; the normal wake
+			// loop will start it on schedule.
+			continue
+		}
+		wasWoke := fs.everWoke[v]
+		if wasWoke {
+			e.cfg.Protocols[v].(Restartable).Reset()
+		}
+		e.awake[v] = true
+		e.rs[v].count = 0
+		fs.everWoke[v] = true
+		if ob != nil {
+			ob.OnWake(t, NodeID(v))
+		}
+		if met != nil {
+			met.AddWakeup()
+		}
+		e.cfg.Protocols[v].Start(t)
+		needUndecided := !wasWoke
+		if e.decided[v] {
+			e.decided[v] = false
+			e.numDone--
+			e.res.DecideSlot[v] = -1
+			needUndecided = true
+		}
+		if needUndecided {
+			fs.rejoinU = append(fs.rejoinU, v)
+		}
+		if !wasWoke {
+			fs.rejoinA = append(fs.rejoinA, v)
+		}
+	}
+	if len(fs.rejoinU) > 0 {
+		sortInt32s(fs.rejoinU)
+		e.undecided = mergeSorted(e.undecided, fs.rejoinU)
+	}
+	if len(fs.rejoinA) > 0 {
+		// The pending list is sorted at flush time, so insertion order
+		// is free.
+		e.pending = append(e.pending, fs.rejoinA...)
+	}
+}
+
+// faultWake is the fault-aware wake loop: nodes that are crashed at
+// their wake slot are consumed from the order without starting (their
+// restart, if any, rejoins them), so they never enter the activity
+// lists.
+func (e *Engine) faultWake(t int64, ob Observer, met *obs.Metrics) {
+	fs := e.fs
+	fs.woken = fs.woken[:0]
+	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
+		id := e.order[e.next]
+		e.next++
+		if fs.crashed[id] {
+			continue
+		}
+		e.awake[id] = true
+		e.rs[id].count = 0
+		fs.everWoke[id] = true
+		if ob != nil {
+			ob.OnWake(t, NodeID(id))
+		}
+		if met != nil {
+			met.AddWakeup()
+		}
+		e.cfg.Protocols[id].Start(t)
+		fs.woken = append(fs.woken, id)
+	}
+	if len(fs.woken) > 0 {
+		e.undecided = mergeSorted(e.undecided, fs.woken)
+		e.pending = append(e.pending, fs.woken...)
+	}
+}
+
+// faultSend is the fault-aware sequential Send sweep: identical to the
+// plain sweep but skipping crashed nodes (their entries remain in the
+// lists; crash flags filter them).
+func (e *Engine) faultSend(t int64, ob Observer, met *obs.Metrics) {
+	protos := e.cfg.Protocols
+	crashed := e.fs.crashed
+	for _, i := range e.awakeList {
+		if crashed[i] {
+			continue
+		}
+		if msg := protos[i].Send(t); msg != nil {
+			e.out[i] = msg
+			e.rs[i].count = txMarker
+			e.tx = append(e.tx, i)
+			e.noteTx(t, i, msg, ob, met)
+		}
+	}
+	for _, i := range e.pending {
+		if crashed[i] {
+			continue
+		}
+		if msg := protos[i].Send(t); msg != nil {
+			e.out[i] = msg
+			e.rs[i].count = txMarker
+			e.tx = append(e.tx, i)
+			e.noteTx(t, i, msg, ob, met)
+		}
+	}
+}
+
+// faultDecide is the fault-aware decision sweep: crashed nodes stay in
+// the undecided list (they may restart) but are never polled.
+func (e *Engine) faultDecide(t int64, ob Observer, met *obs.Metrics) {
+	w := 0
+	protos := e.cfg.Protocols
+	crashed := e.fs.crashed
+	for _, i := range e.undecided {
+		if !crashed[i] && protos[i].Done() {
+			e.decided[i] = true
+			e.numDone++
+			e.res.DecideSlot[i] = t
+			if ob != nil {
+				ob.OnDecide(t, NodeID(i))
+			}
+			if met != nil {
+				met.AddDecision()
+			}
+		} else {
+			e.undecided[w] = i
+			w++
+		}
+	}
+	e.undecided = e.undecided[:w]
+}
+
+// Reception-suppression classes, ordered by precedence: the adversary
+// (jam) beats the channel (loss), which beats the legacy DropProb coin
+// applied afterwards by the caller.
+const (
+	suppressNone = iota
+	suppressJam
+	suppressLoss
+)
+
+// suppression classifies why the fault layer kills an otherwise
+// successful reception at node to from node from. Pure and
+// allocation-free, so it is safe from any deliver worker.
+func (fs *faultState) suppression(t int64, from, to int32) int {
+	if fs.inj.Jammed(t, to) {
+		return suppressJam
+	}
+	if fs.inj.Lost(t, from, to) {
+		return suppressLoss
+	}
+	return suppressNone
+}
+
+// faultSuppressed applies the suppression check to one reception,
+// counting the outcome into the given tallies (the sequential path
+// passes Result fields, the parallel path its worker-private tally).
+func (e *Engine) faultSuppressed(t int64, from, to int32, jammed, lost *int64, met *obs.Metrics) bool {
+	switch e.fs.suppression(t, from, to) {
+	case suppressJam:
+		*jammed++
+		if met != nil {
+			met.AddJammed()
+		}
+		return true
+	case suppressLoss:
+		*lost++
+		if met != nil {
+			met.AddLost()
+		}
+		return true
+	}
+	return false
+}
+
+// downList appends the currently crashed nodes to dst in ascending
+// order.
+func (fs *faultState) downList(dst []int32) []int32 {
+	for i, c := range fs.crashed {
+		if c {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
+}

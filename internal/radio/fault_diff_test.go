@@ -1,0 +1,117 @@
+package radio_test
+
+import (
+	"reflect"
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/fault"
+	"radiocolor/internal/radio"
+)
+
+// runFaulted runs the real coloring protocol on c with the given fault
+// profile (nil = fault-free) and returns the Result plus final colors.
+func runFaulted(t *testing.T, c diffCase, prof *fault.Profile, workers int) (*radio.Result, []int32) {
+	t.Helper()
+	par := diffParams(c.g)
+	nodes, protos := core.Nodes(c.g.N(), c.seed, par, core.Ablation{})
+	cfg := radio.Config{
+		G: c.g, Protocols: protos, Wake: c.wake,
+		MaxSlots: diffBudget, NEstimate: par.N,
+		Workers: workers,
+	}
+	if prof != nil {
+		inj, err := prof.Compile(c.g.N())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = inj
+	}
+	res, err := radio.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", c.name, workers, err)
+	}
+	colors := make([]int32, len(nodes))
+	for i, v := range nodes {
+		colors[i] = v.Color()
+	}
+	return res, colors
+}
+
+// chaosProfile exercises every fault class the aligned engine supports
+// at once: i.i.d. loss, burst fading, final crashes, a crash+restart,
+// and a probabilistic jammer.
+func chaosProfile(seed int64) *fault.Profile {
+	return &fault.Profile{
+		Seed:  seed,
+		Loss:  0.05,
+		Burst: &fault.Burst{PBad: 0.1, Window: 64},
+		Crashes: []fault.Crash{
+			{Node: 3, At: 200},
+			{Node: 17, At: 500, Restart: 900},
+			{Node: 29, At: 50},
+		},
+		Jammers: []fault.Jammer{
+			{Nodes: []int{1, 5, 9}, From: 100, Until: 1200, Period: 16, Duty: 4, Prob: 0.8},
+		},
+	}
+}
+
+// TestFaultDeterminismAcrossWorkers pins "same seed, same chaos": a
+// fault-injected run is bit-identical at Workers ∈ {1, 4}, because every
+// fault coin is a pure function of (seed, slot, link) and crash events
+// apply before the slot's sends.
+func TestFaultDeterminismAcrossWorkers(t *testing.T) {
+	cases := diffCases(t)[:10]
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			prof := chaosProfile(c.seed)
+			res1, col1 := runFaulted(t, c, prof, 1)
+			res4, col4 := runFaulted(t, c, prof, 4)
+			if !reflect.DeepEqual(res1, res4) {
+				t.Errorf("results diverge across workers:\n  w1: %+v\n  w4: %+v", res1, res4)
+			}
+			if !reflect.DeepEqual(col1, col4) {
+				t.Errorf("colors diverge across workers")
+			}
+			if res1.Lost == 0 && res1.Jammed == 0 && res1.Crashes == 0 {
+				t.Error("chaos profile injected nothing; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestFaultSeamInert pins the differential contract of the seam itself:
+// with Faults nil — and with an *active but never-firing* injector — the
+// engine's output is bit-identical to the fault-free kernel at
+// Workers ∈ {1, 4}. The inert injector (a crash scheduled far past the
+// slot budget) walks the full fault code path every slot and must still
+// change nothing.
+func TestFaultSeamInert(t *testing.T) {
+	inert := &fault.Profile{
+		Crashes: []fault.Crash{{Node: 0, At: 1 << 40}},
+	}
+	cases := diffCases(t)[:6]
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			base1, colBase1 := runFaulted(t, c, nil, 1)
+			base4, colBase4 := runFaulted(t, c, nil, 4)
+			if !reflect.DeepEqual(base1, base4) || !reflect.DeepEqual(colBase1, colBase4) {
+				t.Fatalf("fault-free runs diverge across workers")
+			}
+			for _, workers := range []int{1, 4} {
+				res, col := runFaulted(t, c, inert, workers)
+				if !reflect.DeepEqual(res, base1) {
+					t.Errorf("workers=%d: inert injector changed the result:\n  base:  %+v\n  inert: %+v", workers, base1, res)
+				}
+				if !reflect.DeepEqual(col, colBase1) {
+					t.Errorf("workers=%d: inert injector changed the colors", workers)
+				}
+			}
+		})
+	}
+}

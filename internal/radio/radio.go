@@ -155,6 +155,16 @@ type Result struct {
 	PerNodeTx []int64
 	// MaxMessageBits is the largest message payload observed.
 	MaxMessageBits int
+
+	// Fault-layer counters, all zero unless Config.Faults is set.
+	// Lost counts receptions suppressed by the fault layer's link loss
+	// (i.i.d. or burst); Jammed counts would-be receptions corrupted by
+	// a jammer; Crashes and Restarts count node lifecycle events.
+	Lost, Jammed      int64
+	Crashes, Restarts int64
+	// Down lists the nodes that are crashed as of the last simulated
+	// slot (nil when Config.Faults is unset or nobody is down).
+	Down []int32
 }
 
 // Latency returns T_v for node v: slots between wake-up and decision

@@ -1,6 +1,9 @@
 package radio
 
-import "sync"
+import (
+	"errors"
+	"sync"
+)
 
 // This file retains the pre-CSR slot loop — the seed implementation the
 // model semantics were originally validated against — as an executable
@@ -38,6 +41,11 @@ type ReferenceEngine struct {
 func NewReferenceEngine(cfg Config) (*ReferenceEngine, error) {
 	if err := validateConfig(&cfg); err != nil {
 		return nil, err
+	}
+	if cfg.Faults != nil {
+		// The reference engine is the executable spec of the fault-free
+		// model; fault runs are pinned against the CSR kernel instead.
+		return nil, errors.New("radio: the reference engine does not support fault injection")
 	}
 	n := cfg.G.N()
 	e := &ReferenceEngine{

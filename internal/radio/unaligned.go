@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -23,11 +24,23 @@ import (
 // parallel Workers option is ignored (the unaligned resolver is
 // sequential).
 func RunUnaligned(cfg Config, offsets []int8) (*Result, error) {
-	e, err := NewEngine(cfg) // reuse validation and result bookkeeping
+	return RunUnalignedContext(context.Background(), cfg, offsets)
+}
+
+// RunUnalignedContext is RunUnaligned with cancellation, polled every
+// 1024 slots like RunContext. This engine is also the home of the
+// fault layer's clock-skew profiles: a Config.Faults injector with
+// skew supplies the offsets (pass nil to use them), and its loss,
+// jam, and crash faults apply here exactly as in the aligned kernel.
+func RunUnalignedContext(ctx context.Context, cfg Config, offsets []int8) (*Result, error) {
+	e, err := newEngine(cfg, true) // reuse validation and result bookkeeping
 	if err != nil {
 		return nil, err
 	}
 	n := e.n
+	if offsets == nil && cfg.Faults != nil && cfg.Faults.HasSkew() {
+		offsets = cfg.Faults.SkewOffsets(n)
+	}
 	if offsets == nil {
 		offsets = make([]int8, n)
 		for i := range offsets {
@@ -44,7 +57,15 @@ func RunUnaligned(cfg Config, offsets []int8) (*Result, error) {
 	}
 	u := &unaligned{e: e, offsets: offsets}
 	u.init()
+	done := ctx.Done()
 	for u.step() {
+		if done != nil && e.slot&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 	}
 	return e.Result(), nil
 }
@@ -90,10 +111,22 @@ func (u *unaligned) step() bool {
 	ob := e.cfg.Observer
 	met := e.cfg.Metrics
 
-	// Wake-ups.
+	// Fault events first, then wake-ups. Crashed nodes clear e.awake,
+	// which every sweep below already consults, so the crash/restart
+	// machinery is shared with the aligned kernel.
+	if e.fs != nil {
+		e.faultBeginSlot(t, ob, met)
+	}
 	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
 		id := e.order[e.next]
+		e.next++
+		if e.fs != nil && e.fs.crashed[id] {
+			continue // fail-stopped before waking; restart handles rejoin
+		}
 		e.awake[id] = true
+		if e.fs != nil {
+			e.fs.everWoke[id] = true
+		}
 		if ob != nil {
 			ob.OnWake(t, NodeID(id))
 		}
@@ -101,7 +134,6 @@ func (u *unaligned) step() bool {
 			met.AddWakeup()
 		}
 		e.cfg.Protocols[id].Start(t)
-		e.next++
 	}
 
 	// This slot's transmissions touch half-slots 2t .. 2t+2. Halves
@@ -172,6 +204,9 @@ func (u *unaligned) step() bool {
 				}
 				continue
 			}
+			if e.fs != nil && e.faultSuppressed(t, int32(v), w, &e.res.Jammed, &e.res.Lost, met) {
+				continue
+			}
 			if e.dropped(t, w) {
 				if met != nil {
 					met.AddDrop()
@@ -216,6 +251,9 @@ func (u *unaligned) step() bool {
 	if e.numDone == e.n {
 		e.res.AllDone = true
 		return false
+	}
+	if e.fs != nil && e.numDone+e.fs.neverDone == e.n {
+		return false // every node that can still decide has (see engine.go)
 	}
 	return e.slot < e.cfg.MaxSlots
 }

@@ -64,6 +64,14 @@ type JobRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// Metrics attaches an Outcome.Stats snapshot to the result.
 	Metrics bool `json:"metrics,omitempty"`
+	// Faults injects deterministic faults, in radiocolor.ParseFaults
+	// syntax (e.g. "loss=0.05,crash=3@500:900"). The outcome then
+	// carries the fault counters and the graceful-degradation verdict.
+	Faults string `json:"faults,omitempty"`
+	// TimeoutMS bounds the job's wall-clock execution; a job that
+	// exceeds it finishes in state "timed_out". 0 falls back to the
+	// server's Config.JobTimeout (which may be unlimited).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // TopologySpec names a server-side deployment generator and its
@@ -182,6 +190,9 @@ func (r *JobRequest) validate() (radiocolor.Options, error) {
 	if r.Points != nil && r.Radius <= 0 {
 		return opt, errors.New("serve: points need a positive radius")
 	}
+	if r.TimeoutMS < 0 {
+		return opt, fmt.Errorf("serve: negative timeout_ms %d", r.TimeoutMS)
+	}
 	opt = radiocolor.Options{
 		Seed:       r.Seed,
 		ParamScale: r.ParamScale,
@@ -195,6 +206,13 @@ func (r *JobRequest) validate() (radiocolor.Options, error) {
 			return opt, err
 		}
 		opt.Wakeup = wk
+	}
+	if r.Faults != "" {
+		fc, err := radiocolor.ParseFaults(r.Faults)
+		if err != nil {
+			return opt, err
+		}
+		opt.Faults = fc
 	}
 	if err := opt.Validate(); err != nil {
 		return opt, err
@@ -217,11 +235,14 @@ const (
 	// StateCanceled means the job was canceled (DELETE or shutdown)
 	// before it finished.
 	StateCanceled JobState = "canceled"
+	// StateTimedOut means the job hit its wall-clock timeout
+	// (timeout_ms or the server's JobTimeout) before finishing.
+	StateTimedOut JobState = "timed_out"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateTimedOut
 }
 
 // JobStatus is the wire view of a job, returned by POST /v1/jobs,

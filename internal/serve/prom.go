@@ -39,6 +39,7 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "colord_jobs_completed_total{state=\"done\"} %d\n", s.completed.Load())
 	fmt.Fprintf(w, "colord_jobs_completed_total{state=\"failed\"} %d\n", s.failed.Load())
 	fmt.Fprintf(w, "colord_jobs_completed_total{state=\"canceled\"} %d\n", s.canceled.Load())
+	fmt.Fprintf(w, "colord_jobs_completed_total{state=\"timed_out\"} %d\n", s.timedOut.Load())
 
 	// Gauges.
 	promMeta(w, "colord_queue_depth", "gauge", "Jobs waiting in the admission queue.")

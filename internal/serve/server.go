@@ -41,6 +41,10 @@ type Config struct {
 	MaxAttempts int
 	// RetryAfter is the hint sent with 429 responses. Defaults to 1s.
 	RetryAfter time.Duration
+	// JobTimeout bounds each job's wall-clock execution; a job that
+	// exceeds it finishes in state "timed_out". 0 means unlimited. A
+	// request's timeout_ms overrides it per job.
+	JobTimeout time.Duration
 	// StreamInterval is the progress sampling period of the stream
 	// endpoints. Defaults to 250ms.
 	StreamInterval time.Duration
@@ -101,6 +105,9 @@ type job struct {
 	radius   float64
 	cacheKey string
 	cacheHit bool
+	// timeout is the job's wall-clock bound (0 = none); exceeding it
+	// ends the job in StateTimedOut.
+	timeout time.Duration
 	// metrics is the per-job live registry the stream endpoints sample;
 	// the run feeds it (and the server aggregate) through the observer
 	// seam.
@@ -176,6 +183,7 @@ type Server struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	canceled  atomic.Int64
+	timedOut  atomic.Int64
 	inflight  atomic.Int64
 }
 
@@ -294,6 +302,14 @@ func (s *Server) execute(j *job) {
 		return
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
+	if j.timeout > 0 {
+		// The timeout wraps the cancelable context, so a DELETE still
+		// surfaces as Canceled and only a genuine deadline as
+		// DeadlineExceeded.
+		var cancelT context.CancelFunc
+		ctx, cancelT = context.WithTimeout(ctx, j.timeout)
+		defer cancelT()
+	}
 	j.state = StateRunning
 	j.started = s.now()
 	j.cancel = cancel
@@ -324,6 +340,10 @@ func (s *Server) execute(j *job) {
 		j.outcome = res.Value.(*radiocolor.Outcome)
 		j.state = StateDone
 		s.completed.Add(1)
+	case !j.canceled && j.timeout > 0 && errors.Is(res.Err, context.DeadlineExceeded):
+		j.state = StateTimedOut
+		j.errMsg = fmt.Sprintf("job exceeded its %v wall-clock timeout", j.timeout)
+		s.timedOut.Add(1)
 	case j.canceled || errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded):
 		j.state = StateCanceled
 		j.errMsg = res.Err.Error()
@@ -493,10 +513,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	j := &job{
 		opt:       opt,
+		timeout:   s.cfg.JobTimeout,
 		submitted: s.now(),
 		state:     StateQueued,
 		done:      make(chan struct{}),
 		metrics:   obs.NewMetrics(),
+	}
+	if req.TimeoutMS > 0 {
+		j.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
 	switch {
 	case req.Topology != nil:

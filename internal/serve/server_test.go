@@ -764,3 +764,107 @@ func ExampleServer() {
 	fmt.Println(st.State, st.Outcome.Proper, st.Outcome.Complete)
 	// Output: done true true
 }
+
+func TestJobTimeoutFromRequest(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 1,
+		run: func(ctx context.Context, j *job) (*radiocolor.Outcome, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	_, st := submit(t, ts, JobRequest{Adjacency: ringAdjacency(4), TimeoutMS: 30})
+	fin := waitTerminal(t, ts, st.ID)
+	if fin.State != StateTimedOut {
+		t.Fatalf("state = %s (err %q), want timed_out", fin.State, fin.Error)
+	}
+	if !strings.Contains(fin.Error, "timeout") {
+		t.Fatalf("error %q does not mention the timeout", fin.Error)
+	}
+	if got := s.timedOut.Load(); got != 1 {
+		t.Fatalf("timedOut counter = %d, want 1", got)
+	}
+	if got := s.canceled.Load(); got != 0 {
+		t.Fatalf("timeout must not count as cancellation (canceled = %d)", got)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if want := "colord_jobs_completed_total{state=\"timed_out\"} 1"; !strings.Contains(buf.String(), want) {
+		t.Fatalf("metrics missing %q:\n%s", want, buf.String())
+	}
+}
+
+func TestJobTimeoutServerDefaultAndCancelPrecedence(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers:    2,
+		JobTimeout: 25 * time.Millisecond,
+		run: func(ctx context.Context, j *job) (*radiocolor.Outcome, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	// No timeout_ms in the request: the server default applies.
+	_, st := submit(t, ts, JobRequest{Adjacency: ringAdjacency(4)})
+	if fin := waitTerminal(t, ts, st.ID); fin.State != StateTimedOut {
+		t.Fatalf("server-default timeout: state = %s, want timed_out", fin.State)
+	}
+	// An explicit DELETE on a job with a generous timeout must surface
+	// as canceled, not timed_out.
+	_, long := submit(t, ts, JobRequest{Adjacency: ringAdjacency(4), TimeoutMS: int64(2 * time.Hour / time.Millisecond)})
+	waitFor(t, func() bool { return getStatus(t, ts, long.ID).State == StateRunning })
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+long.ID, nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if fin := waitTerminal(t, ts, long.ID); fin.State != StateCanceled {
+		t.Fatalf("canceled job: state = %s, want canceled", fin.State)
+	}
+}
+
+func TestFaultsJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, st := submit(t, ts, JobRequest{Adjacency: ringAdjacency(12), Seed: 5, Faults: "loss=0.3,seed=7"})
+	fin := waitTerminal(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("faulted job: state = %s (err %q)", fin.State, fin.Error)
+	}
+	if fin.Outcome == nil || fin.Outcome.Faults == nil {
+		t.Fatalf("outcome missing fault report: %+v", fin.Outcome)
+	}
+	if fin.Outcome.Faults.Lost == 0 {
+		t.Fatalf("30%% loss on a ring injected nothing: %+v", fin.Outcome.Faults)
+	}
+	if !fin.Outcome.Faults.Graceful {
+		t.Fatalf("pure link loss must degrade gracefully: %+v", fin.Outcome.Faults)
+	}
+
+	// Malformed fault specs and negative timeouts are rejected at
+	// submission.
+	post := func(body string) int {
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"adjacency":[[1],[0]],"faults":"loss=2"}`); code != http.StatusBadRequest {
+		t.Fatalf("loss=2: %d, want 400", code)
+	}
+	if code := post(`{"adjacency":[[1],[0]],"faults":"frobnicate=1"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown fault key: %d, want 400", code)
+	}
+	if code := post(`{"adjacency":[[1],[0]],"timeout_ms":-5}`); code != http.StatusBadRequest {
+		t.Fatalf("negative timeout: %d, want 400", code)
+	}
+}

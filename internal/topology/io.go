@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"strings"
 
 	"radiocolor/internal/geom"
@@ -19,6 +20,12 @@ import (
 //	points <count>            (omitted for non-geometric topologies)
 //	<x> <y>
 //	...
+//
+// Point lines may alternatively carry an explicit node id — `<id> <x>
+// <y>` — in any order; the first point line picks the form for the
+// whole file. Ids must be unique and in [0, count): a repeated id is
+// rejected with its position instead of silently overwriting the
+// earlier point (which would quietly reshape the unit-disk graph).
 //	walls <count>             (omitted when there are no obstacles)
 //	<ax> <ay> <bx> <by>
 //	...
@@ -122,19 +129,49 @@ func ReadDeployment(r io.Reader) (*Deployment, error) {
 			return nil, fmt.Errorf("topology: bad points header %q", line)
 		}
 		d.Points = make([]geom.Point, count)
+		var idMode bool
+		var seen []bool
 		for i := range d.Points {
 			line, err = readLine()
 			if err != nil {
 				return nil, fmt.Errorf("topology: truncated points: %w", err)
 			}
-			if _, err := fmt.Sscanf(line, "%g %g", &d.Points[i].X, &d.Points[i].Y); err != nil {
-				return nil, fmt.Errorf("topology: bad point %q: %w", line, err)
+			fields := strings.Fields(line)
+			if i == 0 {
+				idMode = len(fields) == 3
+				if idMode {
+					seen = make([]bool, count)
+				}
 			}
-			// Sscanf's %g happily parses NaN and ±Inf, but geometry on
+			at := i
+			if idMode {
+				if len(fields) != 3 {
+					return nil, fmt.Errorf("topology: point %d: want `<id> <x> <y>`, got %q", i, line)
+				}
+				id, err := strconv.Atoi(fields[0])
+				if err != nil || id < 0 || id >= count {
+					return nil, fmt.Errorf("topology: point %d: node id %q out of range [0,%d)", i, fields[0], count)
+				}
+				if seen[id] {
+					return nil, fmt.Errorf("topology: point %d: duplicate node id %d (line %q)", i, id, line)
+				}
+				seen[id] = true
+				at = id
+				fields = fields[1:]
+			} else if len(fields) != 2 {
+				return nil, fmt.Errorf("topology: bad point %q", line)
+			}
+			x, errX := strconv.ParseFloat(fields[0], 64)
+			y, errY := strconv.ParseFloat(fields[1], 64)
+			if errX != nil || errY != nil {
+				return nil, fmt.Errorf("topology: bad point %q", line)
+			}
+			// ParseFloat happily accepts NaN and ±Inf, but geometry on
 			// such coordinates silently corrupts every distance test.
-			if !isFinite(d.Points[i].X) || !isFinite(d.Points[i].Y) {
+			if !isFinite(x) || !isFinite(y) {
 				return nil, fmt.Errorf("topology: point %d has non-finite coordinates %q", i, line)
 			}
+			d.Points[at] = geom.Point{X: x, Y: y}
 		}
 		line, err = readLine()
 		if err != nil {

@@ -177,3 +177,71 @@ func TestWriteDeploymentErrorPaths(t *testing.T) {
 		}
 	}
 }
+
+func TestReadDeploymentExplicitIDs(t *testing.T) {
+	// The `<id> <x> <y>` point form may arrive in any order; points must
+	// land at their ids.
+	src := `deployment "ids"
+radius 1.5
+points 3
+2 5 6
+0 1 2
+1 3 4
+n 3 2
+0 1
+1 2
+`
+	d, err := ReadDeployment(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}, {X: 5, Y: 6}}
+	for i, p := range want {
+		if d.Points[i] != p {
+			t.Fatalf("point %d = %v, want %v", i, d.Points[i], p)
+		}
+	}
+}
+
+func TestReadDeploymentDuplicateNodeID(t *testing.T) {
+	// Pre-fix, the duplicate silently overwrote node 1's position
+	// (last-write-wins), quietly reshaping the unit-disk graph. It must
+	// be rejected, and the error must say where.
+	src := `deployment "dup"
+radius 1.5
+points 3
+0 1 2
+1 3 4
+1 9 9
+n 3 0
+`
+	_, err := ReadDeployment(strings.NewReader(src))
+	if err == nil {
+		t.Fatal("duplicate node id accepted")
+	}
+	for _, want := range []string{"duplicate node id 1", "point 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestReadDeploymentPointFormErrors(t *testing.T) {
+	head := "deployment \"bad\"\nradius 1\npoints 2\n"
+	cases := []struct {
+		name, points, want string
+	}{
+		{"id out of range", "5 1 2\n0 3 4\n", "out of range"},
+		{"negative id", "-1 1 2\n0 3 4\n", "out of range"},
+		{"mixed arity", "1 2\n0 3 4\n", "bad point"},
+		{"four fields first", "0 1 2 3\n1 4 5\n", "bad point"},
+		{"arity drift in id mode", "0 1 2\n1 3 4 5\n", "want `<id> <x> <y>`"},
+		{"non-numeric coordinate", "1 2\nx y\n", "bad point"},
+	}
+	for _, c := range cases {
+		_, err := ReadDeployment(strings.NewReader(head + c.points + "n 2 0\n"))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}

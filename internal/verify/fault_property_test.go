@@ -1,0 +1,110 @@
+package verify_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"radiocolor/internal/core"
+	"radiocolor/internal/fault"
+	"radiocolor/internal/graph"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+// These property tests pin the graceful-degradation contract of the
+// whole stack: under link loss and random crash schedules, across every
+// wakeup schedule, the protocol may leave crashed or stuck nodes
+// uncolored — but two LIVE adjacent nodes must never share a color.
+// Theorem 2's independence argument does not rely on every node
+// surviving, so a hard violation here is an algorithm bug no fault
+// excuses.
+
+// randomCrashes fail-stops ~10% of the nodes at random slots; half of
+// the victims restart later. Deterministic in seed.
+func randomCrashes(n int, budget int64, seed int64) []fault.Crash {
+	rng := rand.New(rand.NewSource(seed))
+	victims := rng.Perm(n)[:n/10+1]
+	crashes := make([]fault.Crash, 0, len(victims))
+	for i, v := range victims {
+		at := rng.Int63n(budget / 2)
+		c := fault.Crash{Node: v, At: at}
+		if i%2 == 1 {
+			c.Restart = at + 1 + rng.Int63n(budget/4)
+		}
+		crashes = append(crashes, c)
+	}
+	return crashes
+}
+
+func propertyGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return topology.UDGWithTargetDegree(60, 7, 23).G
+}
+
+func propertyParams(g *graph.Graph) core.Params {
+	k := g.Kappa(graph.KappaOptions{Budget: 20_000, MaxNeighborhood: 60})
+	return core.Practical(g.N(), g.MaxDegree(), k.K1, k.K2)
+}
+
+func TestSurvivorsProperlyColoredUnderFaults(t *testing.T) {
+	g := propertyGraph(t)
+	par := propertyParams(g)
+	const budget = 60_000
+	rates := []float64{0.01, 0.10}
+	if testing.Short() {
+		rates = rates[1:]
+	}
+	for _, pat := range radio.WakePatterns {
+		for _, loss := range rates {
+			pat, loss := pat, loss
+			t.Run(fmt.Sprintf("%s/loss%g", pat.Name, loss), func(t *testing.T) {
+				t.Parallel()
+				seed := int64(41)
+				prof := &fault.Profile{
+					Seed:    seed,
+					Loss:    loss,
+					Crashes: randomCrashes(g.N(), budget, seed),
+				}
+				inj, err := prof.Compile(g.N())
+				if err != nil {
+					t.Fatal(err)
+				}
+				nodes, protos := core.Nodes(g.N(), seed, par, core.Ablation{})
+				cfg := radio.Config{
+					G: g, Protocols: protos,
+					Wake:     pat.Make(g.N(), par.WaitSlots(), seed),
+					MaxSlots: budget, NEstimate: par.N,
+					Faults: inj,
+				}
+				res, err := radio.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				colors := make([]int32, len(nodes))
+				for i, v := range nodes {
+					colors[i] = v.Color()
+				}
+				rep := verify.CheckSurvivors(g, colors, verify.DownSet(g.N(), res.Down))
+				if rep.Hard() {
+					t.Errorf("loss=%g: hard violations (live adjacent nodes share a color): %v\n%s",
+						loss, rep.HardViolations, rep)
+				}
+				// Guard against a vacuous pass: faults must have fired and
+				// a meaningful share of survivors must actually hold colors.
+				if res.Crashes == 0 || (loss > 0 && res.Lost == 0) {
+					t.Fatalf("loss=%g: no faults injected (crashes=%d lost=%d); test is vacuous",
+						loss, res.Crashes, res.Lost)
+				}
+				if rep.Survivors == 0 || rep.SurvivorsColored == 0 {
+					t.Fatalf("loss=%g: nobody survived/colored (%s); test is vacuous", loss, rep)
+				}
+				if rep.SurvivorsColored*2 < rep.Survivors {
+					t.Errorf("loss=%g: only %d of %d survivors colored — degradation is not graceful (%s)",
+						loss, rep.SurvivorsColored, rep.Survivors, rep)
+				}
+			})
+		}
+	}
+}

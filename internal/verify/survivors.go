@@ -1,0 +1,106 @@
+package verify
+
+import (
+	"fmt"
+
+	"radiocolor/internal/graph"
+)
+
+// SurvivorReport is the correctness-under-fault verdict: it judges a
+// coloring produced by a faulty run by separating hard failures from
+// graceful degradation. A crashed node losing its color (or never
+// getting one) is the expected cost of a fail-stop fault; two *live*
+// adjacent nodes sharing a color is an algorithm bug no fault excuses,
+// because the protocol's safety argument (Theorem 2's independence)
+// never relies on every node surviving.
+type SurvivorReport struct {
+	// Survivors counts live nodes; DownNodes counts crashed ones.
+	Survivors, DownNodes int
+	// HardViolations lists edges between two live nodes sharing a
+	// color — hard failures (capped at 64).
+	HardViolations []Violation
+	// Degraded lists live nodes without a color — graceful degradation
+	// (a surviving node may be stuck waiting on a crashed leader;
+	// capped at 64). Down nodes are not listed.
+	Degraded []int32
+	// SurvivorsColored counts live nodes holding a color.
+	SurvivorsColored int
+	// NumColors and MaxColor describe the palette used by survivors —
+	// palette growth under faults is reported, not judged.
+	NumColors int
+	MaxColor  int32
+}
+
+// Hard reports whether the run hard-failed: some pair of live adjacent
+// nodes share a color.
+func (r *SurvivorReport) Hard() bool { return len(r.HardViolations) > 0 }
+
+// Graceful reports whether the outcome is acceptable under faults:
+// no hard violations (crashed or degraded nodes are tolerated).
+func (r *SurvivorReport) Graceful() bool { return !r.Hard() }
+
+// String implements fmt.Stringer.
+func (r *SurvivorReport) String() string {
+	return fmt.Sprintf("survivors=%d down=%d colored=%d degraded=%d hard=%d colors=%d max=%d",
+		r.Survivors, r.DownNodes, r.SurvivorsColored, len(r.Degraded),
+		len(r.HardViolations), r.NumColors, r.MaxColor)
+}
+
+// CheckSurvivors validates colors over the live subgraph. down[v]
+// marks node v as crashed at the end of the run (nil means nobody is
+// down, reducing to Check's completeness view). colors[v] is node v's
+// color or Uncolored, as in Check.
+func CheckSurvivors(g *graph.Graph, colors []int32, down []bool) *SurvivorReport {
+	if len(colors) != g.N() {
+		panic(fmt.Sprintf("verify: %d colors for %d nodes", len(colors), g.N()))
+	}
+	if down != nil && len(down) != g.N() {
+		panic(fmt.Sprintf("verify: %d down flags for %d nodes", len(down), g.N()))
+	}
+	r := &SurvivorReport{MaxColor: -1}
+	used := make(map[int32]bool)
+	isDown := func(v int32) bool { return down != nil && down[v] }
+	for v := 0; v < g.N(); v++ {
+		if isDown(int32(v)) {
+			r.DownNodes++
+			continue
+		}
+		r.Survivors++
+		c := colors[v]
+		if c == Uncolored {
+			if len(r.Degraded) < capList {
+				r.Degraded = append(r.Degraded, int32(v))
+			}
+			continue
+		}
+		r.SurvivorsColored++
+		if !used[c] {
+			used[c] = true
+			r.NumColors++
+			if c > r.MaxColor {
+				r.MaxColor = c
+			}
+		}
+		for _, u := range g.Adj(v) {
+			if int(u) > v && !isDown(u) && colors[u] == c {
+				if len(r.HardViolations) < capList {
+					r.HardViolations = append(r.HardViolations, Violation{U: int32(v), V: u, Color: c})
+				}
+			}
+		}
+	}
+	return r
+}
+
+// DownSet converts a crashed-node id list (e.g. radio.Result.Down) to
+// the boolean mask CheckSurvivors takes.
+func DownSet(n int, ids []int32) []bool {
+	if len(ids) == 0 {
+		return nil
+	}
+	down := make([]bool, n)
+	for _, v := range ids {
+		down[v] = true
+	}
+	return down
+}

@@ -88,6 +88,12 @@ type Options struct {
 	// deployment time" would.
 	Measured *Measured
 
+	// Faults, when non-nil, injects deterministic faults — link loss,
+	// burst fading, node crashes, jammers, clock skew — into the run
+	// (see FaultConfig). The Outcome then carries a FaultOutcome with
+	// the injected-event counts and the graceful-degradation verdict.
+	Faults *FaultConfig
+
 	// Observer, when non-nil, receives every simulation event (see the
 	// Observer interface). The disabled path costs one nil check per
 	// event and allocates nothing.
@@ -152,6 +158,13 @@ func (o Options) Validate() error {
 	}
 	if _, err := o.wakeup(); err != nil {
 		return err
+	}
+	if o.Faults != nil {
+		// Structural validation only; node ranges are checked against
+		// the graph when the profile is compiled.
+		if err := o.Faults.profile().Validate(0); err != nil {
+			return fmt.Errorf("radiocolor: %w", err)
+		}
 	}
 	if t := o.Trace; t != nil {
 		if t.Path == "" && t.W == nil {

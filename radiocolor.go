@@ -29,6 +29,7 @@ import (
 	"os"
 
 	"radiocolor/internal/core"
+	"radiocolor/internal/fault"
 	"radiocolor/internal/geom"
 	"radiocolor/internal/graph"
 	"radiocolor/internal/obs"
@@ -67,6 +68,9 @@ type Outcome struct {
 	// per-phase timeline, throughput). Nil unless Options.Metrics was
 	// set.
 	Stats *Stats
+	// Faults reports the injected fault events and the
+	// graceful-degradation verdict. Nil unless Options.Faults was set.
+	Faults *FaultOutcome
 
 	g *graph.Graph
 }
@@ -249,6 +253,22 @@ func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, err
 	}
 	collector := &obs.Collector{Metrics: met, Tracer: tracer, Timeline: timeline}
 
+	// Compile the fault profile against the concrete graph. The fault
+	// seed defaults to the run seed so "same options, same outcome"
+	// covers the injected chaos too.
+	var inj *fault.Injector
+	if f := opt.Faults; f != nil {
+		prof := f.profile()
+		if prof.Seed == 0 {
+			prof.Seed = opt.Seed
+		}
+		var ferr error
+		inj, ferr = prof.Compile(g.N())
+		if ferr != nil {
+			return nil, fmt.Errorf("radiocolor: %w", ferr)
+		}
+	}
+
 	nodes, protos := core.Nodes(g.N(), opt.Seed, par, core.Ablation{})
 	if po, ok := opt.Observer.(PhaseObserver); ok {
 		// Fan phase transitions out to both the collector and the
@@ -264,7 +284,7 @@ func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, err
 	} else {
 		core.ObservePhases(nodes, collector)
 	}
-	res, err := radio.RunContext(ctx, radio.Config{
+	cfg := radio.Config{
 		G:         g,
 		Protocols: protos,
 		Wake:      wake,
@@ -273,7 +293,17 @@ func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, err
 		Workers:   opt.Workers,
 		Observer:  radio.Observers(radio.CollectorObserver(collector), adaptObserver(opt.Observer)),
 		Metrics:   met,
-	})
+		Faults:    inj,
+	}
+	var res *radio.Result
+	var err error
+	if inj != nil && inj.HasSkew() {
+		// Clock skew runs through the half-slot engine; the injector
+		// supplies the per-node offsets.
+		res, err = radio.RunUnalignedContext(ctx, cfg, nil)
+	} else {
+		res, err = radio.RunContext(ctx, cfg)
+	}
 	if tracer != nil {
 		if ferr := tracer.Flush(); ferr != nil && err == nil {
 			err = fmt.Errorf("radiocolor: %w", ferr)
@@ -315,6 +345,22 @@ func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, err
 	out.MaxColor = int(rep.MaxColor)
 	if met != nil {
 		out.Stats = buildStats(met, timeline)
+	}
+	if inj != nil {
+		srep := verify.CheckSurvivors(g, colors, verify.DownSet(g.N(), res.Down))
+		fo := &FaultOutcome{
+			Lost: res.Lost, Jammed: res.Jammed,
+			Crashes: res.Crashes, Restarts: res.Restarts,
+			Survivors:        srep.Survivors,
+			SurvivorsColored: srep.SurvivorsColored,
+			Degraded:         len(srep.Degraded),
+			HardViolations:   len(srep.HardViolations),
+			Graceful:         srep.Graceful(),
+		}
+		for _, v := range res.Down {
+			fo.Down = append(fo.Down, int(v))
+		}
+		out.Faults = fo
 	}
 	return out, nil
 }
