@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench fuzz chaos experiments examples serve clean
+.PHONY: all build test short race bench fuzz chaos medium experiments examples serve clean
 
 all: build test
 
@@ -26,11 +26,18 @@ fuzz:
 	$(GO) test -fuzz FuzzReadGraph -fuzztime 30s ./internal/graph/
 	$(GO) test -fuzz FuzzReadDeployment -fuzztime 30s ./internal/topology/
 	$(GO) test -fuzz FuzzParseProfile -fuzztime 30s ./internal/fault/
+	$(GO) test -fuzz FuzzParseSpec -fuzztime 30s ./internal/medium/
 
 # Chaos smoke: fault-injection property tests under the race detector.
 chaos:
-	$(GO) test -race -run 'TestSurvivorsProperlyColoredUnderFaults' ./internal/verify/
+	$(GO) test -race -run 'TestSurvivorsProperlyColoredUnderFaults|TestSINRSurvivorsProperlyColored' ./internal/verify/
 	$(GO) test -race -run 'TestFault' ./internal/radio/ ./internal/fault/
+
+# Reception-model suite: the medium seam, the SINR/multichannel engines,
+# the differential tests against the builtin kernel, and the FP baseline.
+medium:
+	$(GO) test -race ./internal/medium/ ./internal/baseline/fp/
+	$(GO) test -race -run 'TestMedium|TestSINR|TestGraphMedium|TestMultiChannel' ./internal/radio/
 
 # Regenerate every table recorded in EXPERIMENTS.md (several minutes).
 experiments:

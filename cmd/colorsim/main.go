@@ -23,6 +23,7 @@ import (
 	"radiocolor/internal/core"
 	"radiocolor/internal/experiment"
 	"radiocolor/internal/fault"
+	"radiocolor/internal/medium"
 	"radiocolor/internal/obs"
 	"radiocolor/internal/radio"
 	"radiocolor/internal/render"
@@ -49,6 +50,7 @@ func main() {
 		energy   = flag.Bool("energy", false, "print the energy summary (tx=1, listen=0.5 per slot)")
 		benchK   = flag.Bool("bench-kernel", false, "time the CSR kernel against the reference slot loop on this deployment and exit")
 		faults   = flag.String("faults", "", "inject faults, e.g. loss=0.05,burst=0.1/64,crash=3@500:900,jam=100:400,skew=0.25 (seed= defaults to -seed)")
+		mediumF  = flag.String("medium", "", "reception model: graph | sinr,alpha=4,beta=1.5,noise=-90 | multichannel,k=4 (empty = built-in graph rule)")
 		saveFile = flag.String("save", "", "write the generated deployment to this file and exit")
 		loadFile = flag.String("load", "", "load the deployment from this file instead of generating")
 		svgFile  = flag.String("svg", "", "render the colored deployment to this SVG file")
@@ -161,6 +163,35 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	// Reception medium: parse the spec, check it against the deployment
+	// (SINR needs positions, no medium composes with clock skew), and
+	// bind it for the run.
+	var med medium.Instance
+	if spec, serr := medium.ParseSpec(*mediumF); serr != nil {
+		fmt.Fprintln(os.Stderr, "colorsim:", serr)
+		os.Exit(2)
+	} else if spec != nil {
+		if inj.HasSkew() {
+			fmt.Fprintln(os.Stderr, "colorsim: -medium cannot combine with clock-skew faults (the half-slot engine has no medium seam)")
+			os.Exit(2)
+		}
+		if spec.Kind == medium.KindSINR && d.Points == nil {
+			fmt.Fprintln(os.Stderr, "colorsim: a sinr medium needs a geometric topology (node positions)")
+			os.Exit(2)
+		}
+		model, merr := spec.Build()
+		if merr == nil {
+			csr := d.G.CSR()
+			med, merr = model.Bind(medium.Env{
+				N: d.N(), Offsets: csr.Offsets, Edges: csr.Edges,
+				Points: d.Points, Seed: *seed,
+			})
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", merr)
+			os.Exit(2)
+		}
+	}
 	collector := &obs.Collector{Metrics: met, Tracer: tracer, Timeline: timeline}
 	nodes, protos := core.Nodes(d.N(), *seed, par, core.Ablation{})
 	core.ObservePhases(nodes, collector)
@@ -170,6 +201,7 @@ func main() {
 		Observer: radio.CollectorObserver(collector),
 		Metrics:  met,
 		Faults:   inj,
+		Medium:   med,
 	}
 	var res *radio.Result
 	if inj.HasSkew() {
@@ -214,7 +246,14 @@ func main() {
 	fmt.Printf("parameters : α=%.3g β=%.3g γ=%.3g σ=%.3g  (wait=%d, threshold=%d slots)\n",
 		par.Alpha, par.Beta, par.Gamma, par.Sigma, par.WaitSlots(), par.Threshold())
 	fmt.Printf("wakeup     : %s\n", *wakeup)
+	if med != nil {
+		fmt.Printf("medium     : %s\n", *mediumF)
+	}
 	fmt.Printf("radio      : %v\n", res)
+	if res.Drowned > 0 || res.BelowNoise > 0 || res.Captures > 0 && med != nil {
+		fmt.Printf("sinr       : captured=%d drowned=%d below-noise=%d\n",
+			res.Captures, res.Drowned, res.BelowNoise)
+	}
 	fmt.Printf("coloring   : %v\n", report)
 	fmt.Printf("leaders    : %d (color 0)\n", leaders)
 	var srep *verify.SurvivorReport

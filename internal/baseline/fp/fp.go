@@ -1,0 +1,233 @@
+// Package fp implements the simple distributed Δ+1 coloring of Fuchs &
+// Prutkin, "Simple Distributed Δ+1 Coloring in the SINR Model"
+// (arXiv:1502.02426), as a baseline companion to the paper's O(Δ)
+// protocol. The algorithm is the natural random-recolor scheme analyzed
+// directly in the physical (SINR) interference model:
+//
+//  1. on wake-up, pick a uniform random color from the palette
+//     {0, …, Δ};
+//  2. every slot, announce the current color with a constant
+//     transmission probability ~ 1/Δ;
+//  3. on hearing a neighbor announce your own color, yield if the
+//     sender has priority (it already decided, or ties break on id):
+//     re-pick uniformly from the palette minus every color currently
+//     claimed by a known neighbor — at most Δ neighbors, so a free
+//     color always exists;
+//  4. decide irrevocably after a quiet window of conflict-free slots,
+//     and keep announcing so late wakers yield to the decided color.
+//
+// Fuchs & Prutkin show the scheme reaches a proper Δ+1 coloring in
+// O(Δ log n + log² n) slots with high probability under SINR. The
+// interest here is that — unlike the paper's protocol, whose reception
+// guarantees are argued in the graph model — this baseline is designed
+// for cumulative interference, so the cross-model experiment (E25) can
+// compare both algorithms under both media on one deployment.
+//
+// Like every baseline with a timeout-based decision rule, correctness
+// is probabilistic: the quiet window makes an undetected conflict
+// unlikely, not impossible. The SINR property tests bound it
+// empirically across wake-up schedules and fault profiles.
+package fp
+
+import (
+	"radiocolor/internal/radio"
+)
+
+// Params configures the baseline.
+type Params struct {
+	// MaxColor bounds the palette {0, …, MaxColor}; set it to the
+	// (estimated) maximum degree Δ for a Δ+1 coloring.
+	MaxColor int
+	// TxProb is the per-slot announcement probability.
+	TxProb float64
+	// QuietSlots is the conflict-free window before deciding.
+	QuietSlots int64
+}
+
+// DefaultParams returns the parameters the experiments use: palette
+// Δ+1, transmission probability 1/(Δ+1), and a quiet window of
+// Θ(Δ log n) slots — the same order as the algorithm's per-node bound,
+// so a live conflict is heard within the window w.h.p.
+func DefaultParams(n, delta int) Params {
+	if delta < 1 {
+		delta = 1
+	}
+	logn := int64(1)
+	for v := n - 1; v > 0; v >>= 1 {
+		logn++
+	}
+	if logn < 3 {
+		logn = 3
+	}
+	return Params{
+		MaxColor:   delta,
+		TxProb:     1 / float64(delta+1),
+		QuietSlots: 8 * int64(delta+1) * logn,
+	}
+}
+
+// announce is the single message type: "my color is Color (and I am
+// final)".
+type announce struct {
+	From  radio.NodeID
+	Color int32
+	Final bool
+}
+
+// Sender implements radio.Message.
+func (a *announce) Sender() radio.NodeID { return a.From }
+
+// Bits implements radio.Message: an id, a color index bounded by the
+// palette (≤ n), and the final flag — O(log n).
+func (a *announce) Bits(n int) int {
+	if n < 2 {
+		n = 2
+	}
+	b := 0
+	for v := n; v > 0; v >>= 1 {
+		b++
+	}
+	return 2*b + 1
+}
+
+// Node is one participant; it implements radio.Protocol (and
+// radio.Restartable, so crash/restart fault profiles compose).
+type Node struct {
+	id  radio.NodeID
+	rng radio.Rand
+	par Params
+
+	started bool
+	color   int32
+	decided bool
+	quiet   int64
+	// neighbor holds the last color heard from each neighbor — the
+	// "currently claimed by a known neighbor" set the re-pick excludes.
+	neighbor map[radio.NodeID]int32
+	repicks  int64
+}
+
+// New creates a node.
+func New(id radio.NodeID, rng radio.Rand, par Params) *Node {
+	if par.MaxColor < 1 {
+		par.MaxColor = 1
+	}
+	if par.TxProb <= 0 || par.TxProb > 1 {
+		par.TxProb = 1 / float64(par.MaxColor+1)
+	}
+	if par.QuietSlots < 1 {
+		par.QuietSlots = 1
+	}
+	return &Node{id: id, rng: rng, par: par, color: -1}
+}
+
+// Nodes builds one node per vertex with deterministic per-node streams
+// derived from the master seed.
+func Nodes(n int, seed int64, par Params) ([]*Node, []radio.Protocol) {
+	nodes := make([]*Node, n)
+	protos := make([]radio.Protocol, n)
+	for i := range nodes {
+		nodes[i] = New(radio.NodeID(i), radio.NodeRand(seed, radio.NodeID(i)), par)
+		protos[i] = nodes[i]
+	}
+	return nodes, protos
+}
+
+// Start implements radio.Protocol: pick the initial random color.
+func (v *Node) Start(int64) {
+	v.started = true
+	v.neighbor = make(map[radio.NodeID]int32, v.par.MaxColor+1)
+	v.color = int32(v.rng.Intn(v.par.MaxColor + 1))
+	v.quiet = 0
+}
+
+// Send implements radio.Protocol.
+func (v *Node) Send(int64) radio.Message {
+	if !v.decided {
+		v.quiet++
+		if v.quiet >= v.par.QuietSlots {
+			v.decided = true
+		}
+	}
+	if v.rng.Float64() < v.par.TxProb {
+		return &announce{From: v.id, Color: v.color, Final: v.decided}
+	}
+	return nil
+}
+
+// Recv implements radio.Protocol.
+func (v *Node) Recv(_ int64, msg radio.Message) {
+	a, ok := msg.(*announce)
+	if !ok {
+		return
+	}
+	v.neighbor[a.From] = a.Color
+	if a.Color != v.color {
+		return
+	}
+	if v.decided {
+		// Irrevocable; the neighbor hears our final announcements and
+		// yields. Two adjacent finals on one color would be a hard
+		// violation — the quiet window exists to make that unlikely.
+		return
+	}
+	v.quiet = 0
+	if a.Final || a.From > v.id {
+		v.repick()
+	}
+}
+
+// repick draws a new color uniformly from the palette minus the colors
+// currently claimed by known neighbors (including the conflicting one
+// just heard). With ≤ MaxColor neighbors and MaxColor+1 colors a free
+// color always exists; should a caller undersize the palette below the
+// real degree, the draw falls back to the full palette rather than
+// deadlocking.
+func (v *Node) repick() {
+	free := make([]int32, 0, v.par.MaxColor+1)
+	for c := int32(0); c <= int32(v.par.MaxColor); c++ {
+		taken := false
+		for _, nc := range v.neighbor {
+			if nc == c {
+				taken = true
+				break
+			}
+		}
+		if !taken {
+			free = append(free, c)
+		}
+	}
+	if len(free) == 0 {
+		v.color = int32(v.rng.Intn(v.par.MaxColor + 1))
+	} else {
+		v.color = free[v.rng.Intn(len(free))]
+	}
+	v.repicks++
+}
+
+// Done implements radio.Protocol.
+func (v *Node) Done() bool { return v.decided }
+
+// Reset implements radio.Restartable: a restarted node rejoins with no
+// memory, as a fresh wake-up.
+func (v *Node) Reset() {
+	v.started = false
+	v.color = -1
+	v.decided = false
+	v.quiet = 0
+	v.neighbor = nil
+	v.repicks = 0
+}
+
+// Color returns the decided color, or −1 while undecided (an
+// in-progress claim is not a commitment, so survivors-oriented checks
+// treat undecided nodes as uncolored).
+func (v *Node) Color() int32 {
+	if !v.decided {
+		return -1
+	}
+	return v.color
+}
+
+// Repicks returns how many times the node abandoned a claim.
+func (v *Node) Repicks() int64 { return v.repicks }

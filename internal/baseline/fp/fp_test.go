@@ -1,0 +1,99 @@
+package fp
+
+import (
+	"testing"
+
+	"radiocolor/internal/medium"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/topology"
+	"radiocolor/internal/verify"
+)
+
+func colorsOf(nodes []*Node) []int32 {
+	out := make([]int32, len(nodes))
+	for i, v := range nodes {
+		out[i] = v.Color()
+	}
+	return out
+}
+
+// run executes the baseline over d, optionally through a bound medium.
+func run(t *testing.T, d *topology.Deployment, wake []int64, seed int64, med medium.Instance) ([]*Node, *radio.Result) {
+	t.Helper()
+	par := DefaultParams(d.N(), d.G.MaxDegree())
+	nodes, protos := Nodes(d.N(), seed, par)
+	res, err := radio.Run(radio.Config{
+		G: d.G, Protocols: protos, Wake: wake, MaxSlots: 2_000_000, Medium: med,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, res
+}
+
+func TestFPColorsProperlyOnGraphModel(t *testing.T) {
+	// The baseline targets SINR, but under the graph rule it must work
+	// too — reception is strictly cleaner. Require every seed proper and
+	// within the palette: an improper decided coloring here is a logic
+	// bug, not interference bad luck.
+	for seed := int64(0); seed < 6; seed++ {
+		d := topology.RandomUDG(topology.UDGConfig{N: 60, Side: 5, Radius: 1.2, Seed: seed})
+		nodes, res := run(t, d, radio.WakeSynchronous(d.N()), seed+11, nil)
+		if !res.AllDone {
+			t.Fatalf("seed %d: did not terminate in %d slots", seed, res.Slots)
+		}
+		colors := colorsOf(nodes)
+		if rep := verify.Check(d.G, colors); !rep.OK() {
+			t.Errorf("seed %d: improper coloring: %v", seed, rep)
+		}
+		delta := d.G.MaxDegree()
+		for v, c := range colors {
+			if c < 0 || int(c) > delta {
+				t.Fatalf("seed %d: node %d color %d outside palette {0..%d}", seed, v, c, delta)
+			}
+		}
+	}
+}
+
+func TestFPColorsProperlyUnderSINR(t *testing.T) {
+	// The model the algorithm was designed for: matched noise keeps the
+	// decode range at the unit-disk radius, with real cumulative
+	// interference underneath.
+	const radius = 1.2
+	for seed := int64(0); seed < 4; seed++ {
+		d := topology.RandomUDG(topology.UDGConfig{N: 50, Side: 5, Radius: radius, Seed: seed})
+		m := medium.SINR{Alpha: 4, Beta: 1.5,
+			NoiseDBM: medium.MatchedNoiseDBM(0, 1.5, 4, radius*1.05)}
+		inst, err := m.Bind(medium.Env{N: d.N(), Points: d.Points})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes, res := run(t, d, radio.WakeUniform(d.N(), 200, seed), seed+31, inst)
+		if !res.AllDone {
+			t.Fatalf("seed %d: did not terminate in %d slots", seed, res.Slots)
+		}
+		if rep := verify.Check(d.G, colorsOf(nodes)); !rep.OK() {
+			t.Errorf("seed %d: improper coloring under SINR: %v", seed, rep)
+		}
+	}
+}
+
+func TestFPUndecidedIsUncolored(t *testing.T) {
+	v := New(3, radio.NodeRand(1, 3), Params{MaxColor: 4, TxProb: 0.5, QuietSlots: 100})
+	if v.Color() != -1 {
+		t.Errorf("unstarted node Color() = %d, want -1", v.Color())
+	}
+	v.Start(0)
+	if v.Color() != -1 {
+		t.Errorf("undecided node Color() = %d, want -1", v.Color())
+	}
+}
+
+func TestFPRestartable(t *testing.T) {
+	// The fault layer's crash/restart path requires Reset; pin the
+	// interface so a refactor cannot silently drop it.
+	var p radio.Protocol = New(0, radio.NodeRand(1, 0), Params{MaxColor: 2})
+	if _, ok := p.(radio.Restartable); !ok {
+		t.Fatal("fp.Node no longer implements radio.Restartable")
+	}
+}

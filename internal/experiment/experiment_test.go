@@ -79,8 +79,8 @@ func TestTrialSeedDistinct(t *testing.T) {
 }
 
 func TestLookupAndRegistry(t *testing.T) {
-	if len(Registry) != 24 {
-		t.Fatalf("registry has %d entries, want 24", len(Registry))
+	if len(Registry) != 25 {
+		t.Fatalf("registry has %d entries, want 25", len(Registry))
 	}
 	seen := map[string]bool{}
 	for _, e := range Registry {
@@ -117,6 +117,16 @@ func checkTable(t *testing.T, tb *stats.Table, minRows int) {
 func TestE1Smoke(t *testing.T)  { checkTable(t, E1Kappa(quickOpts()), 8) }
 func TestE6Smoke(t *testing.T)  { checkTable(t, E6Locality(quickOpts()), 2) }
 func TestE12Smoke(t *testing.T) { checkTable(t, E12Messages(quickOpts()), 3) }
+
+func TestE25Smoke(t *testing.T) {
+	tb := E25CrossModel(quickOpts())
+	checkTable(t, tb, 3)
+	// On a matched-noise deployment the graph rule must succeed at
+	// small scale; the table's first row carries its correct count.
+	if !strings.Contains(tb.String(), "graph") || !strings.Contains(tb.String(), "sinr") {
+		t.Errorf("missing model rows:\n%s", tb)
+	}
+}
 
 func TestE3SmokeAndShape(t *testing.T) {
 	tb := E3TimeVsDelta(quickOpts())

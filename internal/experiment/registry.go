@@ -43,6 +43,7 @@ var Registry = []Entry{
 	{"E22", "Introduction end-to-end: data collection over the coloring-derived TDMA", E22DataCollection},
 	{"E23", "Sect. 2 stress test: adversarial wake-up schedule search", E23AdversarySearch},
 	{"E24", "Extension: fault injection — loss sweep with crashes, graceful degradation", E24FaultInjection},
+	{"E25", "Extension: reception models — graph rule vs SINR vs multi-channel", E25CrossModel},
 }
 
 // Lookup finds an experiment by id, or nil.

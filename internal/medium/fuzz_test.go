@@ -1,0 +1,41 @@
+package medium
+
+import "testing"
+
+// FuzzParseSpec hardens the medium-spec parser the same way
+// FuzzParseProfile hardens the fault parser: arbitrary input must never
+// panic, and any accepted spec must be valid, build, and survive a
+// String→Parse→String round trip.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("graph")
+	f.Add("sinr,alpha=4,beta=1.5,noise=-90")
+	f.Add("sinr,power=3,noise=-85")
+	f.Add("multichannel,k=4,hopseed=21")
+	f.Add("multichannel,channels=8")
+	f.Add("")
+	f.Add("sinr,alpha=NaN")
+	f.Add("laser,=,==,,")
+	f.Fuzz(func(t *testing.T, in string) {
+		sp, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		if sp == nil {
+			return // blank spec: the built-in default
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("accepted spec fails Validate: %v", err)
+		}
+		if _, err := sp.Build(); err != nil {
+			t.Fatalf("accepted spec fails Build: %v", err)
+		}
+		s := sp.String()
+		sp2, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("String %q of accepted spec does not reparse: %v", s, err)
+		}
+		if s2 := sp2.String(); s2 != s {
+			t.Fatalf("round trip unstable: %q -> %q", s, s2)
+		}
+	})
+}

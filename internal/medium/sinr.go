@@ -1,0 +1,172 @@
+// The SINR (physical) reception model. Where the protocol model of the
+// paper reduces interference to a graph predicate, SINR computes it:
+// every concurrent transmission contributes received power to every
+// listener, attenuated by distance, and a signal decodes iff its power
+// exceeds β times the sum of noise and all other contributions. The
+// model therefore exhibits two behaviors the graph rule cannot: the
+// capture effect (the strongest of several overlapping signals can
+// still decode) and far-field interference (transmitters well outside
+// the communication graph still raise the floor). Fuchs & Prutkin's
+// Δ+1 coloring (arXiv:1502.02426, internal/baseline/fp) is analyzed
+// directly in this model.
+
+package medium
+
+import (
+	"fmt"
+	"math"
+
+	"radiocolor/internal/geom"
+)
+
+// SINR is the physical reception model over geometric positions.
+// Received power follows the standard log-distance path-loss law
+// P·d^−α; listener u decodes transmitter v iff
+//
+//	P·d(u,v)^−α ≥ β · (N + Σ_{w≠v} P·d(u,w)^−α)
+//
+// with the sum over all OTHER concurrent transmitters, however far —
+// cumulative interference is global, not a graph property. A signal is
+// "audible" when its lone received power reaches the noise floor N;
+// capture happens when ≥ 2 audible signals overlap and the strongest
+// still clears the threshold.
+//
+// The zero value is not useful; use DefaultSINR or fill every field.
+type SINR struct {
+	// Alpha is the path-loss exponent (free space 2, practical 3–6).
+	Alpha float64
+	// Beta is the SINR decode threshold (≥ 1 means at most one decode
+	// per listener; the engine additionally requires it).
+	Beta float64
+	// NoiseDBM is the ambient noise floor in dBm.
+	NoiseDBM float64
+	// PowerDBM is the uniform transmission power in dBm.
+	PowerDBM float64
+}
+
+// DefaultSINR returns the conventional parameter set used across the
+// experiments: α=4, β=1.5, noise −90 dBm, power 0 dBm.
+func DefaultSINR() SINR {
+	return SINR{Alpha: 4, Beta: 1.5, NoiseDBM: -90, PowerDBM: 0}
+}
+
+// dbmToMilliwatt converts a dBm level to linear milliwatts.
+func dbmToMilliwatt(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MatchedNoiseDBM returns the noise floor (dBm) at which an isolated
+// transmission at powerDBM decodes exactly up to the given radius:
+// noise = P/(β·radius^α). Matching the floor to a deployment's unit-disk
+// radius makes the SINR decode range coincide with the graph's edge
+// predicate, which is how the cross-model experiment and the property
+// tests keep the topologies comparable.
+func MatchedNoiseDBM(powerDBM, beta, alpha, radius float64) float64 {
+	return powerDBM - 10*(math.Log10(beta)+alpha*math.Log10(radius))
+}
+
+// Name implements Medium.
+func (SINR) Name() string { return "sinr" }
+
+// Bind implements Medium. SINR needs positions: binding against a
+// non-geometric environment fails.
+func (m SINR) Bind(env Env) (Instance, error) {
+	if m.Alpha <= 0 || m.Beta <= 0 {
+		return nil, fmt.Errorf("medium: sinr needs positive alpha and beta (got α=%g, β=%g)", m.Alpha, m.Beta)
+	}
+	if len(env.Points) != env.N {
+		return nil, fmt.Errorf("medium: sinr needs one position per node (%d points for %d nodes); use a geometric topology", len(env.Points), env.N)
+	}
+	return &sinrInstance{
+		par:   m,
+		pts:   env.Points,
+		noise: dbmToMilliwatt(m.NoiseDBM),
+		power: dbmToMilliwatt(m.PowerDBM),
+		acc:   make([]sinrAcc, env.N),
+	}, nil
+}
+
+// sinrAcc is one listener's per-slot accumulator: the running
+// interference sum, the strongest audible signal and its sender, and
+// the number of audible signals (for the capture flag).
+type sinrAcc struct {
+	sum     float64
+	best    float64
+	from    int32
+	audible int32
+}
+
+type sinrInstance struct {
+	par     SINR
+	pts     []geom.Point
+	noise   float64 // linear mW
+	power   float64 // linear mW
+	acc     []sinrAcc
+	touched []int32
+}
+
+// Name implements Instance.
+func (s *sinrInstance) Name() string { return "sinr" }
+
+// N implements Instance.
+func (s *sinrInstance) N() int { return len(s.acc) }
+
+// minDist2 clamps the squared distance so co-located points attenuate
+// as if 1 mm apart instead of dividing by zero.
+const minDist2 = 1e-6
+
+// Resolve implements Instance. The accumulation is O(|tx|·n): every
+// transmitter contributes to every listener, because far-field
+// interference is the point of the model. Sums run in ascending
+// transmitter then ascending listener order and ties on the strongest
+// signal keep the lower-indexed sender, so the result is bit-identical
+// for any engine worker count.
+func (s *sinrInstance) Resolve(slot int64, tx []int32, listening func(int32) bool, dst []Reception) ([]Reception, Stats) {
+	var st Stats
+	alpha, beta := s.par.Alpha, s.par.Beta
+	touched := s.touched[:0]
+	n := int32(len(s.acc))
+	for _, v := range tx {
+		pv := s.pts[v]
+		for u := int32(0); u < n; u++ {
+			if u == v || !listening(u) {
+				continue
+			}
+			d2 := pv.Dist2(s.pts[u])
+			if d2 < minDist2 {
+				d2 = minDist2
+			}
+			gain := s.power * math.Pow(d2, -alpha/2)
+			a := &s.acc[u]
+			if a.sum == 0 {
+				touched = append(touched, u)
+			}
+			a.sum += gain
+			if gain >= s.noise {
+				a.audible++
+				if gain > a.best {
+					a.best = gain
+					a.from = v
+				}
+			}
+		}
+	}
+	for _, u := range touched {
+		a := &s.acc[u]
+		sum, best, audible, from := a.sum, a.best, a.audible, a.from
+		*a = sinrAcc{}
+		if audible == 0 {
+			continue // pure sub-noise interference: the listener hears silence
+		}
+		switch {
+		case best >= beta*(s.noise+(sum-best)):
+			dst = append(dst, Reception{To: u, From: from, Captured: audible >= 2})
+		case best >= beta*s.noise:
+			// Would decode alone; the cumulative interference drowned it.
+			st.Drowned++
+			st.Collisions++
+		default:
+			st.BelowNoise++
+		}
+	}
+	s.touched = touched
+	return dst, st
+}

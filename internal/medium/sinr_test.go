@@ -1,0 +1,194 @@
+package medium
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"radiocolor/internal/geom"
+)
+
+// bindSINR binds m over the given positions or fails the test.
+func bindSINR(t *testing.T, m SINR, pts []geom.Point) Instance {
+	t.Helper()
+	inst, err := m.Bind(Env{N: len(pts), Points: pts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestSINRBindValidation(t *testing.T) {
+	pts := []geom.Point{{X: 0}, {X: 1}}
+	if _, err := (SINR{Alpha: 0, Beta: 1.5}).Bind(Env{N: 2, Points: pts}); err == nil {
+		t.Error("α=0 bound")
+	}
+	if _, err := (SINR{Alpha: 4, Beta: 0}).Bind(Env{N: 2, Points: pts}); err == nil {
+		t.Error("β=0 bound")
+	}
+	if _, err := DefaultSINR().Bind(Env{N: 2}); err == nil {
+		t.Error("sinr bound without positions")
+	}
+	if _, err := DefaultSINR().Bind(Env{N: 3, Points: pts}); err == nil {
+		t.Error("sinr bound with a position count mismatch")
+	}
+}
+
+func TestSINRLoneTransmitterDecodes(t *testing.T) {
+	// One transmitter, one nearby listener: with the defaults a node at
+	// distance 1 receives 0 dBm · 1^−4 = 1 mW, far above −90 dBm noise.
+	pts := []geom.Point{{X: 0}, {X: 1}}
+	inst := bindSINR(t, DefaultSINR(), pts)
+	recs, st := inst.Resolve(0, []int32{0}, allListening, nil)
+	want := []Reception{{To: 1, From: 0}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("receptions = %v, want %v", recs, want)
+	}
+	if st != (Stats{}) {
+		t.Errorf("stats = %+v, want zero", st)
+	}
+}
+
+func TestSINRNoGraphNeeded(t *testing.T) {
+	// SINR ranges come from geometry, not adjacency: the medium must
+	// work with no CSR in the environment at all (the Bind above already
+	// omits it; this pins that a distant listener is simply out of
+	// range, not an error).
+	noise := MatchedNoiseDBM(0, 1.5, 4, 1.0)
+	pts := []geom.Point{{X: 0}, {X: 5}}
+	inst := bindSINR(t, SINR{Alpha: 4, Beta: 1.5, NoiseDBM: noise}, pts)
+	recs, st := inst.Resolve(0, []int32{0}, allListening, nil)
+	if len(recs) != 0 {
+		t.Errorf("listener 5 radii away decoded: %v", recs)
+	}
+	if st.Collisions != 0 || st.Drowned != 0 {
+		t.Errorf("out-of-range listener miscounted: %+v", st)
+	}
+}
+
+func TestSINRMatchedNoiseRadius(t *testing.T) {
+	// MatchedNoiseDBM(r): an isolated transmission decodes at distance
+	// just under r and fails just past it.
+	const r = 1.3
+	noise := MatchedNoiseDBM(0, 1.5, 4, r)
+	pts := []geom.Point{{X: 0}, {X: r * 0.99}, {Y: r * 1.01}}
+	inst := bindSINR(t, SINR{Alpha: 4, Beta: 1.5, NoiseDBM: noise}, pts)
+	recs, _ := inst.Resolve(0, []int32{0}, allListening, nil)
+	if len(recs) != 1 || recs[0].To != 1 {
+		t.Errorf("matched radius wrong: receptions = %v, want exactly node 1", recs)
+	}
+}
+
+func TestSINRCaptureEffect(t *testing.T) {
+	// Listener 0 with a transmitter at distance 1 and another at
+	// distance 4: the near signal is 4^4 = 256× the far one, which
+	// clears β=1.5 easily — a capture (the graph rule would collide).
+	pts := []geom.Point{{}, {X: 1}, {X: -4}}
+	inst := bindSINR(t, DefaultSINR(), pts)
+	recs, st := inst.Resolve(0, []int32{1, 2}, func(u int32) bool { return u == 0 }, nil)
+	want := []Reception{{To: 0, From: 1, Captured: true}}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("receptions = %v, want captured %v", recs, want)
+	}
+	if st.Collisions != 0 {
+		t.Errorf("capture counted as collision: %+v", st)
+	}
+}
+
+func TestSINRDrowned(t *testing.T) {
+	// Two equidistant transmitters: each signal would decode alone, but
+	// neither clears β·(noise + other) at equal strengths — both drowned,
+	// one collision for the listener.
+	pts := []geom.Point{{}, {X: 1}, {X: -1}}
+	inst := bindSINR(t, DefaultSINR(), pts)
+	recs, st := inst.Resolve(0, []int32{1, 2}, func(u int32) bool { return u == 0 }, nil)
+	if len(recs) != 0 {
+		t.Errorf("symmetric collision decoded: %v", recs)
+	}
+	if st.Drowned != 1 || st.Collisions != 1 {
+		t.Errorf("stats = %+v, want one drowned collision", st)
+	}
+}
+
+func TestSINRBelowNoise(t *testing.T) {
+	// A signal audible but too weak for the threshold even alone:
+	// noise matched to radius 1, listener at distance just inside the
+	// audible range but outside the decode range. Audible means
+	// gain ≥ noise; decode needs gain ≥ β·noise — between the two lies
+	// the below-noise band (width β^(1/α) in radius).
+	noise := MatchedNoiseDBM(0, 1.5, 4, 1.0)
+	// decode range: 1.0; audible range: 1.5^(1/4) ≈ 1.106.
+	pts := []geom.Point{{}, {X: 1.05}}
+	inst := bindSINR(t, SINR{Alpha: 4, Beta: 1.5, NoiseDBM: noise}, pts)
+	recs, st := inst.Resolve(0, []int32{1}, allListening, nil)
+	if len(recs) != 0 {
+		t.Errorf("sub-threshold signal decoded: %v", recs)
+	}
+	if st.BelowNoise != 1 || st.Collisions != 0 {
+		t.Errorf("stats = %+v, want one below-noise loss", st)
+	}
+}
+
+func TestSINRFarFieldInterference(t *testing.T) {
+	// The point of the model: transmitters outside any communication
+	// range still sum. 30 border-strength signals of equal power drown a
+	// border-strength link even though each alone is ignorable.
+	noise := MatchedNoiseDBM(0, 1.5, 4, 1.0)
+	pts := []geom.Point{{}, {X: 0.999}}
+	tx := []int32{1}
+	for i := 0; i < 30; i++ {
+		a := float64(i) / 30 * 2 * math.Pi
+		pts = append(pts, geom.Point{X: 3 * math.Cos(a), Y: 3 * math.Sin(a)})
+		tx = append(tx, int32(2+i))
+	}
+	inst := bindSINR(t, SINR{Alpha: 4, Beta: 1.5, NoiseDBM: noise}, pts)
+	recs, st := inst.Resolve(0, tx, func(u int32) bool { return u == 0 }, nil)
+	if len(recs) != 0 {
+		t.Errorf("far-field interference ignored: %v", recs)
+	}
+	if st.Drowned != 1 {
+		t.Errorf("stats = %+v, want the border link drowned", st)
+	}
+}
+
+func TestSINRColocatedPointsClamp(t *testing.T) {
+	// Two nodes at the same position must not divide by zero; the
+	// clamped distance makes the signal enormous, not infinite.
+	pts := []geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}
+	inst := bindSINR(t, DefaultSINR(), pts)
+	recs, _ := inst.Resolve(0, []int32{0}, allListening, nil)
+	if len(recs) != 1 || recs[0] != (Reception{To: 1, From: 0}) {
+		t.Errorf("co-located decode failed: %v", recs)
+	}
+}
+
+func TestSINRTieKeepsLowerID(t *testing.T) {
+	// Exactly equal strongest signals: the lower transmitter id must win
+	// the `best` slot deterministically (neither decodes here — equal
+	// power means drowned — but the invariant shows when β < 1 media or
+	// future models reuse the accumulator; pin it via the decode that a
+	// dominant third signal forces).
+	pts := []geom.Point{{}, {X: 1}, {X: -1}, {X: 0.25}}
+	inst := bindSINR(t, DefaultSINR(), pts)
+	recs, _ := inst.Resolve(0, []int32{1, 2, 3}, func(u int32) bool { return u == 0 }, nil)
+	if len(recs) != 1 || recs[0].From != 3 || !recs[0].Captured {
+		t.Errorf("dominant signal should capture: %v", recs)
+	}
+}
+
+func TestSINRDeterministicAcrossCalls(t *testing.T) {
+	pts := make([]geom.Point, 40)
+	for i := range pts {
+		pts[i] = geom.Point{X: float64(i%8) * 0.7, Y: float64(i/8) * 0.7}
+	}
+	tx := []int32{0, 3, 11, 17, 29, 38}
+	run := func() ([]Reception, Stats) {
+		inst := bindSINR(t, DefaultSINR(), pts)
+		return inst.Resolve(0, tx, allListening, nil)
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if !reflect.DeepEqual(r1, r2) || s1 != s2 {
+		t.Error("sinr resolve not deterministic")
+	}
+}

@@ -1,0 +1,202 @@
+package medium
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Medium kind names, the first token of the compact spec syntax.
+const (
+	KindGraph        = "graph"
+	KindSINR         = "sinr"
+	KindMultiChannel = "multichannel"
+)
+
+// Spec is the parsed, serializable form of a medium selection — the
+// value behind cmd/colorsim's -medium flag, the public
+// radiocolor.MediumConfig, and the colord job "medium" field.
+type Spec struct {
+	// Kind selects the model: "graph", "sinr" or "multichannel".
+	// Empty means "graph".
+	Kind string
+	// Alpha, Beta, NoiseDBM and PowerDBM parameterize the SINR model;
+	// zero values take the DefaultSINR defaults (note 0 dBm noise is
+	// expressed as the default −90; pick any non-zero level otherwise).
+	Alpha, Beta        float64
+	NoiseDBM, PowerDBM float64
+	// Channels and HopSeed parameterize the multichannel model; zero
+	// values mean 2 channels hopping on the run seed.
+	Channels int
+	HopSeed  int64
+}
+
+// ParseSpec parses the compact medium syntax shared by
+// cmd/colorsim -medium, radiocolor.ParseMedium and the serve job API:
+//
+//	spec  := kind (',' key '=' value)*
+//	kind  := "graph" | "sinr" | "multichannel"
+//	keys  (sinr)         : alpha, beta, noise, power   (noise/power in dBm)
+//	keys  (multichannel) : k | channels, hopseed
+//
+// Examples:
+//
+//	graph
+//	sinr,alpha=4,beta=1.5,noise=-90
+//	multichannel,k=4,hopseed=21
+//
+// An empty string parses to nil (the engine's built-in default, which
+// is the graph rule on the fast path).
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	terms := strings.Split(s, ",")
+	kind := strings.TrimSpace(terms[0])
+	if strings.Contains(kind, "=") {
+		return nil, fmt.Errorf("medium: spec %q must start with a kind (graph, sinr, or multichannel)", s)
+	}
+	sp := &Spec{Kind: kind}
+	switch kind {
+	case KindGraph, KindSINR, KindMultiChannel:
+	default:
+		return nil, fmt.Errorf("medium: unknown kind %q (want graph, sinr, or multichannel)", kind)
+	}
+	for _, term := range terms[1:] {
+		term = strings.TrimSpace(term)
+		key, val, ok := strings.Cut(term, "=")
+		if !ok || val == "" {
+			return nil, fmt.Errorf("medium: term %q is not key=value", term)
+		}
+		var err error
+		switch {
+		case kind == KindSINR && key == "alpha":
+			sp.Alpha, err = parseFinite(val)
+		case kind == KindSINR && key == "beta":
+			sp.Beta, err = parseFinite(val)
+		case kind == KindSINR && key == "noise":
+			sp.NoiseDBM, err = parseFinite(val)
+		case kind == KindSINR && key == "power":
+			sp.PowerDBM, err = parseFinite(val)
+		case kind == KindMultiChannel && (key == "k" || key == "channels"):
+			sp.Channels, err = strconv.Atoi(val)
+			if err == nil && sp.Channels < 1 {
+				// An explicit 0 must not silently normalize to the
+				// default channel count.
+				err = fmt.Errorf("%d channels", sp.Channels)
+			}
+		case kind == KindMultiChannel && key == "hopseed":
+			sp.HopSeed, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return nil, fmt.Errorf("medium: kind %q does not take %q", kind, key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("medium: term %q: %w", term, err)
+		}
+	}
+	*sp = sp.Normalized()
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// parseFinite parses a float and rejects NaN/Inf, which would silently
+// poison the power arithmetic.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("value %q is not finite", s)
+	}
+	return v, nil
+}
+
+// Normalized fills the defaults: empty kind is graph, zero SINR
+// parameters take DefaultSINR (a 0 dBm noise floor is expressed as the
+// −90 default), zero Channels means 2.
+func (s Spec) Normalized() Spec {
+	if s.Kind == "" {
+		s.Kind = KindGraph
+	}
+	if s.Kind == KindSINR {
+		def := DefaultSINR()
+		if s.Alpha == 0 {
+			s.Alpha = def.Alpha
+		}
+		if s.Beta == 0 {
+			s.Beta = def.Beta
+		}
+		if s.NoiseDBM == 0 {
+			s.NoiseDBM = def.NoiseDBM
+		}
+	}
+	if s.Kind == KindMultiChannel && s.Channels == 0 {
+		s.Channels = 2
+	}
+	return s
+}
+
+// Validate reports whether the (normalized) spec is well-formed.
+func (s Spec) Validate() error {
+	n := s.Normalized()
+	switch n.Kind {
+	case KindGraph:
+	case KindSINR:
+		if n.Alpha <= 0 || n.Alpha > 10 {
+			return fmt.Errorf("medium: path-loss exponent alpha=%g outside (0, 10]", n.Alpha)
+		}
+		if n.Beta <= 0 {
+			return fmt.Errorf("medium: non-positive SINR threshold beta=%g", n.Beta)
+		}
+	case KindMultiChannel:
+		if n.Channels < 1 || n.Channels > 1<<20 {
+			return fmt.Errorf("medium: %d channels outside [1, 2^20]", n.Channels)
+		}
+	default:
+		return fmt.Errorf("medium: unknown kind %q (want graph, sinr, or multichannel)", n.Kind)
+	}
+	return nil
+}
+
+// Build converts the spec into its Medium.
+func (s Spec) Build() (Medium, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.Normalized()
+	switch n.Kind {
+	case KindSINR:
+		return SINR{Alpha: n.Alpha, Beta: n.Beta, NoiseDBM: n.NoiseDBM, PowerDBM: n.PowerDBM}, nil
+	case KindMultiChannel:
+		return MultiChannel{K: n.Channels, HopSeed: n.HopSeed}, nil
+	default:
+		return GraphThreshold{}, nil
+	}
+}
+
+// String renders the spec back in ParseSpec's syntax;
+// ParseSpec(s.String()) reproduces the normalized spec.
+func (s Spec) String() string {
+	n := s.Normalized()
+	switch n.Kind {
+	case KindSINR:
+		str := fmt.Sprintf("sinr,alpha=%g,beta=%g,noise=%g", n.Alpha, n.Beta, n.NoiseDBM)
+		if n.PowerDBM != 0 {
+			str += fmt.Sprintf(",power=%g", n.PowerDBM)
+		}
+		return str
+	case KindMultiChannel:
+		str := fmt.Sprintf("multichannel,k=%d", n.Channels)
+		if n.HopSeed != 0 {
+			str += fmt.Sprintf(",hopseed=%d", n.HopSeed)
+		}
+		return str
+	default:
+		return KindGraph
+	}
+}

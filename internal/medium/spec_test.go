@@ -1,0 +1,136 @@
+package medium
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecEmpty(t *testing.T) {
+	for _, s := range []string{"", "  "} {
+		sp, err := ParseSpec(s)
+		if err != nil || sp != nil {
+			t.Errorf("ParseSpec(%q) = %v, %v; want nil, nil", s, sp, err)
+		}
+	}
+}
+
+func TestParseSpecKinds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"graph", Spec{Kind: KindGraph}},
+		{"sinr", Spec{Kind: KindSINR, Alpha: 4, Beta: 1.5, NoiseDBM: -90}},
+		{"sinr,alpha=3,beta=2,noise=-85,power=5",
+			Spec{Kind: KindSINR, Alpha: 3, Beta: 2, NoiseDBM: -85, PowerDBM: 5}},
+		{"multichannel", Spec{Kind: KindMultiChannel, Channels: 2}},
+		{"multichannel,k=4,hopseed=21", Spec{Kind: KindMultiChannel, Channels: 4, HopSeed: 21}},
+		{"multichannel,channels=8", Spec{Kind: KindMultiChannel, Channels: 8}},
+		{" sinr , alpha=2.5 ", Spec{Kind: KindSINR, Alpha: 2.5, Beta: 1.5, NoiseDBM: -90}},
+	}
+	for _, c := range cases {
+		sp, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.in, err)
+			continue
+		}
+		if *sp != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, *sp, c.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"laser",                  // unknown kind
+		"alpha=4",                // key before kind
+		"sinr,alpha",             // not key=value
+		"sinr,alpha=",            // empty value
+		"sinr,k=4",               // multichannel key on sinr
+		"multichannel,alpha=4",   // sinr key on multichannel
+		"graph,alpha=4",          // graph takes no keys
+		"sinr,alpha=NaN",         // non-finite
+		"sinr,alpha=+Inf",        // non-finite
+		"sinr,alpha=bogus",       // not a float
+		"sinr,alpha=-1",          // fails validation
+		"sinr,alpha=11",          // fails validation
+		"sinr,beta=-2",           // fails validation
+		"multichannel,k=0",       // fails validation
+		"multichannel,k=2000000", // fails validation
+		"multichannel,k=x",       // not an int
+	}
+	for _, in := range cases {
+		if sp, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted: %+v", in, sp)
+		}
+	}
+}
+
+func TestSpecStringRoundtrip(t *testing.T) {
+	for _, in := range []string{
+		"graph",
+		"sinr",
+		"sinr,alpha=3,beta=2,noise=-85,power=5",
+		"multichannel,k=4,hopseed=21",
+		"multichannel,k=2",
+	} {
+		sp, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		again, err := ParseSpec(sp.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(String(%q)) = ParseSpec(%q): %v", in, sp.String(), err)
+		}
+		if *again != *sp {
+			t.Errorf("roundtrip drift: %q → %+v → %q → %+v", in, *sp, sp.String(), *again)
+		}
+	}
+}
+
+func TestSpecBuild(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+	}{
+		{"graph", "graph"},
+		{"sinr", "sinr"},
+		{"multichannel,k=3", "multichannel"},
+	}
+	for _, c := range cases {
+		sp, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sp.Build()
+		if err != nil {
+			t.Fatalf("Build(%q): %v", c.in, err)
+		}
+		if m.Name() != c.name {
+			t.Errorf("Build(%q).Name() = %q, want %q", c.in, m.Name(), c.name)
+		}
+	}
+	if _, err := (Spec{Kind: "laser"}).Build(); err == nil {
+		t.Error("Build accepted an unknown kind")
+	}
+}
+
+func TestSpecZeroValueIsGraph(t *testing.T) {
+	var s Spec
+	if s.Normalized().Kind != KindGraph {
+		t.Error("zero Spec should normalize to the graph rule")
+	}
+	if s.String() != "graph" {
+		t.Errorf("zero Spec String() = %q", s.String())
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("zero Spec invalid: %v", err)
+	}
+}
+
+func TestParseSpecErrorMentionsKinds(t *testing.T) {
+	_, err := ParseSpec("laser")
+	if err == nil || !strings.Contains(err.Error(), "multichannel") {
+		t.Errorf("unknown-kind error should list the valid kinds, got: %v", err)
+	}
+}

@@ -33,6 +33,8 @@ type Metrics struct {
 	jammed        atomic.Int64
 	crashes       atomic.Int64
 	restarts      atomic.Int64
+	drowned       atomic.Int64
+	belowNoise    atomic.Int64
 	phase         [NumPhases]atomic.Int64
 
 	// startNanos is the wall-clock origin for rate computation, set on
@@ -59,6 +61,19 @@ func (m *Metrics) AddCapture() { m.captures.Add(1) }
 
 // AddDrop counts a delivery suppressed by injected message loss.
 func (m *Metrics) AddDrop() { m.drops.Add(1) }
+
+// AddCollisions counts n collisions at once; the medium path reports a
+// slot's collisions in aggregate rather than per listener.
+func (m *Metrics) AddCollisions(n int64) { m.collisions.Add(n) }
+
+// AddDrowned counts n receptions a SINR medium lost to cumulative
+// interference (would have decoded alone; a subset of collisions).
+func (m *Metrics) AddDrowned(n int64) { m.drowned.Add(n) }
+
+// AddBelowNoise counts n receptions a SINR medium lost to the noise
+// floor alone (the strongest signal was audible but under the
+// threshold even without interference).
+func (m *Metrics) AddBelowNoise(n int64) { m.belowNoise.Add(n) }
 
 // AddLost counts a reception suppressed by the fault layer's link
 // loss (i.i.d. or burst).
@@ -119,6 +134,10 @@ type Snapshot struct {
 	// Lost, Jammed, Crashes and Restarts count injected fault events
 	// (zero unless a run has a fault profile).
 	Lost, Jammed, Crashes, Restarts int64
+	// Drowned and BelowNoise count SINR-medium reception losses:
+	// interference-buried and under-the-noise-floor respectively (zero
+	// unless a run uses a SINR medium).
+	Drowned, BelowNoise int64
 	// PhaseNodes is the occupancy gauge: how many nodes currently sit in
 	// each phase.
 	PhaseNodes [NumPhases]int64
@@ -142,6 +161,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Jammed:        m.jammed.Load(),
 		Crashes:       m.crashes.Load(),
 		Restarts:      m.restarts.Load(),
+		Drowned:       m.drowned.Load(),
+		BelowNoise:    m.belowNoise.Load(),
 		At:            time.Now(),
 	}
 	if ns := m.startNanos.Load(); ns != 0 {
@@ -194,12 +215,14 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Jammed -= prev.Jammed
 	d.Crashes -= prev.Crashes
 	d.Restarts -= prev.Restarts
+	d.Drowned -= prev.Drowned
+	d.BelowNoise -= prev.BelowNoise
 	d.Start = prev.At
 	return d
 }
 
 // Export calls fn once per metric in a fixed, documented order: the
-// twelve monotone counters first (Counter true), then the per-phase
+// fourteen monotone counters first (Counter true), then the per-phase
 // occupancy gauges (Counter false). It is the deterministic export hook
 // text encoders build on — the Prometheus exposition of internal/serve
 // and the Map/String renderings here all derive from it, so the
@@ -217,6 +240,8 @@ func (s Snapshot) Export(fn func(name string, value int64, counter bool)) {
 	fn("jammed", s.Jammed, true)
 	fn("crashes", s.Crashes, true)
 	fn("restarts", s.Restarts, true)
+	fn("drowned", s.Drowned, true)
+	fn("below_noise", s.BelowNoise, true)
 	for i, v := range s.PhaseNodes {
 		fn("phase_"+Phase(i).String(), v, false)
 	}
@@ -225,7 +250,7 @@ func (s Snapshot) Export(fn func(name string, value int64, counter bool)) {
 // Map renders the registry as name → value, the stable export format
 // (names are the JSONL/summary vocabulary).
 func (s Snapshot) Map() map[string]int64 {
-	m := make(map[string]int64, 12+NumPhases)
+	m := make(map[string]int64, 14+NumPhases)
 	s.Export(func(name string, v int64, _ bool) { m[name] = v })
 	return m
 }

@@ -48,6 +48,32 @@ func TestMetricsCountersAndRates(t *testing.T) {
 	}
 }
 
+func TestMetricsSINRCounters(t *testing.T) {
+	// The SINR medium's loss vocabulary: bulk adders, snapshot deltas,
+	// and the Export names the Prometheus exposition derives from.
+	m := NewMetrics()
+	m.AddCollisions(4)
+	m.AddDrowned(3)
+	m.AddBelowNoise(2)
+	s := m.Snapshot()
+	if s.Collisions != 4 || s.Drowned != 3 || s.BelowNoise != 2 {
+		t.Fatalf("bulk counters wrong: %+v", s)
+	}
+	m.AddDrowned(1)
+	if d := m.Snapshot().Sub(s); d.Drowned != 1 || d.BelowNoise != 0 {
+		t.Errorf("delta wrong: %+v", d)
+	}
+	mp := m.Snapshot().Map()
+	if mp["drowned"] != 4 || mp["below_noise"] != 2 {
+		t.Errorf("export vocabulary missing sinr counters: %v", mp)
+	}
+	counter := map[string]bool{}
+	m.Snapshot().Export(func(name string, _ int64, c bool) { counter[name] = c })
+	if !counter["drowned"] || !counter["below_noise"] {
+		t.Error("sinr losses must export as monotone counters")
+	}
+}
+
 func TestMetricsConcurrent(t *testing.T) {
 	m := NewMetrics()
 	var wg sync.WaitGroup

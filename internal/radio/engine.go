@@ -9,6 +9,7 @@ import (
 
 	"radiocolor/internal/fault"
 	"radiocolor/internal/graph"
+	"radiocolor/internal/medium"
 	"radiocolor/internal/obs"
 )
 
@@ -62,6 +63,18 @@ type Config struct {
 	// RunUnaligned, and profiles that schedule restarts require the
 	// victims' protocols to implement Restartable.
 	Faults *fault.Injector
+	// Medium, when non-nil, replaces the built-in reception rule (a
+	// listener decodes iff exactly one graph neighbor transmits) with a
+	// pluggable physical model — SINR with cumulative interference,
+	// multi-channel hopping, or any other medium.Instance bound for
+	// exactly G.N() nodes (see internal/medium). nil keeps the seam
+	// entirely off the hot path: one check per slot, output bit-identical
+	// to the pre-seam kernel. On the medium path CaptureProb is ignored
+	// (capture is the medium's own semantics), per-listener OnCollision
+	// events are not emitted (collisions are counted in aggregate), and
+	// fault suppression (jam, loss) applies per reception after the
+	// medium resolves, exactly as on the built-in path.
+	Medium medium.Instance
 	// Workers > 1 runs the per-slot Send, resolve and deliver phases on
 	// that many goroutines. Results are bit-identical to the sequential
 	// engine: every node owns an independent random stream, the resolve
@@ -130,6 +143,14 @@ type Engine struct {
 
 	// Fault-injection state; nil unless Config.Faults is set (fault.go).
 	fs *faultState
+
+	// Reception-medium state; nil unless Config.Medium is set
+	// (medium.go). listenFn is the standing listener predicate handed to
+	// the medium (built once, so the slot loop allocates no closures) and
+	// recs the reusable reception buffer.
+	med      medium.Instance
+	listenFn func(int32) bool
+	recs     []medium.Reception
 }
 
 // recvSlot is one receiver's per-slot resolve accumulator. The
@@ -198,6 +219,17 @@ func newEngine(cfg Config, allowSkew bool) (*Engine, error) {
 			return nil, err
 		}
 		e.fs = fs
+	}
+	if cfg.Medium != nil {
+		if cfg.Medium.N() != n {
+			return nil, fmt.Errorf("radio: medium %q bound for %d nodes, graph has %d", cfg.Medium.Name(), cfg.Medium.N(), n)
+		}
+		e.med = cfg.Medium
+		// The between-slot rs invariant makes the listener predicate one
+		// load: count == 0 exactly for awake, non-transmitting,
+		// non-crashed nodes (asleep and crashed hold asleepCount,
+		// transmitters txMarker during the slot).
+		e.listenFn = func(i int32) bool { return e.rs[i].count == 0 }
 	}
 	return e, nil
 }
@@ -343,9 +375,11 @@ func (e *Engine) Step() bool {
 	}
 	// A traced run flushes every slot so OnTransmit events keep the
 	// reference's ascending-id order; so does the parallel path, whose
-	// workers partition one list.
+	// workers partition one list, and the medium path, which needs the
+	// transmitter list in ascending order so float accumulation (SINR)
+	// is bit-identical at any worker count.
 	if len(e.pending) > 0 &&
-		(e.cfg.Workers > 1 || ob != nil ||
+		(e.cfg.Workers > 1 || ob != nil || e.med != nil ||
 			len(e.pending) >= 256 && len(e.pending)*8 >= len(e.awakeList)) {
 		sortInt32s(e.pending)
 		e.awakeList = mergeSorted(e.awakeList, e.pending)
@@ -386,8 +420,12 @@ func (e *Engine) Step() bool {
 	}
 
 	// Resolve phase: accumulate per-receiver transmitting-neighbor counts
-	// and the lowest-indexed transmitter into the per-slot scratch.
-	if e.cfg.Workers > 1 && len(e.tx) > 1 {
+	// and the lowest-indexed transmitter into the per-slot scratch. A
+	// pluggable medium replaces both this and the deliver phase below;
+	// the cleanup after them is shared.
+	if e.med != nil {
+		e.mediumResolveDeliver(t, ob, met)
+	} else if e.cfg.Workers > 1 && len(e.tx) > 1 {
 		e.parallelResolve()
 	} else {
 		for _, v := range e.tx {

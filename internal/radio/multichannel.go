@@ -1,199 +1,45 @@
 package radio
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
 
-// Multiple communication channels. Sect. 2: "in contrast to previous
-// work on the unstructured radio network model [13, 14], we do not make
-// the simplifying assumption of having several independent communication
-// channels. In our model, there is only one communication channel."
-//
-// This engine restores the multi-channel assumption so the difference
-// can be measured: the spectrum is divided into k independent channels
-// and every node hops uniformly at random between them each slot (a
-// standard oblivious strategy that needs no coordination — exactly what
-// an uninitialized network can afford). A transmission is received by a
-// listening neighbor iff both happen to sit on the same channel and no
-// other audible transmission occupies it. Protocols run unchanged; the
-// hopping sequence is part of the environment, derived deterministically
-// from (HopSeed, node, slot).
-//
-// Experiment E21 compares k ∈ {1, 2, 4, 8}: more channels thin the
-// contention (collisions drop roughly k²-fold) but also thin the
-// useful receptions (sender and receiver must coincide, probability
-// 1/k), so the protocol — whose pace is set by counters, not by
-// individual deliveries — slows roughly linearly in k. The paper's
-// single-channel choice is thus not just less restrictive but also the
-// fastest operating point for this algorithm.
+	"radiocolor/internal/medium"
+)
 
-// RunMultiChannel executes cfg over `channels` independent channels with
-// per-slot uniform random hopping. channels must be ≥ 1; channels == 1
-// reproduces Run exactly. The parallel Workers option is honored for the
-// send phase.
+// RunMultiChannel executes cfg over `channels` independent channels
+// with per-slot uniform random hopping (see medium.MultiChannel for the
+// model and what experiment E21 measures with it). channels must be
+// ≥ 1; channels == 1 reproduces Run exactly. The run goes through the
+// standard kernel with a medium.MultiChannel instance bound on the
+// reception seam, so — unlike the bespoke engine this helper once
+// carried — Workers parallelism, fault profiles (Config.Faults) and the
+// metrics/observer seams all compose with the channel hopping. Skew
+// profiles are still rejected: they need RunUnaligned, which has no
+// medium seam.
 func RunMultiChannel(cfg Config, channels int, hopSeed int64) (*Result, error) {
 	if channels < 1 {
 		return nil, fmt.Errorf("radio: %d channels", channels)
 	}
-	e, err := NewEngine(cfg)
+	if cfg.Medium != nil {
+		return nil, errors.New("radio: RunMultiChannel over a Config that already has a Medium")
+	}
+	if channels == 1 {
+		return Run(cfg)
+	}
+	if cfg.G == nil {
+		return nil, errors.New("radio: nil graph")
+	}
+	csr := cfg.G.CSR()
+	inst, err := medium.MultiChannel{K: channels, HopSeed: hopSeed}.Bind(medium.Env{
+		N:       cfg.G.N(),
+		Offsets: csr.Offsets,
+		Edges:   csr.Edges,
+		Seed:    hopSeed,
+	})
 	if err != nil {
 		return nil, err
 	}
-	if channels == 1 {
-		for e.Step() {
-		}
-		return e.Result(), nil
-	}
-	m := &multiChannel{e: e, k: channels, seed: hopSeed}
-	m.chanOf = make([]int32, e.n)
-	m.count = make([]int32, e.n)
-	m.first = make([]Message, e.n)
-	for m.step() {
-	}
-	return e.Result(), nil
-}
-
-type multiChannel struct {
-	e    *Engine
-	k    int
-	seed int64
-
-	chanOf  []int32 // this slot's channel per node
-	count   []int32 // transmitting neighbors on the listener's channel
-	first   []Message
-	touched []int32 // per-slot scratch, reused across slots
-}
-
-// hop returns node i's channel in slot t: a pure function so the
-// schedule is reproducible and independent of execution order.
-func (m *multiChannel) hop(t int64, i int32) int32 {
-	h := splitmix64(splitmix64(uint64(m.seed)^uint64(t)) ^ (uint64(i) * 0x9E3779B97F4A7C15))
-	return int32(h % uint64(m.k))
-}
-
-func (m *multiChannel) step() bool {
-	e := m.e
-	t := e.slot
-	ob := e.cfg.Observer
-	met := e.cfg.Metrics
-
-	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
-		id := e.order[e.next]
-		e.awake[id] = true
-		if ob != nil {
-			ob.OnWake(t, NodeID(id))
-		}
-		if met != nil {
-			met.AddWakeup()
-		}
-		e.cfg.Protocols[id].Start(t)
-		e.next++
-	}
-	for i := 0; i < e.n; i++ {
-		if e.awake[i] {
-			m.chanOf[i] = m.hop(t, int32(i))
-		}
-	}
-
-	// Send phase (sequential: per-slot cost is dominated by Send calls
-	// anyway, and this engine is used for one experiment).
-	for i := 0; i < e.n; i++ {
-		if e.awake[i] {
-			e.out[i] = e.cfg.Protocols[i].Send(t)
-		}
-	}
-
-	// Resolve per channel: count transmitting neighbors that share the
-	// listener's channel.
-	touched := m.touched[:0]
-	for i := 0; i < e.n; i++ {
-		msg := e.out[i]
-		if msg == nil {
-			continue
-		}
-		e.res.Transmissions++
-		e.res.PerNodeTx[i]++
-		if bits := msg.Bits(e.cfg.NEstimate); bits > e.res.MaxMessageBits {
-			e.res.MaxMessageBits = bits
-		}
-		if ob != nil {
-			ob.OnTransmit(t, NodeID(i), msg)
-		}
-		if met != nil {
-			met.AddTransmission()
-		}
-		for _, u := range e.edges[e.offsets[i]:e.offsets[i+1]] {
-			if !e.awake[u] || m.chanOf[u] != m.chanOf[i] {
-				continue
-			}
-			if m.count[u] == 0 {
-				touched = append(touched, u)
-				m.first[u] = msg
-			}
-			m.count[u]++
-		}
-	}
-	for _, u := range touched {
-		count := m.count[u]
-		m.count[u] = 0
-		msg := m.first[u]
-		m.first[u] = nil
-		if e.out[u] != nil {
-			continue // transmitting (on its own channel): deaf
-		}
-		if count >= 2 {
-			e.res.Collisions++
-			if ob != nil {
-				ob.OnCollision(t, NodeID(u), int(count))
-			}
-			if met != nil {
-				met.AddCollision()
-			}
-			continue
-		}
-		if e.dropped(t, u) {
-			if met != nil {
-				met.AddDrop()
-			}
-			continue
-		}
-		e.res.Deliveries++
-		if ob != nil {
-			ob.OnDeliver(t, NodeID(u), msg)
-		}
-		if met != nil {
-			met.AddDelivery()
-		}
-		e.cfg.Protocols[u].Recv(t, msg)
-	}
-	m.touched = touched
-	for i := 0; i < e.n; i++ {
-		e.out[i] = nil
-	}
-
-	for i := 0; i < e.n; i++ {
-		if !e.decided[i] && e.awake[i] && e.cfg.Protocols[i].Done() {
-			e.decided[i] = true
-			e.numDone++
-			e.res.DecideSlot[i] = t
-			if ob != nil {
-				ob.OnDecide(t, NodeID(i))
-			}
-			if met != nil {
-				met.AddDecision()
-			}
-		}
-	}
-	if ob != nil {
-		ob.OnSlot(t)
-	}
-	if met != nil {
-		met.AddSlot()
-	}
-	e.slot++
-	simulatedSlots.Add(1)
-	e.res.Slots = e.slot
-	if e.numDone == e.n {
-		e.res.AllDone = true
-		return false
-	}
-	return e.slot < e.cfg.MaxSlots
+	cfg.Medium = inst
+	return Run(cfg)
 }

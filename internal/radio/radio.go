@@ -148,9 +148,17 @@ type Result struct {
 	// neighbors.
 	Transmissions, Deliveries, Collisions int64
 	// Captures counts deliveries that survived a two-way collision via
-	// the capture effect (0 unless Config.CaptureProb > 0; included in
-	// Deliveries).
+	// the capture effect: the built-in rule's probabilistic coin (0
+	// unless Config.CaptureProb > 0) or, under a SINR medium, the
+	// strongest of ≥ 2 audible signals clearing the threshold. Included
+	// in Deliveries.
 	Captures int64
+	// Drowned and BelowNoise are SINR-medium counters (zero otherwise):
+	// Drowned counts listeners whose strongest signal would have decoded
+	// alone but was buried by cumulative interference (a subset of
+	// Collisions), BelowNoise listeners whose strongest signal cleared
+	// the noise floor but not the SINR threshold even in silence.
+	Drowned, BelowNoise int64
 	// PerNodeTx[i] counts node i's transmissions (an energy proxy).
 	PerNodeTx []int64
 	// MaxMessageBits is the largest message payload observed.

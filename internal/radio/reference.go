@@ -47,6 +47,11 @@ func NewReferenceEngine(cfg Config) (*ReferenceEngine, error) {
 		// model; fault runs are pinned against the CSR kernel instead.
 		return nil, errors.New("radio: the reference engine does not support fault injection")
 	}
+	if cfg.Medium != nil {
+		// Likewise the spec of the paper's reception rule only; medium
+		// runs are pinned against the CSR kernel's graph medium.
+		return nil, errors.New("radio: the reference engine does not support a pluggable medium")
+	}
 	n := cfg.G.N()
 	e := &ReferenceEngine{
 		cfg:       cfg,

@@ -2,6 +2,7 @@ package radio
 
 import (
 	"context"
+	"errors"
 	"fmt"
 )
 
@@ -33,6 +34,12 @@ func RunUnaligned(cfg Config, offsets []int8) (*Result, error) {
 // skew supplies the offsets (pass nil to use them), and its loss,
 // jam, and crash faults apply here exactly as in the aligned kernel.
 func RunUnalignedContext(ctx context.Context, cfg Config, offsets []int8) (*Result, error) {
+	if cfg.Medium != nil {
+		// The half-slot resolver models overlap between offset slots; a
+		// pluggable medium has no notion of half-slots, so the
+		// combination is rejected rather than silently ignored.
+		return nil, errors.New("radio: RunUnaligned does not support a pluggable medium")
+	}
 	e, err := newEngine(cfg, true) // reuse validation and result bookkeeping
 	if err != nil {
 		return nil, err

@@ -68,6 +68,12 @@ type JobRequest struct {
 	// syntax (e.g. "loss=0.05,crash=3@500:900"). The outcome then
 	// carries the fault counters and the graceful-degradation verdict.
 	Faults string `json:"faults,omitempty"`
+	// Medium selects the reception model, in radiocolor.ParseMedium
+	// syntax (e.g. "sinr,alpha=4,beta=1.5,noise=-90" or
+	// "multichannel,k=4"). A "sinr" medium needs node positions, so it
+	// requires the points input — topology and adjacency jobs flatten
+	// to an adjacency list before the run.
+	Medium string `json:"medium,omitempty"`
 	// TimeoutMS bounds the job's wall-clock execution; a job that
 	// exceeds it finishes in state "timed_out". 0 falls back to the
 	// server's Config.JobTimeout (which may be unlimited).
@@ -213,6 +219,16 @@ func (r *JobRequest) validate() (radiocolor.Options, error) {
 			return opt, err
 		}
 		opt.Faults = fc
+	}
+	if r.Medium != "" {
+		mc, err := radiocolor.ParseMedium(r.Medium)
+		if err != nil {
+			return opt, err
+		}
+		if mc != nil && mc.Kind == "sinr" && r.Points == nil {
+			return opt, errors.New("serve: a sinr medium needs node positions; submit the points input")
+		}
+		opt.Medium = mc
 	}
 	if err := opt.Validate(); err != nil {
 		return opt, err

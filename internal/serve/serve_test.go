@@ -156,6 +156,12 @@ func TestJobRequestValidate(t *testing.T) {
 		{"bad wakeup", JobRequest{Adjacency: [][]int{{1}, {0}}, Wakeup: "nope"}, false},
 		{"good wakeup", JobRequest{Adjacency: [][]int{{1}, {0}}, Wakeup: "bursty"}, true},
 		{"bad options", JobRequest{Adjacency: [][]int{{1}, {0}}, ParamScale: -1}, false},
+		{"bad medium", JobRequest{Adjacency: [][]int{{1}, {0}}, Medium: "laser"}, false},
+		{"sinr on adjacency", JobRequest{Adjacency: [][]int{{1}, {0}}, Medium: "sinr"}, false},
+		{"sinr on topology", JobRequest{Topology: &TopologySpec{Kind: "udg", N: 8}, Medium: "sinr"}, false},
+		{"sinr on points", JobRequest{Points: [][2]float64{{0, 0}, {0.5, 0}}, Radius: 1, Medium: "sinr,alpha=3"}, true},
+		{"multichannel on adjacency", JobRequest{Adjacency: [][]int{{1}, {0}}, Medium: "multichannel,k=4"}, true},
+		{"medium plus skew", JobRequest{Adjacency: [][]int{{1}, {0}}, Medium: "multichannel,k=2", Faults: "skew=0.5"}, false},
 	}
 	for _, c := range cases {
 		opt, err := c.req.validate()

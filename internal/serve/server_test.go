@@ -868,3 +868,46 @@ func TestFaultsJob(t *testing.T) {
 		t.Fatalf("negative timeout: %d, want 400", code)
 	}
 }
+
+func TestMediumJob(t *testing.T) {
+	// A points job under the SINR medium runs end to end and matches the
+	// direct library call; a sinr request without positions is rejected
+	// at submission.
+	_, ts := newTestServer(t, Config{Workers: 1})
+	pts := make([][2]float64, 9)
+	for i := range pts {
+		pts[i] = [2]float64{float64(i % 3), float64(i / 3)}
+	}
+	const spec = "sinr,alpha=4,beta=1.5,noise=-12"
+	_, st := submit(t, ts, JobRequest{Points: pts, Radius: 1.1, Seed: 4, Medium: spec})
+	fin := waitTerminal(t, ts, st.ID)
+	if fin.State != StateDone || fin.Outcome == nil {
+		t.Fatalf("sinr job: state = %s (err %q)", fin.State, fin.Error)
+	}
+	mc, err := radiocolor.ParseMedium(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := radiocolor.ColorUnitDisk(pts, 1.1, radiocolor.Options{Seed: 4, Medium: mc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.Colors, fin.Outcome.Colors) {
+		t.Fatalf("sinr job colors differ from direct call: %v vs %v", direct.Colors, fin.Outcome.Colors)
+	}
+
+	post := func(body string) int {
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"adjacency":[[1],[0]],"medium":"sinr"}`); code != http.StatusBadRequest {
+		t.Fatalf("sinr without points: %d, want 400", code)
+	}
+	if code := post(`{"adjacency":[[1],[0]],"medium":"laser"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown medium: %d, want 400", code)
+	}
+}

@@ -94,6 +94,15 @@ type Options struct {
 	// the injected-event counts and the graceful-degradation verdict.
 	Faults *FaultConfig
 
+	// Medium, when non-nil, swaps the reception model — SINR with
+	// cumulative interference, multi-channel hopping — in place of the
+	// paper's exactly-one-transmitter rule (see MediumConfig). nil keeps
+	// the engine's built-in fast path, bit-identical to earlier
+	// releases. A "sinr" medium needs node positions, so it works only
+	// through the geometric entry points (ColorUnitDisk and friends),
+	// and no medium combines with clock-skew fault profiles.
+	Medium *MediumConfig
+
 	// Observer, when non-nil, receives every simulation event (see the
 	// Observer interface). The disabled path costs one nil check per
 	// event and allocates nothing.
@@ -164,6 +173,14 @@ func (o Options) Validate() error {
 		// the graph when the profile is compiled.
 		if err := o.Faults.profile().Validate(0); err != nil {
 			return fmt.Errorf("radiocolor: %w", err)
+		}
+	}
+	if m := o.Medium; m != nil {
+		if err := m.spec().Validate(); err != nil {
+			return fmt.Errorf("radiocolor: %w", err)
+		}
+		if o.Faults != nil && o.Faults.SkewProb > 0 {
+			return errors.New("radiocolor: a Medium cannot combine with clock-skew faults (the half-slot engine has no medium seam)")
 		}
 	}
 	if t := o.Trace; t != nil {

@@ -32,6 +32,7 @@ import (
 	"radiocolor/internal/fault"
 	"radiocolor/internal/geom"
 	"radiocolor/internal/graph"
+	"radiocolor/internal/medium"
 	"radiocolor/internal/obs"
 	"radiocolor/internal/radio"
 	"radiocolor/internal/sched"
@@ -152,7 +153,7 @@ func ColorGraphContext(ctx context.Context, adj [][]int, opt Options) (*Outcome,
 			b.AddEdge(v, u)
 		}
 	}
-	return colorGraph(ctx, b.Build(), opt)
+	return colorGraph(ctx, b.Build(), nil, opt)
 }
 
 // ColorUnitDisk places the given points in the plane, connects pairs
@@ -180,10 +181,13 @@ func ColorUnitDiskContext(ctx context.Context, points [][2]float64, radius float
 			}
 		}
 	}
-	return colorGraph(ctx, b.Build(), opt)
+	return colorGraph(ctx, b.Build(), pts, opt)
 }
 
-func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, error) {
+// colorGraph runs the protocol on the built graph. pts carries the
+// nodes' positions when the caller came through a geometric entry point
+// (nil otherwise); geometric media (SINR) require them.
+func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Options) (*Outcome, error) {
 	// Validation precedes the graph parameter measurement below: Kappa
 	// alone can burn its full search budget before a typo'd option
 	// would surface.
@@ -269,6 +273,33 @@ func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, err
 		}
 	}
 
+	// Bind the reception medium (if any) against the concrete graph and
+	// placement. Validate() already rejected the medium+skew combination
+	// and malformed parameters; what is left is the environment check —
+	// SINR without positions fails here with a directed error.
+	var med medium.Instance
+	if mc := opt.Medium; mc != nil {
+		spec := mc.spec()
+		if spec.Kind == medium.KindSINR && pts == nil {
+			return nil, errors.New("radiocolor: a sinr medium needs node positions; use ColorUnitDisk (or the points job input)")
+		}
+		model, merr := spec.Build()
+		if merr != nil {
+			return nil, fmt.Errorf("radiocolor: %w", merr)
+		}
+		csr := g.CSR()
+		med, merr = model.Bind(medium.Env{
+			N:       g.N(),
+			Offsets: csr.Offsets,
+			Edges:   csr.Edges,
+			Points:  pts,
+			Seed:    opt.Seed,
+		})
+		if merr != nil {
+			return nil, fmt.Errorf("radiocolor: %w", merr)
+		}
+	}
+
 	nodes, protos := core.Nodes(g.N(), opt.Seed, par, core.Ablation{})
 	if po, ok := opt.Observer.(PhaseObserver); ok {
 		// Fan phase transitions out to both the collector and the
@@ -294,6 +325,7 @@ func colorGraph(ctx context.Context, g *graph.Graph, opt Options) (*Outcome, err
 		Observer:  radio.Observers(radio.CollectorObserver(collector), adaptObserver(opt.Observer)),
 		Metrics:   met,
 		Faults:    inj,
+		Medium:    med,
 	}
 	var res *radio.Result
 	var err error
