@@ -23,6 +23,8 @@ import (
 	"radiocolor/internal/core"
 	"radiocolor/internal/experiment"
 	"radiocolor/internal/fault"
+	"radiocolor/internal/geom"
+	"radiocolor/internal/graph"
 	"radiocolor/internal/medium"
 	"radiocolor/internal/obs"
 	"radiocolor/internal/radio"
@@ -49,6 +51,7 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print the metrics registry and per-phase timeline")
 		energy   = flag.Bool("energy", false, "print the energy summary (tx=1, listen=0.5 per slot)")
 		benchK   = flag.Bool("bench-kernel", false, "time the CSR kernel against the reference slot loop on this deployment and exit")
+		tile     = flag.Int("tile", 0, "tiled slot kernel: -1 picks a tile count (~32k-node tiles), >1 fixes it, 0 untiled; first renumbers the deployment along the spatial locality pass, so printed node ids follow the relabeled order")
 		faults   = flag.String("faults", "", "inject faults, e.g. loss=0.05,burst=0.1/64,crash=3@500:900,jam=100:400,skew=0.25 (seed= defaults to -seed)")
 		mediumF  = flag.String("medium", "", "reception model: graph | sinr,alpha=4,beta=1.5,noise=-90 | multichannel,k=4 (empty = built-in graph rule)")
 		saveFile = flag.String("save", "", "write the generated deployment to this file and exit")
@@ -78,6 +81,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "colorsim:", err)
 		os.Exit(2)
+	}
+	if *tile < -1 {
+		fmt.Fprintf(os.Stderr, "colorsim: invalid -tile %d (want -1 for auto, 0 for off, or a tile count)\n", *tile)
+		os.Exit(2)
+	}
+	if *tile != 0 && *tile != 1 {
+		// The tiled kernel partitions contiguous id ranges, so renumber
+		// the deployment along the shared locality pass first (Hilbert
+		// curve on geometric topologies, BFS order otherwise). The whole
+		// pipeline below — faults, media, SVG, per-node output — runs in
+		// the relabeled space, so everything stays self-consistent.
+		relabelForTiles(d)
 	}
 	if *saveFile != "" {
 		f, ferr := os.Create(*saveFile)
@@ -202,6 +217,7 @@ func main() {
 		Metrics:  met,
 		Faults:   inj,
 		Medium:   med,
+		Tiles:    *tile,
 	}
 	var res *radio.Result
 	if inj.HasSkew() {
@@ -396,6 +412,33 @@ func benchKernel(d *topology.Deployment, par core.Params, wake []int64, budget i
 func summarizeFloats(xs []float64) string {
 	s := stats.Summarize(xs)
 	return fmt.Sprintf("per node mean=%.0f p90=%.0f max=%.0f", s.Mean, s.P90, s.Max)
+}
+
+// relabelForTiles renumbers the deployment along the tiled kernel's
+// locality pass: Hilbert curve when positions are known, BFS order
+// otherwise. Points move with their nodes, so -svg output and the
+// medium's geometry stay correct.
+func relabelForTiles(d *topology.Deployment) {
+	n := d.G.N()
+	var p graph.Permutation
+	if d.Points != nil {
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i, pt := range d.Points {
+			xs[i], ys[i] = pt.X, pt.Y
+		}
+		p = graph.HilbertOrder(xs, ys)
+	} else {
+		p = graph.BFSOrder(d.G)
+	}
+	d.G = p.Apply(d.G)
+	if d.Points != nil {
+		pts := make([]geom.Point, n)
+		for old, nid := range p.Forward {
+			pts[nid] = d.Points[old]
+		}
+		d.Points = pts
+	}
 }
 
 func makeDeployment(topo string, n int, side, radius float64, walls int, seed int64) (*topology.Deployment, error) {

@@ -79,8 +79,8 @@ func TestTrialSeedDistinct(t *testing.T) {
 }
 
 func TestLookupAndRegistry(t *testing.T) {
-	if len(Registry) != 25 {
-		t.Fatalf("registry has %d entries, want 25", len(Registry))
+	if len(Registry) != 26 {
+		t.Fatalf("registry has %d entries, want 26", len(Registry))
 	}
 	seen := map[string]bool{}
 	for _, e := range Registry {
@@ -117,6 +117,16 @@ func checkTable(t *testing.T, tb *stats.Table, minRows int) {
 func TestE1Smoke(t *testing.T)  { checkTable(t, E1Kappa(quickOpts()), 8) }
 func TestE6Smoke(t *testing.T)  { checkTable(t, E6Locality(quickOpts()), 2) }
 func TestE12Smoke(t *testing.T) { checkTable(t, E12Messages(quickOpts()), 3) }
+
+func TestE26Smoke(t *testing.T) {
+	tb := E26TiledKernel(quickOpts())
+	checkTable(t, tb, 2)
+	// Field-for-field identity between the tiled and untiled runs is
+	// the experiment's contract at every scale, including smoke scale.
+	if !strings.Contains(tb.String(), "/1") || strings.Contains(tb.String(), "0/1") {
+		t.Errorf("tiled run not identical to untiled:\n%s", tb)
+	}
+}
 
 func TestE25Smoke(t *testing.T) {
 	tb := E25CrossModel(quickOpts())

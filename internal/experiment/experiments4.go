@@ -2,8 +2,11 @@ package experiment
 
 import (
 	"fmt"
+	"reflect"
 
 	"radiocolor/internal/core"
+	"radiocolor/internal/geom"
+	"radiocolor/internal/graph"
 	"radiocolor/internal/medium"
 	"radiocolor/internal/radio"
 	"radiocolor/internal/stats"
@@ -106,4 +109,95 @@ func E25CrossModel(o Options) *stats.Table {
 			stats.Mean(caps), stats.Mean(drn))
 	}
 	return t
+}
+
+// E26TiledKernel runs the REAL protocol on one Hilbert-relabeled
+// deployment through the untiled and the tiled slot kernel and checks
+// — the point of the differential harness — field-for-field identity:
+// at fixed labels the two engines must agree on every decision slot,
+// every color, and every delivery/collision count. The table reports
+// only deterministic quantities (the experiments stdout contract:
+// byte-identical at any -parallel), so throughput lives elsewhere —
+// BENCH_kernel.json isolates the engine at 1M–10M nodes, and the
+// EXPERIMENTS.md E26 prose carries one-off wall-clock ratios. The
+// shared columns come from the untiled run; `identical` certifies the
+// tiled run produced exactly the same ones.
+func E26TiledKernel(o Options) *stats.Table {
+	o = o.normalized()
+	t := stats.NewTable("E26: tiled slot kernel vs untiled loop (real protocol, shared Hilbert relabeling)",
+		"n", "tiles", "slots", "colors", "deliveries", "collisions", "identical")
+	sizes := []int{o.scale(2500, 500), o.scale(10_000, 1000)}
+	for ci, n := range sizes {
+		identical := 0
+		var slots, deliveries, collisions int64
+		var colors int
+		tiles := radio.AutoTiles(n)
+		if tiles < 4 {
+			tiles = 4
+		}
+		for tr := 0; tr < o.Trials; tr++ {
+			seed := trialSeed(o.Seed, 2600+ci, tr)
+			d := topology.UDGWithTargetDegree(n, 10, seed)
+			relabelHilbert(d)
+			par := MeasureParams(d)
+			wake := radio.WakeUniform(d.N(), par.WaitSlots()/4, seed)
+			run := func(tileCount int) (*radio.Result, []int32) {
+				nodes, protos := core.Nodes(d.N(), seed, par, core0)
+				cfg := radio.Config{
+					G: d.G, Protocols: protos, Wake: wake,
+					MaxSlots: defaultBudget(par), NEstimate: par.N,
+					Tiles: tileCount,
+				}
+				res, err := radio.Run(cfg)
+				if err != nil {
+					panic(err)
+				}
+				cs := make([]int32, d.N())
+				for i, v := range nodes {
+					cs[i] = v.Color()
+				}
+				return res, cs
+			}
+			uRes, uCols := run(0)
+			tRes, tCols := run(tiles)
+			same := uRes.Slots == tRes.Slots && reflect.DeepEqual(uCols, tCols) &&
+				reflect.DeepEqual(uRes.DecideSlot, tRes.DecideSlot) &&
+				uRes.Deliveries == tRes.Deliveries && uRes.Collisions == tRes.Collisions
+			if same {
+				identical++
+			}
+			slots += uRes.Slots
+			deliveries += uRes.Deliveries
+			collisions += uRes.Collisions
+			palette := map[int32]bool{}
+			for _, c := range uCols {
+				palette[c] = true
+			}
+			colors += len(palette)
+		}
+		tn := int64(o.Trials)
+		t.AddRow(fmt.Sprintf("%d", sizes[ci]), fmt.Sprintf("%d", tiles),
+			fmt.Sprintf("%d", slots/tn), fmt.Sprintf("%d", int64(colors)/tn),
+			fmt.Sprintf("%d", deliveries/tn), fmt.Sprintf("%d", collisions/tn),
+			fmt.Sprintf("%d/%d", identical, o.Trials))
+	}
+	return t
+}
+
+// relabelHilbert renumbers a point deployment along the shared Hilbert
+// relabeling pass — the tiled kernel's production path.
+func relabelHilbert(d *topology.Deployment) {
+	n := d.G.N()
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, pt := range d.Points {
+		xs[i], ys[i] = pt.X, pt.Y
+	}
+	p := graph.HilbertOrder(xs, ys)
+	d.G = p.Apply(d.G)
+	pts := make([]geom.Point, n)
+	for old, nid := range p.Forward {
+		pts[nid] = d.Points[old]
+	}
+	d.Points = pts
 }

@@ -44,6 +44,7 @@ var Registry = []Entry{
 	{"E23", "Sect. 2 stress test: adversarial wake-up schedule search", E23AdversarySearch},
 	{"E24", "Extension: fault injection — loss sweep with crashes, graceful degradation", E24FaultInjection},
 	{"E25", "Extension: reception models — graph rule vs SINR vs multi-channel", E25CrossModel},
+	{"E26", "Extension: tiled cache-blocked slot kernel vs the untiled loop, bit-identity checked", E26TiledKernel},
 }
 
 // Lookup finds an experiment by id, or nil.

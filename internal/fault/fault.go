@@ -105,6 +105,49 @@ type Jammer struct {
 	Prob float64
 }
 
+// Permute returns a copy of the profile with every node reference
+// mapped through forward (a relabeling's old→new map): crash victims
+// and jammer victim lists move with their nodes, slot schedules and
+// rates are unchanged. Used by the tiled kernel's relabeling pass so a
+// fault aimed at a caller-visible node keeps hitting the same physical
+// node after renumbering. The probabilistic coins (Loss, Burst, Prob
+// jammers, skew) hash node ids, so a permuted profile draws different
+// coins than the original — the schedule is covariant, the sampled
+// chaos is a fresh deterministic stream.
+func (p *Profile) Permute(forward []int32) *Profile {
+	if p == nil {
+		return nil
+	}
+	out := *p
+	if len(p.Crashes) > 0 {
+		out.Crashes = make([]Crash, len(p.Crashes))
+		for i, c := range p.Crashes {
+			if c.Node >= 0 && c.Node < len(forward) {
+				c.Node = int(forward[c.Node])
+			}
+			out.Crashes[i] = c
+		}
+	}
+	if len(p.Jammers) > 0 {
+		out.Jammers = make([]Jammer, len(p.Jammers))
+		for i, j := range p.Jammers {
+			if len(j.Nodes) > 0 {
+				nodes := make([]int, len(j.Nodes))
+				for k, v := range j.Nodes {
+					if v >= 0 && v < len(forward) {
+						nodes[k] = int(forward[v])
+					} else {
+						nodes[k] = v
+					}
+				}
+				j.Nodes = nodes
+			}
+			out.Jammers[i] = j
+		}
+	}
+	return &out
+}
+
 // Validate checks the profile against n nodes (n <= 0 skips node-range
 // checks, for early validation before the graph is known).
 func (p *Profile) Validate(n int) error {

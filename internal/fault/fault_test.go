@@ -251,3 +251,58 @@ func TestInjectorPredicatesAllocFree(t *testing.T) {
 	}
 	_ = sink
 }
+
+// TestPermute pins the relabeling covariance contract: node references
+// (crash victims, jammer victim lists) map through forward, schedules
+// and rates are untouched, the original profile is not mutated, and
+// out-of-range references pass through unmapped.
+func TestPermute(t *testing.T) {
+	var nilP *Profile
+	if nilP.Permute([]int32{0}) != nil {
+		t.Fatal("nil profile must permute to nil")
+	}
+
+	p := &Profile{
+		Loss: 0.25,
+		Seed: 7,
+		Crashes: []Crash{
+			{Node: 0, At: 10, Restart: 20},
+			{Node: 3, At: 5},
+			{Node: 99, At: 1}, // out of range: passes through
+		},
+		Jammers: []Jammer{
+			{Nodes: []int{1, 2, -4}, From: 0, Until: 50, Prob: 0.5},
+			{From: 100, Period: 8, Duty: 2}, // all-nodes jammer: no list to map
+		},
+		Burst: &Burst{PBad: 0.1, Window: 16},
+	}
+	forward := []int32{3, 2, 1, 0} // reversal on 4 nodes
+	q := p.Permute(forward)
+
+	if q.Loss != p.Loss || q.Seed != p.Seed || q.Burst != p.Burst {
+		t.Fatalf("rates/seed/burst must carry over: %+v", q)
+	}
+	wantCrashes := []Crash{
+		{Node: 3, At: 10, Restart: 20},
+		{Node: 0, At: 5},
+		{Node: 99, At: 1},
+	}
+	if !reflect.DeepEqual(q.Crashes, wantCrashes) {
+		t.Fatalf("crashes = %+v, want %+v", q.Crashes, wantCrashes)
+	}
+	wantNodes := []int{2, 1, -4}
+	if !reflect.DeepEqual(q.Jammers[0].Nodes, wantNodes) {
+		t.Fatalf("jammer victims = %v, want %v", q.Jammers[0].Nodes, wantNodes)
+	}
+	if q.Jammers[0].From != 0 || q.Jammers[0].Until != 50 || q.Jammers[0].Prob != 0.5 {
+		t.Fatalf("jammer schedule must carry over: %+v", q.Jammers[0])
+	}
+	if len(q.Jammers[1].Nodes) != 0 || q.Jammers[1].Period != 8 {
+		t.Fatalf("all-nodes jammer must carry over: %+v", q.Jammers[1])
+	}
+
+	// The original is untouched (Permute copies node-bearing slices).
+	if p.Crashes[0].Node != 0 || p.Jammers[0].Nodes[0] != 1 {
+		t.Fatalf("Permute mutated its receiver: %+v", p)
+	}
+}

@@ -83,6 +83,24 @@ type Config struct {
 	// (sum and min are order-free), and the deliver phase partitions
 	// receivers, which never share protocol state.
 	Workers int
+	// Tiles > 1 runs the cache-aware tiled slot loop (tiled.go): node
+	// ids are partitioned into Tiles contiguous blocks, each slot makes
+	// two tile-major sweeps (Send + intra-tile resolve, then a
+	// boundary-exchange merge of cross-tile edges + deliver + decide),
+	// and under Workers > 1 the tiles run on independent goroutines.
+	// Results are bit-identical to the untiled engine at any tile and
+	// worker count — every merge is order-free — which the tiled
+	// differential suite pins. Tiling pays off when ids are spatially
+	// coherent (relabel with internal/graph HilbertOrder/StripOrder/
+	// BFSOrder first) so that most edges stay inside a tile. Tiles < 0
+	// picks a size-based tile count automatically (AutoTiles); 0 or 1
+	// keeps the untiled loop. A non-nil Medium replaces the resolve and
+	// deliver phases wholesale, so tiled runs with a medium fall back to
+	// the untiled loop (same results either way). Within a slot a traced
+	// tiled run emits OnDeliver/OnCollision events grouped by tile
+	// rather than in the untiled order; all other event streams, and
+	// every Result field, are identical.
+	Tiles int
 }
 
 // Engine executes a Config slot by slot. Use Run for the common case;
@@ -143,6 +161,19 @@ type Engine struct {
 
 	// Fault-injection state; nil unless Config.Faults is set (fault.go).
 	fs *faultState
+
+	// Tiled-kernel state; nil unless Config.Tiles > 1 selected the tiled
+	// slot loop (tiled.go). silent marks nodes whose protocols declared
+	// permanent quiescence (see the Quiescent interface); the tiled Send
+	// sweep skips them and the activity lists compact them away.
+	ts          *tileState
+	silent      []bool
+	silentCount int
+	// pendingSorted is the length of pending's known-sorted prefix and
+	// pendScratch the merge buffer; both are tiled-loop-only (the
+	// untiled loop sorts pending once, at flush time).
+	pendingSorted int
+	pendScratch   []int32
 
 	// Reception-medium state; nil unless Config.Medium is set
 	// (medium.go). listenFn is the standing listener predicate handed to
@@ -231,6 +262,20 @@ func newEngine(cfg Config, allowSkew bool) (*Engine, error) {
 		// transmitters txMarker during the slot).
 		e.listenFn = func(i int32) bool { return e.rs[i].count == 0 }
 	}
+	if cfg.Tiles > 1 && e.med == nil {
+		// A pluggable medium replaces the resolve and deliver phases
+		// wholesale, so there is nothing left to tile; such runs keep
+		// the untiled loop (bit-identical either way).
+		e.ts = newTileState(cfg.Tiles, n, e.offsets, e.edges)
+		if cfg.Faults == nil {
+			// The quiescence seam (tiled.go): allocated up front so
+			// parallel tile workers never race to create it. Fault
+			// profiles disable it — a restart must be able to revive
+			// any node, and restarted nodes re-enter via the pending
+			// list only if they never left the activity lists.
+			e.silent = make([]bool, n)
+		}
+	}
 	return e, nil
 }
 
@@ -260,6 +305,15 @@ func validateConfig(cfg *Config) error {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
+	}
+	if cfg.Tiles < 0 {
+		cfg.Tiles = AutoTiles(n)
+	}
+	if cfg.Tiles > maxTiles {
+		cfg.Tiles = maxTiles
+	}
+	if cfg.Tiles > n {
+		cfg.Tiles = n
 	}
 	return nil
 }
@@ -330,49 +384,14 @@ func (e *Engine) captured(slot int64, receiver int32) bool {
 // Step simulates one slot. It returns false when the run is over
 // (everyone decided or the slot limit was reached).
 func (e *Engine) Step() bool {
+	if e.ts != nil {
+		return e.stepTiled()
+	}
 	t := e.slot
 	ob := e.cfg.Observer
 	met := e.cfg.Metrics
 
-	// Fault events (crash/restart) take effect at the start of the
-	// slot, before any protocol runs.
-	if e.fs != nil {
-		e.faultBeginSlot(t, ob, met)
-	}
-
-	// Wake-ups scheduled for this slot. The block e.order[prevNext:next]
-	// is in ascending id order (wakeOrder sorts stably, so ties keep id
-	// order), letting the sorted activity lists absorb it with one
-	// backward merge each. The fault-aware variant additionally filters
-	// nodes that are crashed at their wake slot.
-	if e.fs != nil {
-		e.faultWake(t, ob, met)
-	} else {
-		prevNext := e.next
-		for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
-			id := e.order[e.next]
-			e.awake[id] = true
-			e.rs[id].count = 0 // standing state flips from asleep to awake-idle
-			if ob != nil {
-				ob.OnWake(t, NodeID(id))
-			}
-			if met != nil {
-				met.AddWakeup()
-			}
-			e.cfg.Protocols[id].Start(t)
-			e.next++
-		}
-		if e.next > prevNext {
-			woken := e.order[prevNext:e.next]
-			e.undecided = mergeSorted(e.undecided, woken)
-			// Newly woken ids go to a small pending list first; merging the
-			// whole awake list every slot of a long wake ramp would cost
-			// O(awake) per slot. The pending list is flushed once it exceeds
-			// an eighth of the merged list, so total merge work stays O(n)
-			// over any ramp while Send still walks mostly-ascending ids.
-			e.pending = append(e.pending, woken...)
-		}
-	}
+	e.wakePhase(t, ob, met)
 	// A traced run flushes every slot so OnTransmit events keep the
 	// reference's ascending-id order; so does the parallel path, whose
 	// workers partition one list, and the medium path, which needs the
@@ -544,6 +563,56 @@ func (e *Engine) Step() bool {
 		e.undecided = e.undecided[:w]
 	}
 
+	return e.finishSlot(t, ob, met)
+}
+
+// wakePhase applies the slot's fault events and wake-ups: the shared
+// head of the untiled and tiled slot loops.
+func (e *Engine) wakePhase(t int64, ob Observer, met *obs.Metrics) {
+	// Fault events (crash/restart) take effect at the start of the
+	// slot, before any protocol runs.
+	if e.fs != nil {
+		e.faultBeginSlot(t, ob, met)
+	}
+
+	// Wake-ups scheduled for this slot. The block e.order[prevNext:next]
+	// is in ascending id order (wakeOrder sorts stably, so ties keep id
+	// order), letting the sorted activity lists absorb it with one
+	// backward merge each. The fault-aware variant additionally filters
+	// nodes that are crashed at their wake slot.
+	if e.fs != nil {
+		e.faultWake(t, ob, met)
+		return
+	}
+	prevNext := e.next
+	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
+		id := e.order[e.next]
+		e.awake[id] = true
+		e.rs[id].count = 0 // standing state flips from asleep to awake-idle
+		if ob != nil {
+			ob.OnWake(t, NodeID(id))
+		}
+		if met != nil {
+			met.AddWakeup()
+		}
+		e.cfg.Protocols[id].Start(t)
+		e.next++
+	}
+	if e.next > prevNext {
+		woken := e.order[prevNext:e.next]
+		e.undecided = mergeSorted(e.undecided, woken)
+		// Newly woken ids go to a small pending list first; merging the
+		// whole awake list every slot of a long wake ramp would cost
+		// O(awake) per slot. The pending list is flushed once it exceeds
+		// an eighth of the merged list, so total merge work stays O(n)
+		// over any ramp while Send still walks mostly-ascending ids.
+		e.pending = append(e.pending, woken...)
+	}
+}
+
+// finishSlot is the shared slot epilogue: end-of-slot seams, counters,
+// and the termination check.
+func (e *Engine) finishSlot(t int64, ob Observer, met *obs.Metrics) bool {
 	if ob != nil {
 		ob.OnSlot(t)
 	}
@@ -588,6 +657,18 @@ func (e *Engine) noteTx(t int64, v int32, msg Message, ob Observer, met *obs.Met
 // it is merged into the main awake list.
 func sortInt32s(ids []int32) {
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+}
+
+// ascending32 reports whether ids is already sorted ascending — true
+// for every wake block, so the tiled loop's incremental pending merge
+// only pays for a sort when fault restarts interleaved with wakes.
+func ascending32(ids []int32) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] < ids[i-1] {
+			return false
+		}
+	}
+	return true
 }
 
 // mergeSorted merges the ascending block add into the ascending list

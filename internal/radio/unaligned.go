@@ -40,6 +40,10 @@ func RunUnalignedContext(ctx context.Context, cfg Config, offsets []int8) (*Resu
 		// combination is rejected rather than silently ignored.
 		return nil, errors.New("radio: RunUnaligned does not support a pluggable medium")
 	}
+	// The half-slot resolver below is its own sequential loop; the tiled
+	// slot kernel does not apply, so drop the knob rather than build
+	// unused tile state.
+	cfg.Tiles = 0
 	e, err := newEngine(cfg, true) // reuse validation and result bookkeeping
 	if err != nil {
 		return nil, err

@@ -62,6 +62,11 @@ type JobRequest struct {
 	MaxSlots int64 `json:"max_slots,omitempty"`
 	// Workers parallelizes the simulator's phases.
 	Workers int `json:"workers,omitempty"`
+	// Tiling selects the tiled slot kernel: -1 picks the tile count
+	// automatically for the job's size, ≥2 forces that many tiles, 0
+	// (default) and 1 keep the untiled loop. Results are bit-identical
+	// either way; tiling only changes throughput at scale.
+	Tiling int `json:"tiling,omitempty"`
 	// Metrics attaches an Outcome.Stats snapshot to the result.
 	Metrics bool `json:"metrics,omitempty"`
 	// Faults injects deterministic faults, in radiocolor.ParseFaults
@@ -204,6 +209,7 @@ func (r *JobRequest) validate() (radiocolor.Options, error) {
 		ParamScale: r.ParamScale,
 		MaxSlots:   r.MaxSlots,
 		Workers:    r.Workers,
+		Tiling:     r.Tiling,
 		Metrics:    r.Metrics,
 	}
 	if r.Wakeup != "" {

@@ -911,3 +911,44 @@ func TestMediumJob(t *testing.T) {
 		t.Fatalf("unknown medium: %d, want 400", code)
 	}
 }
+
+func TestTilingJob(t *testing.T) {
+	// A tiled job (tiling=-1 auto-selects the tile count) runs end to
+	// end, produces a proper complete coloring, and matches the direct
+	// library call with the same options bit-for-bit. (Tiling relabels
+	// node ids internally, so a tiled outcome is deterministic for its
+	// options but not identical to the untiled run's — the bit-identity
+	// pinned by the internal/radio differential suite is at fixed
+	// labels.)
+	_, ts := newTestServer(t, Config{Workers: 1})
+	adj := ringAdjacency(64)
+	_, st := submit(t, ts, JobRequest{Adjacency: adj, Seed: 11, Tiling: -1})
+	fin := waitTerminal(t, ts, st.ID)
+	if fin.State != StateDone || fin.Outcome == nil {
+		t.Fatalf("tiled job: state = %s (err %q)", fin.State, fin.Error)
+	}
+	if !fin.Outcome.Proper || !fin.Outcome.Complete {
+		t.Fatalf("tiled job outcome not a proper complete coloring: %+v", fin.Outcome)
+	}
+	direct, err := radiocolor.ColorGraphContext(context.Background(), adj,
+		radiocolor.Options{Seed: 11, Tiling: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := json.Marshal(fin.Outcome)
+	want, _ := json.Marshal(direct)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("tiled job outcome differs from tiled direct call:\n served: %s\n direct: %s", got, want)
+	}
+
+	// An invalid tiling value is rejected at submission.
+	resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"adjacency":[[1],[0]],"tiling":-2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tiling=-2: %d, want 400", resp.StatusCode)
+	}
+}

@@ -78,6 +78,24 @@ type Options struct {
 	// goroutines cannot leak into the outcome.
 	Workers int
 
+	// Tiling selects the tiled cache-blocked slot kernel for large
+	// runs: -1 lets the engine pick a tile count (~32k-node tiles),
+	// values > 1 fix it, and 0 (the default) keeps the classic untiled
+	// kernel. When enabled, the run first renumbers the graph with the
+	// shared locality pass (a Hilbert curve when node positions are
+	// known, BFS order otherwise) so that tiles are spatially
+	// contiguous; every Outcome field — colors, leaders, latencies,
+	// fault reports — and every Observer/Trace event is mapped back to
+	// the caller's node ids. A tiled run is deterministic in Seed and
+	// identical at any Workers count, but it is a different random
+	// execution than the untiled run (node random streams attach to
+	// the relabeled ids), so its colors differ numerically from a
+	// Tiling=0 run while satisfying exactly the same guarantees. The
+	// relabeling is skipped (and the knob passed through to the engine,
+	// which ignores it) when a Medium or clock-skew faults are
+	// configured: those paths own slot resolution and never tile.
+	Tiling int
+
 	// Measured, when non-nil, supplies precomputed graph parameters
 	// (max degree and the κ growth constants) so the run skips the
 	// measurement pass — the dominant setup cost on repeated workloads.
@@ -156,6 +174,9 @@ func (o Options) Validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("radiocolor: negative Workers %d", o.Workers)
+	}
+	if o.Tiling < -1 {
+		return fmt.Errorf("radiocolor: invalid Tiling %d (want -1 for auto, 0 for off, or a tile count)", o.Tiling)
 	}
 	if m := o.Measured; m != nil {
 		if m.Delta < 0 {

@@ -226,6 +226,37 @@ func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Optio
 		}
 	}
 
+	// The tiled kernel (Options.Tiling) partitions node ids into
+	// contiguous blocks, so a tiled run first renumbers the graph along
+	// the shared locality pass (internal/graph); wake slots and fault
+	// node lists move with their nodes, and everything the caller sees
+	// — events, colors, latencies, down lists — is mapped back through
+	// the inverse permutation below. Graph parameters (Δ, κ) were
+	// measured above, on the original labels, so protocol constants are
+	// unaffected. Media and clock skew never tile (their resolvers own
+	// the slot loop), so those runs keep the caller's labels.
+	runG := g
+	var tilePerm *graph.Permutation
+	if opt.Tiling != 0 && opt.Tiling != 1 && opt.Medium == nil &&
+		(opt.Faults == nil || opt.Faults.SkewProb == 0) {
+		var xs, ys []float64
+		if pts != nil {
+			xs = make([]float64, len(pts))
+			ys = make([]float64, len(pts))
+			for i, pt := range pts {
+				xs[i], ys[i] = pt.X, pt.Y
+			}
+		}
+		p := tilingPermutation(g, xs, ys)
+		runG = p.Apply(g)
+		tilePerm = &p
+		wakeT := make([]int64, g.N())
+		for v, s := range wake {
+			wakeT[p.Forward[v]] = s
+		}
+		wake = wakeT
+	}
+
 	// Observability: assemble the collectors the options ask for. All
 	// of this is nil (and the run allocation-free on the seam) when
 	// Observer, Trace and Metrics are unset.
@@ -266,6 +297,11 @@ func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Optio
 		if prof.Seed == 0 {
 			prof.Seed = opt.Seed
 		}
+		if tilePerm != nil {
+			// Crash and jammer victims follow their nodes into the
+			// relabeled id space.
+			prof = prof.Permute(tilePerm.Forward)
+		}
 		var ferr error
 		inj, ferr = prof.Compile(g.N())
 		if ferr != nil {
@@ -301,13 +337,27 @@ func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Optio
 	}
 
 	nodes, protos := core.Nodes(g.N(), opt.Seed, par, core.Ablation{})
+	// On a relabeled (tiled) run, every per-node id crossing an
+	// observability seam is mapped back to the caller's labels.
+	invNode := func(v int32) int32 { return v }
+	if tilePerm != nil {
+		invNode = func(v int32) int32 { return tilePerm.Inverse[v] }
+	}
 	if po, ok := opt.Observer.(PhaseObserver); ok {
 		// Fan phase transitions out to both the collector and the
 		// caller's PhaseObserver (a node holds a single hook, so the
 		// collector path is inlined here instead of ObservePhases).
 		hook := func(slot int64, node int32, from, to core.Phase, class int32) {
+			node = invNode(node)
 			collector.OnPhase(slot, node, obs.Phase(from), obs.Phase(to), class)
 			po.OnPhase(slot, int(node), obs.Phase(from).String(), obs.Phase(to).String())
+		}
+		for _, v := range nodes {
+			v.SetPhaseHook(hook)
+		}
+	} else if tilePerm != nil && (met != nil || tracer != nil || timeline != nil) {
+		hook := func(slot int64, node int32, from, to core.Phase, class int32) {
+			collector.OnPhase(slot, invNode(node), obs.Phase(from), obs.Phase(to), class)
 		}
 		for _, v := range nodes {
 			v.SetPhaseHook(hook)
@@ -315,14 +365,19 @@ func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Optio
 	} else {
 		core.ObservePhases(nodes, collector)
 	}
+	engineOb := radio.Observers(radio.CollectorObserver(collector), adaptObserver(opt.Observer))
+	if tilePerm != nil && engineOb != nil {
+		engineOb = invObserver{inner: engineOb, inv: tilePerm.Inverse}
+	}
 	cfg := radio.Config{
-		G:         g,
+		G:         runG,
 		Protocols: protos,
 		Wake:      wake,
 		MaxSlots:  budget,
 		NEstimate: par.N,
 		Workers:   opt.Workers,
-		Observer:  radio.Observers(radio.CollectorObserver(collector), adaptObserver(opt.Observer)),
+		Tiles:     opt.Tiling,
+		Observer:  engineOb,
 		Metrics:   met,
 		Faults:    inj,
 		Medium:    med,
@@ -349,6 +404,9 @@ func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Optio
 	if err != nil {
 		return nil, err
 	}
+	if tilePerm != nil {
+		res = mapTiledResult(res, *tilePerm)
+	}
 
 	out := &Outcome{
 		Colors:         make([]int, g.N()),
@@ -362,7 +420,13 @@ func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Optio
 		g:              g,
 	}
 	colors := make([]int32, g.N())
-	for i, v := range nodes {
+	for i := range nodes {
+		v := nodes[i]
+		if tilePerm != nil {
+			// Node i of the caller's graph ran as nodes[Forward[i]];
+			// res was already mapped back above.
+			v = nodes[tilePerm.Forward[i]]
+		}
 		out.Colors[i] = int(v.Color())
 		colors[i] = v.Color()
 		out.PerNodeLatency[i] = res.Latency(i)

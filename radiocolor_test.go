@@ -1,6 +1,8 @@
 package radiocolor
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"testing"
 )
@@ -172,5 +174,71 @@ func TestMaxSlotsBudgetRespected(t *testing.T) {
 	}
 	if out.Slots > 5 {
 		t.Errorf("budget exceeded: %d", out.Slots)
+	}
+}
+
+// TestTilingPublic pins the public tiled-kernel surface: a tiled run
+// produces a proper complete coloring, is bit-deterministic for fixed
+// options (including across worker counts), maps fault reports back to
+// caller node ids, and rejects invalid Tiling values. The underlying
+// engine identity is pinned by the internal/radio differential suite;
+// this is the library-level wrapper contract (relabel, run, map back).
+func TestTilingPublic(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	points := make([][2]float64, 90)
+	for i := range points {
+		points[i] = [2]float64{r.Float64() * 5, r.Float64() * 5}
+	}
+	tiled, err := ColorUnitDisk(points, 1.2, Options{Seed: 3, Tiling: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tiled.OK() {
+		t.Fatalf("tiled outcome not OK: proper=%v complete=%v", tiled.Proper, tiled.Complete)
+	}
+
+	// Determinism across worker counts: tiles are order-free, so the
+	// parallel sweeps must not change a single field.
+	again, err := ColorUnitDisk(points, 1.2, Options{Seed: 3, Tiling: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(tiled)
+	b, _ := json.Marshal(again)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("tiled outcome changed with Workers=4:\n %s\n %s", a, b)
+	}
+
+	// Auto tile count on the pure-graph path (BFS relabeling).
+	adj := [][]int{}
+	const n = 48
+	for i := 0; i < n; i++ {
+		adj = append(adj, []int{(i + n - 1) % n, (i + 1) % n})
+	}
+	ring, err := ColorGraph(adj, Options{Seed: 7, Tiling: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ring.OK() {
+		t.Fatalf("tiled ring outcome not OK: %+v", ring)
+	}
+
+	// Fault reports must speak original node ids after the internal
+	// relabeling: crash node 5 permanently and expect exactly it down.
+	fc, err := ParseFaults("crash=5@40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := ColorGraph(adj, Options{Seed: 7, Tiling: 4, Faults: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.Faults == nil || len(crashed.Faults.Down) != 1 || crashed.Faults.Down[0] != 5 {
+		t.Fatalf("crashed node not mapped back to caller id 5: %+v", crashed.Faults)
+	}
+
+	// Invalid Tiling is a validation error, caught before any work.
+	if _, err := ColorGraph(adj, Options{Tiling: -2}); err == nil {
+		t.Error("Tiling=-2 accepted")
 	}
 }
