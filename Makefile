@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench fuzz chaos medium experiments examples serve clean
+.PHONY: all build test short race bench fuzz chaos medium experiments examples serve replicas clean
 
 all: build test
 
@@ -44,8 +44,16 @@ experiments:
 	$(GO) run ./cmd/experiments -trials 3 -size 1.0 -seed 1
 
 # Run the coloring-simulation daemon (see README "Running as a service").
+# Add -store DIR to persist the backlog across restarts.
 serve:
 	$(GO) run ./cmd/colord -addr :8080 -queue 64
+
+# Replica-group suite: two servers sharing one durable store split a
+# backlog with zero double-executions, survive crash/restart chaos, and
+# resume a dead replica's leases — all under the race detector.
+replicas:
+	$(GO) test -race -run 'TestTwoReplicasShareBacklog|TestBootResumeCompletesBacklog|TestDurableShutdownReleasesInflight|TestConcurrentSubmitAtFullQueue' -v ./internal/serve/
+	$(GO) test -race -run 'TestChaosTwoReplicasCrashRestart' -v ./internal/store/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log"
 	"os"
 )
 
@@ -24,6 +25,12 @@ type Checkpoint struct {
 	// Decode revives a stored payload. Defaults to returning the raw
 	// bytes as json.RawMessage.
 	Decode func([]byte) (any, error)
+	// Warn receives non-fatal load diagnostics — notably the dropped
+	// truncated final line after a mid-write kill. Defaults to the
+	// standard logger. Silence loss of work is worse than noise: the
+	// skipped job recomputes either way, but the operator should know
+	// the file was cut short.
+	Warn func(string)
 }
 
 // record is the on-disk line format.
@@ -88,7 +95,21 @@ func (c *Checkpoint) load() (map[string][]byte, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("fleet: checkpoint %s: %w", c.Path, err)
 	}
+	if bad != nil {
+		// The malformed line was the file's last: a writer killed
+		// mid-append, not corruption. Skip it loudly — that job simply
+		// recomputes.
+		c.warn(fmt.Sprintf("fleet: checkpoint %s: dropping truncated final line (%v); the job recomputes", c.Path, bad))
+	}
 	return done, nil
+}
+
+func (c *Checkpoint) warn(msg string) {
+	if c.Warn != nil {
+		c.Warn(msg)
+		return
+	}
+	log.Print(msg)
 }
 
 // openAppend opens the store for streaming appends.

@@ -310,7 +310,9 @@ func TestCheckpointTruncatedTailTolerated(t *testing.T) {
 		t.Fatal(err)
 	}
 	var bRuns atomic.Int64
-	results, err := New(Config{Checkpoint: &Checkpoint{Path: path, Decode: intDecode}}).Run([]Job{
+	var warns []string
+	ck := &Checkpoint{Path: path, Decode: intDecode, Warn: func(m string) { warns = append(warns, m) }}
+	results, err := New(Config{Checkpoint: ck}).Run([]Job{
 		{ID: "a", Run: func() (any, error) { t.Error("job a must be restored, not re-run"); return 0, nil }},
 		{ID: "b", Run: func() (any, error) { bRuns.Add(1); return 42, nil }},
 	})
@@ -322,6 +324,25 @@ func TestCheckpointTruncatedTailTolerated(t *testing.T) {
 	}
 	if results[1].FromCheckpoint || bRuns.Load() != 1 || results[1].Value.(int) != 42 {
 		t.Fatalf("job b should recompute: %+v (runs=%d)", results[1], bRuns.Load())
+	}
+	// The dropped tail is skipped loudly, exactly once.
+	if len(warns) != 1 || !strings.Contains(warns[0], "truncated final line") {
+		t.Fatalf("warnings = %q", warns)
+	}
+	// A clean file (job b's record now appended after the repair run)
+	// must not warn — only kills mid-write do. The truncated fragment is
+	// still in the middle of the file, which load treats as corruption,
+	// so rebuild a clean file to check the quiet path.
+	clean := full + `{"id":"b","attempts":1,"payload":42}` + "\n"
+	if err := os.WriteFile(path, []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warns = nil
+	if _, err := New(Config{Checkpoint: ck}).Run([]Job{{ID: "a", Run: func() (any, error) { return 0, nil }}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Fatalf("clean load warned: %q", warns)
 	}
 }
 

@@ -1,0 +1,192 @@
+package obs
+
+import "sync/atomic"
+
+// Control is the control-plane metrics registry: where Metrics counts
+// what happens *inside* a simulation, Control counts what happens
+// *around* them — the durable job store, the lease state machine that
+// arbitrates work between colord replicas, and sweep fan-out. Like
+// Metrics, every method costs one uncontended atomic add, all methods
+// are safe for concurrent use, and a nil *Control disables the whole
+// registry (the store backends check once per operation).
+type Control struct {
+	storeCreates  atomic.Int64
+	storeFinishes atomic.Int64
+	storeCancels  atomic.Int64
+	storePrunes   atomic.Int64
+	claims        atomic.Int64
+	reclaims      atomic.Int64
+	heartbeats    atomic.Int64
+	leaseLost     atomic.Int64
+	releases      atomic.Int64
+	compactions   atomic.Int64
+	tornTails     atomic.Int64
+	sweeps        atomic.Int64
+	sweepCells    atomic.Int64
+	sweepsDone    atomic.Int64
+}
+
+// NewControl returns an empty registry.
+func NewControl() *Control { return &Control{} }
+
+// AddStoreCreate counts one job persisted into the store.
+func (c *Control) AddStoreCreate() {
+	if c != nil {
+		c.storeCreates.Add(1)
+	}
+}
+
+// AddStoreFinish counts one job transitioned to a terminal state.
+func (c *Control) AddStoreFinish() {
+	if c != nil {
+		c.storeFinishes.Add(1)
+	}
+}
+
+// AddStoreCancel counts one cancellation request recorded in the store.
+func (c *Control) AddStoreCancel() {
+	if c != nil {
+		c.storeCancels.Add(1)
+	}
+}
+
+// AddStorePrunes counts n terminal jobs dropped by retention pruning.
+func (c *Control) AddStorePrunes(n int64) {
+	if c != nil {
+		c.storePrunes.Add(n)
+	}
+}
+
+// AddClaim counts one successful work claim (a queued job leased to a
+// replica).
+func (c *Control) AddClaim() {
+	if c != nil {
+		c.claims.Add(1)
+	}
+}
+
+// AddReclaim counts a claim that took over an expired lease — the
+// signature of a crashed or wedged replica (a subset of claims).
+func (c *Control) AddReclaim() {
+	if c != nil {
+		c.reclaims.Add(1)
+	}
+}
+
+// AddHeartbeat counts one successful lease extension.
+func (c *Control) AddHeartbeat() {
+	if c != nil {
+		c.heartbeats.Add(1)
+	}
+}
+
+// AddLeaseLost counts one operation rejected because the caller no
+// longer owned the job's lease (its work was reassigned).
+func (c *Control) AddLeaseLost() {
+	if c != nil {
+		c.leaseLost.Add(1)
+	}
+}
+
+// AddRelease counts one running job voluntarily returned to the queue
+// (graceful drain of a durable store).
+func (c *Control) AddRelease() {
+	if c != nil {
+		c.releases.Add(1)
+	}
+}
+
+// AddCompaction counts one log-to-snapshot compaction of a file store.
+func (c *Control) AddCompaction() {
+	if c != nil {
+		c.compactions.Add(1)
+	}
+}
+
+// AddTornTail counts a truncated trailing log record repaired during
+// replay (the signature of a crash mid-append).
+func (c *Control) AddTornTail() {
+	if c != nil {
+		c.tornTails.Add(1)
+	}
+}
+
+// AddSweep counts one sweep submission.
+func (c *Control) AddSweep() {
+	if c != nil {
+		c.sweeps.Add(1)
+	}
+}
+
+// AddSweepCells counts n sweep cells fanned out as child jobs.
+func (c *Control) AddSweepCells(n int64) {
+	if c != nil {
+		c.sweepCells.Add(n)
+	}
+}
+
+// AddSweepDone counts one sweep whose aggregate result was finalized.
+func (c *Control) AddSweepDone() {
+	if c != nil {
+		c.sweepsDone.Add(1)
+	}
+}
+
+// ControlSnapshot is a point-in-time view of a Control registry.
+type ControlSnapshot struct {
+	// StoreCreates, StoreFinishes, StoreCancels and StorePrunes count
+	// store lifecycle operations.
+	StoreCreates, StoreFinishes, StoreCancels, StorePrunes int64
+	// Claims, Reclaims, Heartbeats, LeaseLost and Releases count the
+	// lease state machine; Reclaims ⊆ Claims are expired-lease
+	// takeovers.
+	Claims, Reclaims, Heartbeats, LeaseLost, Releases int64
+	// Compactions and TornTails count file-backend maintenance events.
+	Compactions, TornTails int64
+	// Sweeps, SweepCells and SweepsDone count sweep fan-out.
+	Sweeps, SweepCells, SweepsDone int64
+}
+
+// Snapshot reads the registry. A nil registry reads as all zeros.
+func (c *Control) Snapshot() ControlSnapshot {
+	if c == nil {
+		return ControlSnapshot{}
+	}
+	return ControlSnapshot{
+		StoreCreates:  c.storeCreates.Load(),
+		StoreFinishes: c.storeFinishes.Load(),
+		StoreCancels:  c.storeCancels.Load(),
+		StorePrunes:   c.storePrunes.Load(),
+		Claims:        c.claims.Load(),
+		Reclaims:      c.reclaims.Load(),
+		Heartbeats:    c.heartbeats.Load(),
+		LeaseLost:     c.leaseLost.Load(),
+		Releases:      c.releases.Load(),
+		Compactions:   c.compactions.Load(),
+		TornTails:     c.tornTails.Load(),
+		Sweeps:        c.sweeps.Load(),
+		SweepCells:    c.sweepCells.Load(),
+		SweepsDone:    c.sweepsDone.Load(),
+	}
+}
+
+// Export calls fn once per counter in a fixed, documented order — the
+// deterministic hook text encoders build on, mirroring
+// Snapshot.Export for the simulation registry. All values are
+// monotone counters.
+func (s ControlSnapshot) Export(fn func(name string, value int64)) {
+	fn("store_creates", s.StoreCreates)
+	fn("store_finishes", s.StoreFinishes)
+	fn("store_cancels", s.StoreCancels)
+	fn("store_prunes", s.StorePrunes)
+	fn("claims", s.Claims)
+	fn("lease_reclaims", s.Reclaims)
+	fn("heartbeats", s.Heartbeats)
+	fn("lease_lost", s.LeaseLost)
+	fn("lease_releases", s.Releases)
+	fn("store_compactions", s.Compactions)
+	fn("store_torn_tails", s.TornTails)
+	fn("sweeps", s.Sweeps)
+	fn("sweep_cells", s.SweepCells)
+	fn("sweeps_done", s.SweepsDone)
+}

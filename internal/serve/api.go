@@ -7,13 +7,23 @@
 //
 // The API surface:
 //
-//	POST   /v1/jobs          submit a job (202, or 429 + Retry-After when the queue is full)
-//	GET    /v1/jobs          list job statuses
+//	POST   /v1/jobs          submit a job (202, or 429 + Retry-After when the backlog is full)
+//	GET    /v1/jobs          list job statuses (?state=, ?limit=)
 //	GET    /v1/jobs/{id}     poll one job
 //	GET    /v1/jobs/{id}/stream  live progress, NDJSON or SSE (Accept: text/event-stream)
 //	DELETE /v1/jobs/{id}     cancel a queued or running job
-//	GET    /healthz          liveness + queue/worker snapshot
+//	POST   /v1/sweeps        submit a parameter grid that fans out into one job per cell
+//	GET    /v1/sweeps/{id}   poll a sweep (aggregate result once terminal)
+//	GET    /v1/sweeps/{id}/stream  per-cell completions + final aggregate
+//	DELETE /v1/sweeps/{id}   cancel a sweep and all its cells
+//	GET    /healthz          liveness + backlog/worker snapshot
 //	GET    /metrics          Prometheus text exposition
+//
+// Every accepted submission is persisted to the configured job store
+// (internal/store) before its 202 goes out, and workers execute by
+// claiming leases from that store — so with a durable store the
+// backlog survives SIGKILL, and several Servers sharing one store
+// directory form a replica group in which each job runs exactly once.
 //
 // Jobs run through the same context-aware entry points the library
 // exposes (radiocolor.ColorGraphContext / ColorUnitDiskContext), so a
@@ -329,7 +339,10 @@ type ProgressSample struct {
 type Health struct {
 	// Status is "ok" while serving, "draining" during shutdown.
 	Status string `json:"status"`
-	// QueueDepth and QueueCapacity describe the admission queue.
+	// Replica is this process's name in the store's lease machinery.
+	Replica string `json:"replica"`
+	// QueueDepth is the store's queued-job count; QueueCapacity the
+	// backlog bound this replica admits against.
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
 	// Inflight counts jobs currently executing.

@@ -5,6 +5,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"radiocolor/internal/store"
 )
 
 // This file is the Prometheus text-exposition encoder (version 0.0.4 of
@@ -42,14 +44,31 @@ func (s *Server) writeMetrics(w io.Writer) {
 	fmt.Fprintf(w, "colord_jobs_completed_total{state=\"timed_out\"} %d\n", s.timedOut.Load())
 
 	// Gauges.
-	promMeta(w, "colord_queue_depth", "gauge", "Jobs waiting in the admission queue.")
-	promInt(w, "colord_queue_depth", int64(s.queue.depth()))
-	promMeta(w, "colord_queue_capacity", "gauge", "Admission queue bound.")
-	promInt(w, "colord_queue_capacity", int64(s.queue.capacity()))
+	promMeta(w, "colord_queue_depth", "gauge", "Jobs waiting in the store's queue.")
+	promInt(w, "colord_queue_depth", int64(s.queuedCount()))
+	promMeta(w, "colord_queue_capacity", "gauge", "Queued-backlog admission bound of this replica.")
+	promInt(w, "colord_queue_capacity", int64(s.cfg.QueueCap))
 	promMeta(w, "colord_jobs_inflight", "gauge", "Jobs currently executing.")
 	promInt(w, "colord_jobs_inflight", s.inflight.Load())
 	promMeta(w, "colord_uptime_seconds", "gauge", "Seconds since the server was created.")
 	fmt.Fprintf(w, "colord_uptime_seconds %s\n", promFloat(s.now().Sub(s.start).Seconds()))
+
+	// Store occupancy: one gauge per state, from the shared store, so
+	// every replica scrapes the same backlog picture.
+	if counts, err := s.st.Counts(); err == nil {
+		promMeta(w, "colord_store_jobs", "gauge", "Jobs in the store, by state.")
+		for _, st := range []store.State{store.StateQueued, store.StateRunning, store.StateDone,
+			store.StateFailed, store.StateCanceled, store.StateTimedOut} {
+			fmt.Fprintf(w, "colord_store_jobs{state=%q} %d\n", string(st), counts[st])
+		}
+	}
+
+	// Control-plane counters: store writes, lease traffic, sweeps.
+	s.ctrl.Snapshot().Export(func(name string, v int64) {
+		full := "colord_" + name + "_total"
+		promMeta(w, full, "counter", "Control-plane "+strings.ReplaceAll(name, "_", " ")+".")
+		promInt(w, full, v)
+	})
 
 	// Deployment cache.
 	promMeta(w, "colord_cache_hits_total", "counter", "Deployment cache hits.")

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"radiocolor"
+	"radiocolor/internal/obs"
+	"radiocolor/internal/store"
+)
+
+// openReplica builds a Server on its own *store.File handle over a
+// shared directory — one in-process stand-in for one colord replica.
+// The flock is per file handle, so two handles in one process exclude
+// each other exactly as two processes would.
+func openReplica(t *testing.T, dir string, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	fs, err := store.OpenFile(dir, store.FileOptions{Control: cfg.Control})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = fs
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		fs.Close()
+	})
+	return s, ts
+}
+
+// TestTwoReplicasShareBacklog is the serve-level replication contract:
+// two Servers on one store directory chew through a 50-job backlog
+// with every job executed exactly once — the lease machinery, not
+// luck, prevents double-runs even though both replicas poll the same
+// records aggressively.
+func TestTwoReplicasShareBacklog(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	execs := make(map[string]int)
+	hook := func(ctx context.Context, j *job) (*radiocolor.Outcome, error) {
+		mu.Lock()
+		execs[j.id]++
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		return fakeOutcome(), nil
+	}
+	ctrlA, ctrlB := obs.NewControl(), obs.NewControl()
+	base := Config{
+		Workers:       2,
+		QueueCap:      64,
+		LeaseTTL:      5 * time.Second,
+		ClaimInterval: 10 * time.Millisecond,
+		run:           hook,
+	}
+	cfgA := base
+	cfgA.Replica, cfgA.Control = "replica-a", ctrlA
+	cfgB := base
+	cfgB.Replica, cfgB.Control = "replica-b", ctrlB
+	a, tsA := openReplica(t, dir, cfgA)
+	b, _ := openReplica(t, dir, cfgB)
+
+	const jobs = 50
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		resp, st := submit(t, tsA, JobRequest{Adjacency: ringAdjacency(4), Seed: int64(i)})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		if st := waitTerminal(t, tsA, id); st.State != StateDone {
+			t.Fatalf("job %s ended %s", id, st.State)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	total := 0
+	for id, n := range execs {
+		total += n
+		if n != 1 {
+			t.Errorf("job %s executed %d times", id, n)
+		}
+	}
+	if total != jobs {
+		t.Fatalf("executed %d runs for %d jobs", total, jobs)
+	}
+	// Both replicas actually participated.
+	if ctrlA.Snapshot().Claims == 0 || ctrlB.Snapshot().Claims == 0 {
+		t.Fatalf("lopsided fleet: a=%d b=%d claims", ctrlA.Snapshot().Claims, ctrlB.Snapshot().Claims)
+	}
+	_, _ = a, b
+}
+
+// TestBootResumeCompletesBacklog is the restart-survival contract: a
+// store directory holding queued jobs and a running job whose owner
+// crashed (expired lease) is fully drained by a freshly booted Server,
+// preserving job ids — the claim loop IS the recovery path.
+func TestBootResumeCompletesBacklog(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := store.OpenFile(dir, store.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := json.Marshal(JobRequest{Adjacency: ringAdjacency(6), Seed: 7})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		rec := &store.Job{Kind: store.KindJob, Spec: spec, Submitted: time.Now()}
+		if err := seed.Create(rec); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec.ID)
+	}
+	// Simulate a replica that died mid-job: claim with a lease that is
+	// already long expired by the time the new server boots.
+	if _, err := seed.Claim("dead-replica", time.Now().Add(-time.Hour), time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	_, ts := openReplica(t, dir, Config{Workers: 2, ClaimInterval: 10 * time.Millisecond, LeaseTTL: 5 * time.Second})
+	for _, id := range ids {
+		st := waitTerminal(t, ts, id)
+		if st.State != StateDone || st.Outcome == nil {
+			t.Fatalf("resumed job %s: state %s, outcome %v", id, st.State, st.Outcome)
+		}
+	}
+	// The crashed job carries its reclaim history.
+	if st := getStatus(t, ts, ids[0]); st.Attempts != 2 {
+		t.Fatalf("reclaimed job attempts = %d, want 2", st.Attempts)
+	}
+}
+
+// TestDurableShutdownReleasesInflight: a drain deadline on a durable
+// store must not cancel interrupted jobs — they go back to queued for
+// the next boot, and the next boot completes them under the same ids.
+func TestDurableShutdownReleasesInflight(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := store.OpenFile(dir, store.FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	s := New(Config{
+		Store:         fs,
+		Workers:       1,
+		ClaimInterval: 10 * time.Millisecond,
+		run: func(ctx context.Context, j *job) (*radiocolor.Outcome, error) {
+			close(gate)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	ts := httptest.NewServer(s)
+	_, st := submit(t, ts, JobRequest{Adjacency: ringAdjacency(4)})
+	<-gate // the worker is inside the job
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("shutdown err = %v", err)
+	}
+	ts.Close()
+	rec, err := fs.Get(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != store.StateQueued {
+		t.Fatalf("interrupted durable job state %s, want queued", rec.State)
+	}
+	fs.Close()
+
+	// Reboot on the same directory: the job completes under its old id.
+	_, ts2 := openReplica(t, dir, Config{Workers: 1, ClaimInterval: 10 * time.Millisecond})
+	if got := waitTerminal(t, ts2, st.ID); got.State != StateDone {
+		t.Fatalf("rebooted job ended %s", got.State)
+	}
+}
+
+// TestConcurrentSubmitAtFullQueue is the issue's admission-race
+// satellite: many goroutines hammering POST /v1/jobs against a full
+// queue must each get either 202 with a fresh unique id or 429 with a
+// Retry-After header — never a hang, never a duplicate id. Run under
+// -race in CI.
+func TestConcurrentSubmitAtFullQueue(t *testing.T) {
+	gate := make(chan struct{})
+	_, ts := newTestServer(t, Config{
+		Workers:  2,
+		QueueCap: 8,
+		run: func(ctx context.Context, j *job) (*radiocolor.Outcome, error) {
+			select {
+			case <-gate:
+				return fakeOutcome(), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	defer close(gate)
+
+	const clients = 64
+	type reply struct {
+		code       int
+		id         string
+		retryAfter string
+	}
+	replies := make(chan reply, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, st := submit(t, ts, JobRequest{Adjacency: ringAdjacency(4), Seed: int64(i)})
+			replies <- reply{code: resp.StatusCode, id: st.ID, retryAfter: resp.Header.Get("Retry-After")}
+		}(i)
+	}
+	wg.Wait()
+	close(replies)
+
+	seen := make(map[string]bool)
+	accepted, rejected := 0, 0
+	for r := range replies {
+		switch r.code {
+		case http.StatusAccepted:
+			accepted++
+			if r.id == "" || seen[r.id] {
+				t.Fatalf("duplicate or empty id %q", r.id)
+			}
+			seen[r.id] = true
+		case http.StatusTooManyRequests:
+			rejected++
+			if r.retryAfter == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		default:
+			t.Fatalf("unexpected status %d", r.code)
+		}
+	}
+	if accepted+rejected != clients {
+		t.Fatalf("accepted %d + rejected %d != %d", accepted, rejected, clients)
+	}
+	// The backlog bound held: at most QueueCap queued plus the jobs the
+	// two workers had already claimed.
+	if accepted < 8 || accepted > 10 {
+		t.Fatalf("accepted %d, want within [8, 10]", accepted)
+	}
+}

@@ -8,38 +8,6 @@ import (
 	"radiocolor"
 )
 
-func TestQueueBackpressure(t *testing.T) {
-	q := newQueue(2)
-	if err := q.tryPush(&job{}); err != nil {
-		t.Fatalf("push 1: %v", err)
-	}
-	if err := q.tryPush(&job{}); err != nil {
-		t.Fatalf("push 2: %v", err)
-	}
-	if err := q.tryPush(&job{}); err != errQueueFull {
-		t.Fatalf("push 3: got %v, want errQueueFull", err)
-	}
-	if got := q.depth(); got != 2 {
-		t.Fatalf("depth = %d, want 2", got)
-	}
-	if got := q.capacity(); got != 2 {
-		t.Fatalf("capacity = %d, want 2", got)
-	}
-	q.close()
-	q.close() // idempotent
-	if err := q.tryPush(&job{}); err != errQueueClosed {
-		t.Fatalf("push after close: got %v, want errQueueClosed", err)
-	}
-	// The closed channel still drains its backlog.
-	n := 0
-	for range q.ch {
-		n++
-	}
-	if n != 2 {
-		t.Fatalf("drained %d jobs, want 2", n)
-	}
-}
-
 func TestLRUEvictionAndCounters(t *testing.T) {
 	c := newLRU(2)
 	adj := [][]int{{1}, {0}}

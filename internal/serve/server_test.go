@@ -678,6 +678,75 @@ func TestListJobs(t *testing.T) {
 	}
 }
 
+// TestListJobsStateFilterAndLimit covers the ?state= and ?limit=
+// parameters: deterministic Seq order, store-backed filtering, bounded
+// page size, and 400s on garbage.
+func TestListJobsStateFilterAndLimit(t *testing.T) {
+	gate := make(chan struct{})
+	_, ts := newTestServer(t, Config{
+		Workers:  1,
+		QueueCap: 16,
+		run: func(ctx context.Context, j *job) (*radiocolor.Outcome, error) {
+			select {
+			case <-gate:
+				return fakeOutcome(), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	defer close(gate)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		_, st := submit(t, ts, JobRequest{Adjacency: ringAdjacency(4), Seed: int64(i + 1)})
+		ids = append(ids, st.ID)
+	}
+	// One running (held at the gate), the rest queued.
+	waitFor(t, func() bool { return getStatus(t, ts, ids[0]).State == StateRunning })
+
+	fetch := func(query string, wantCode int) []JobStatus {
+		t.Helper()
+		resp, err := ts.Client().Get(ts.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET /v1/jobs%s: status %d, want %d", query, resp.StatusCode, wantCode)
+		}
+		if wantCode != http.StatusOK {
+			return nil
+		}
+		var list []JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		return list
+	}
+
+	queued := fetch("?state=queued", http.StatusOK)
+	if len(queued) != 4 {
+		t.Fatalf("queued list = %+v", queued)
+	}
+	for i, st := range queued {
+		if st.ID != ids[i+1] || st.State != StateQueued {
+			t.Fatalf("queued[%d] = %+v, want %s", i, st, ids[i+1])
+		}
+	}
+	if running := fetch("?state=running", http.StatusOK); len(running) != 1 || running[0].ID != ids[0] {
+		t.Fatalf("running list = %+v", running)
+	}
+	if limited := fetch("?state=queued&limit=2", http.StatusOK); len(limited) != 2 || limited[0].ID != ids[1] {
+		t.Fatalf("limited list = %+v", limited)
+	}
+	if done := fetch("?state=done", http.StatusOK); len(done) != 0 {
+		t.Fatalf("done list = %+v", done)
+	}
+	fetch("?state=bogus", http.StatusBadRequest)
+	fetch("?limit=0", http.StatusBadRequest)
+	fetch("?limit=banana", http.StatusBadRequest)
+}
+
 func TestRetentionPrunesTerminalJobs(t *testing.T) {
 	s, ts := newTestServer(t, Config{Workers: 1, MaxRetained: 3})
 	var ids []string

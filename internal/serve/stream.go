@@ -8,24 +8,24 @@ import (
 	"time"
 
 	"radiocolor/internal/obs"
+	"radiocolor/internal/store"
 )
 
-// handleStream serves GET /v1/jobs/{id}/stream: an initial "status"
-// event, periodic "progress" samples of the job's obs registry while it
-// runs, and a final "done" event carrying the full status (outcome
-// included). The format is NDJSON by default and SSE when the client
-// asks for text/event-stream; both flush per event, so a curl client
-// watches the run live.
-func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	j := s.lookup(r.PathValue("id"))
-	if j == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
-		return
-	}
+// eventStream negotiates NDJSON (default) or SSE (on Accept:
+// text/event-stream) and writes one flushed event at a time. typ is
+// the SSE event name, pulled from the payload's Type field by the
+// caller.
+type eventStream struct {
+	w       http.ResponseWriter
+	flusher http.Flusher
+	sse     bool
+}
+
+func newEventStream(w http.ResponseWriter, r *http.Request) (*eventStream, bool) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "streaming unsupported"})
-		return
+		return nil, false
 	}
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	if sse {
@@ -35,26 +35,52 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	w.WriteHeader(http.StatusOK)
+	return &eventStream{w: w, flusher: flusher, sse: sse}, true
+}
 
-	emit := func(ev StreamEvent) bool {
-		var err error
-		if sse {
-			var data []byte
-			data, err = json.Marshal(ev)
-			if err == nil {
-				_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
-			}
-		} else {
-			err = json.NewEncoder(w).Encode(ev)
+func (e *eventStream) emit(typ string, payload any) bool {
+	var err error
+	if e.sse {
+		var data []byte
+		data, err = json.Marshal(payload)
+		if err == nil {
+			_, err = fmt.Fprintf(e.w, "event: %s\ndata: %s\n\n", typ, data)
 		}
-		if err != nil {
-			return false
-		}
-		flusher.Flush()
-		return true
+	} else {
+		err = json.NewEncoder(e.w).Encode(payload)
 	}
+	if err != nil {
+		return false
+	}
+	e.flusher.Flush()
+	return true
+}
 
-	st := j.status()
+// handleStream serves GET /v1/jobs/{id}/stream: an initial "status"
+// event, periodic "progress" samples of the job's obs registry while it
+// runs, and a final "done" event carrying the full status (outcome
+// included). The format is NDJSON by default and SSE when the client
+// asks for text/event-stream; both flush per event, so a curl client
+// watches the run live.
+//
+// State comes from the store, so the stream is correct even when the
+// job executes on another replica; live progress samples, though, only
+// flow while this replica runs the job (the obs registry is process
+// local) — a remote job streams liveness "status" events until "done".
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, err := s.st.Get(id)
+	if err != nil || rec.Kind != store.KindJob {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	es, ok := newEventStream(w, r)
+	if !ok {
+		return
+	}
+	emit := func(ev StreamEvent) bool { return es.emit(ev.Type, ev) }
+
+	st := s.statusFromRecord(rec)
 	if !emit(StreamEvent{Type: "status", State: st.State}) {
 		return
 	}
@@ -63,28 +89,61 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The local done channel is the fast path; jobs executing elsewhere
+	// never close it here, so the ticker polls the store too. A nil
+	// channel blocks forever, which is exactly the fallback we want.
+	var doneCh chan struct{}
+	j := s.lookup(id)
+	if j != nil {
+		doneCh = j.done
+	}
+	final := func() {
+		if rec, err := s.st.Get(id); err == nil {
+			fs := s.statusFromRecord(rec)
+			emit(StreamEvent{Type: "done", State: fs.State, Status: &fs})
+		}
+	}
 	ticker := time.NewTicker(s.cfg.StreamInterval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case <-j.done:
-			final := j.status()
-			emit(StreamEvent{Type: "done", State: final.State, Status: &final})
+		case <-doneCh:
+			final()
 			return
 		case <-ticker.C:
-			cur := j.status()
-			if cur.State != StateRunning {
-				// Still queued: re-emit the bare status so the client
-				// sees liveness without a fake progress sample.
-				if !emit(StreamEvent{Type: "status", State: cur.State}) {
+			rec, err := s.st.Get(id)
+			if err != nil {
+				return // pruned mid-stream
+			}
+			if store.State(rec.State).Terminal() {
+				final()
+				return
+			}
+			if j == nil {
+				// The job may have been claimed (and rehydrated) by this
+				// replica after the stream opened.
+				if j = s.lookup(id); j != nil {
+					doneCh = j.done
+				}
+			}
+			running := false
+			if j != nil {
+				j.mu.Lock()
+				running = j.state == StateRunning
+				j.mu.Unlock()
+			}
+			if !running {
+				// Queued, or running remotely: re-emit the bare status so
+				// the client sees liveness without a fake progress sample.
+				if !emit(StreamEvent{Type: "status", State: JobState(rec.State)}) {
 					return
 				}
 				continue
 			}
 			sample := sampleProgress(j.metrics)
-			if !emit(StreamEvent{Type: "progress", State: cur.State, Progress: &sample}) {
+			if !emit(StreamEvent{Type: "progress", State: StateRunning, Progress: &sample}) {
 				return
 			}
 		}

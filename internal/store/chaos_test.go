@@ -1,0 +1,205 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"radiocolor/internal/fault"
+	"radiocolor/internal/obs"
+)
+
+// TestChaosTwoReplicasCrashRestart is the control-plane chaos test the
+// issue asks for: two replicas share one store directory and chew
+// through a 50-job backlog while a fault.Profile — the same
+// seed-deterministic crash/restart machinery the simulator uses on
+// radio nodes — schedules each replica to die mid-job and come back.
+// A "crash" abandons the claimed job without finishing it and closes
+// the store handle (the flock and page cache survive exactly as they
+// would a SIGKILL); the victim's lease expires and the job is
+// reclaimed, by the survivor or by the rebooted victim itself.
+//
+// Invariants asserted: every job reaches done (zero lost), every job
+// has exactly one committed result (zero double-commits — losers of a
+// lease race get ErrLeaseLost and discard), and no job is ever leased
+// to two live replicas at once (zero double-executions).
+func TestChaosTwoReplicasCrashRestart(t *testing.T) {
+	const (
+		jobs     = 50
+		replicas = 2
+		// Generous relative to a work quantum so a descheduled-but-live
+		// replica is not mistaken for a dead one on a loaded CI box.
+		ttl = 400 * time.Millisecond
+	)
+	dir := t.TempDir()
+
+	seed := openFile(t, dir, FileOptions{})
+	for i := 0; i < jobs; i++ {
+		mustCreate(t, seed, &Job{Spec: json.RawMessage(fmt.Sprintf(`{"cell":%d}`, i))})
+	}
+	seed.Close()
+
+	// The crash schedule: replica r crashes at its claimAt[r]-th claim
+	// and reboots a moment later. Slots are claim-loop iterations.
+	prof := fault.Profile{
+		Seed: 42,
+		Crashes: []fault.Crash{
+			{Node: 0, At: 6, Restart: 9},
+			{Node: 1, At: 14, Restart: 18},
+		},
+	}
+	inj, err := prof.Compile(replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashAt := make(map[int]int64)
+	restartGap := make(map[int]int64)
+	for _, ev := range inj.Events() {
+		switch ev.Kind {
+		case fault.EventCrash:
+			crashAt[int(ev.Node)] = ev.Slot
+		case fault.EventRestart:
+			restartGap[int(ev.Node)] = ev.Slot - crashAt[int(ev.Node)]
+		}
+	}
+	if len(crashAt) != replicas {
+		t.Fatalf("expected a crash per replica, got %v", crashAt)
+	}
+
+	var (
+		mu      sync.Mutex
+		commits = make(map[string]int) // job id → successful Finish calls
+		leased  = make(map[string]int) // job id → live replica holding it
+	)
+	ctrl := obs.NewControl()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, replicas)
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			owner := fmt.Sprintf("replica-%d", r)
+			s, err := OpenFile(dir, FileOptions{Control: ctrl})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer func() { s.Close() }()
+			var iter, crashed int64
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				if time.Now().After(deadline) {
+					errs <- fmt.Errorf("%s: backlog not drained in time", owner)
+					return
+				}
+				iter++
+				j, err := s.Claim(owner, time.Now(), ttl)
+				if err != nil {
+					errs <- fmt.Errorf("%s claim: %w", owner, err)
+					return
+				}
+				if j == nil {
+					c, err := s.Counts()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if c[StateQueued] == 0 && c[StateRunning] == 0 {
+						return // backlog drained
+					}
+					// A dead replica's lease hasn't expired yet.
+					time.Sleep(ttl / 4)
+					continue
+				}
+
+				mu.Lock()
+				if holder, busy := leased[j.ID]; busy {
+					mu.Unlock()
+					errs <- fmt.Errorf("%s claimed %s already live on replica-%d", owner, j.ID, holder)
+					return
+				}
+				leased[j.ID] = r
+				mu.Unlock()
+				release := func() {
+					mu.Lock()
+					delete(leased, j.ID)
+					mu.Unlock()
+				}
+
+				if crashed < 2 && iter == crashAt[r] {
+					// Fail-stop: abandon the lease, drop the handle, come
+					// back after the profile's restart gap.
+					crashed++
+					release()
+					s.Close()
+					time.Sleep(time.Duration(restartGap[r]) * 40 * time.Millisecond)
+					s, err = OpenFile(dir, FileOptions{Control: ctrl})
+					if err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+
+				// "Run" the job: a couple of work quanta with heartbeats.
+				lost := false
+				for q := 0; q < 2; q++ {
+					time.Sleep(5 * time.Millisecond)
+					if _, err := s.Heartbeat(j.ID, owner, time.Now(), ttl); err != nil {
+						lost = true // lease expired under us; discard
+						break
+					}
+				}
+				if lost {
+					release()
+					continue
+				}
+				res := json.RawMessage(fmt.Sprintf(`{"by":%q}`, owner))
+				err = s.Finish(j.ID, owner, StateDone, res, "", time.Now())
+				release()
+				if err == nil {
+					mu.Lock()
+					commits[j.ID]++
+					mu.Unlock()
+				}
+				// ErrLeaseLost means another replica reclaimed and our
+				// result is discarded — the designed race outcome.
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	final := openFile(t, dir, FileOptions{})
+	all, err := final.List(Filter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != jobs {
+		t.Fatalf("lost records: %d of %d", len(all), jobs)
+	}
+	for _, j := range all {
+		if j.State != StateDone {
+			t.Errorf("job %s ended %s (attempts %d)", j.ID, j.State, j.Attempts)
+		}
+		if n := commits[j.ID]; n != 1 {
+			t.Errorf("job %s committed %d times", j.ID, n)
+		}
+		if len(j.Result) == 0 {
+			t.Errorf("job %s has no result", j.ID)
+		}
+	}
+	snap := ctrl.Snapshot()
+	if snap.Claims < jobs {
+		t.Errorf("claims %d < jobs %d", snap.Claims, jobs)
+	}
+	if snap.Reclaims == 0 {
+		t.Error("chaos run produced no lease reclaims — crashes did not bite")
+	}
+}

@@ -1,0 +1,505 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"radiocolor/internal/obs"
+)
+
+// File is the durable Store: an embedded append-log + snapshot store
+// in pure Go, safe for N colord processes sharing one directory.
+//
+// Layout:
+//
+//	dir/LOCK             flock target; every operation holds it exclusively
+//	dir/MANIFEST         {"generation":N}, replaced atomically at compaction
+//	dir/snapshot-N.json  full state at the start of generation N
+//	dir/log-N.jsonl      one record per mutation since snapshot N
+//
+// Every mutation appends one JSONL record under the flock, so all
+// processes observe a single serialized history; each handle keeps an
+// in-memory replica of the table and, still under the lock, replays
+// whatever the log grew by since its last operation. When the log
+// exceeds CompactBytes the mutating handle compacts: it writes the
+// next generation's snapshot, starts a fresh log, and flips MANIFEST —
+// other handles notice the generation change and reload. A torn final
+// log line (a writer killed mid-append) is truncated away on the next
+// operation; the record never committed, so nothing is lost.
+//
+// Durability model: records are in the OS page cache the moment the
+// append returns, which survives SIGKILL of the process; Sync upgrades
+// that to fsync-per-append, surviving power loss at a large throughput
+// cost.
+type File struct {
+	dir string
+	opt FileOptions
+
+	mu    sync.Mutex // serializes handle use within the process
+	lockf *os.File   // flock target, held only inside operations
+	logf  *os.File   // current generation's log
+	t     *table
+	gen   uint64
+	off   int64 // bytes of log consumed (== size after refresh)
+}
+
+// FileOptions tunes a File store. The zero value is usable.
+type FileOptions struct {
+	// Control receives store/lease metrics. May be nil.
+	Control *obs.Control
+	// CompactBytes triggers log→snapshot compaction when the log grows
+	// past it. Defaults to 4 MiB.
+	CompactBytes int64
+	// Sync fsyncs the log after every append (power-loss durability;
+	// SIGKILL safety does not need it).
+	Sync bool
+	// Warn receives one-line repair notices (torn tails, skipped
+	// malformed records). Defaults to log.Printf.
+	Warn func(msg string)
+}
+
+// manifest is the MANIFEST file body.
+type manifest struct {
+	Generation uint64 `json:"generation"`
+}
+
+// logRecord is one log line: a full job record (last one for an id
+// wins at replay) or a prune tombstone.
+type logRecord struct {
+	Job   *Job     `json:"job,omitempty"`
+	Prune []string `json:"prune,omitempty"`
+}
+
+// snapshotFile is the snapshot-N.json body.
+type snapshotFile struct {
+	Seq  uint64 `json:"seq"`
+	Jobs []*Job `json:"jobs"`
+}
+
+// OpenFile opens (creating if needed) the store directory.
+func OpenFile(dir string, opt FileOptions) (*File, error) {
+	if opt.CompactBytes <= 0 {
+		opt.CompactBytes = 4 << 20
+	}
+	if opt.Warn == nil {
+		opt.Warn = func(msg string) { log.Print(msg) }
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	lockf, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &File{dir: dir, opt: opt, lockf: lockf, t: newTable(opt.Control)}
+	if err := s.flock(); err != nil {
+		lockf.Close()
+		return nil, err
+	}
+	defer s.funlock()
+	if _, err := os.Stat(s.manifestPath()); errors.Is(err, fs.ErrNotExist) {
+		if err := s.writeManifest(0); err != nil {
+			lockf.Close()
+			return nil, err
+		}
+	}
+	if err := s.refresh(); err != nil {
+		lockf.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *File) manifestPath() string { return filepath.Join(s.dir, "MANIFEST") }
+func (s *File) logPath(gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("log-%d.jsonl", gen))
+}
+func (s *File) snapshotPath(gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("snapshot-%d.json", gen))
+}
+
+// flock takes the exclusive cross-process lock (blocking).
+func (s *File) flock() error {
+	for {
+		err := syscall.Flock(int(s.lockf.Fd()), syscall.LOCK_EX)
+		if err == nil {
+			return nil
+		}
+		if err != syscall.EINTR {
+			return fmt.Errorf("store: flock %s: %w", s.dir, err)
+		}
+	}
+}
+
+func (s *File) funlock() {
+	_ = syscall.Flock(int(s.lockf.Fd()), syscall.LOCK_UN)
+}
+
+// writeManifest atomically replaces MANIFEST. Caller holds the flock.
+func (s *File) writeManifest(gen uint64) error {
+	b, _ := json.Marshal(manifest{Generation: gen})
+	return s.writeAtomic(s.manifestPath(), append(b, '\n'))
+}
+
+func (s *File) readManifest() (uint64, error) {
+	b, err := os.ReadFile(s.manifestPath())
+	if err != nil {
+		return 0, fmt.Errorf("store: manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return 0, fmt.Errorf("store: manifest %s: %w", s.manifestPath(), err)
+	}
+	return m.Generation, nil
+}
+
+// writeAtomic writes via a temp file + rename so readers never see a
+// partial file.
+func (s *File) writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.opt.Sync {
+		if f, err := os.OpenFile(tmp, os.O_RDWR, 0); err == nil {
+			_ = f.Sync()
+			f.Close()
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// refresh brings the in-memory table up to date with the shared
+// history. Caller holds the flock.
+func (s *File) refresh() error {
+	gen, err := s.readManifest()
+	if err != nil {
+		return err
+	}
+	if s.logf == nil || gen != s.gen {
+		if err := s.loadGeneration(gen); err != nil {
+			return err
+		}
+		return nil
+	}
+	return s.replayNew()
+}
+
+// loadGeneration rebuilds the table from generation gen's snapshot and
+// full log. Caller holds the flock.
+func (s *File) loadGeneration(gen uint64) error {
+	t := newTable(s.opt.Control)
+	snap, err := os.ReadFile(s.snapshotPath(gen))
+	if err == nil {
+		var sf snapshotFile
+		if err := json.Unmarshal(snap, &sf); err != nil {
+			return fmt.Errorf("store: snapshot %s: %w", s.snapshotPath(gen), err)
+		}
+		for _, j := range sf.Jobs {
+			t.put(j)
+		}
+		if sf.Seq > t.seq {
+			t.seq = sf.Seq
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	logf, err := os.OpenFile(s.logPath(gen), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if s.logf != nil {
+		s.logf.Close()
+	}
+	s.logf, s.t, s.gen, s.off = logf, t, gen, 0
+	return s.replayNew()
+}
+
+// replayNew applies log records appended since s.off, repairing a torn
+// tail. Caller holds the flock, so no writer is mid-append: an
+// unterminated final line can only be the debris of a killed process.
+func (s *File) replayNew() error {
+	st, err := s.logf.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	size := st.Size()
+	if size == s.off {
+		return nil
+	}
+	if size < s.off {
+		// Cannot happen within a generation; reload defensively.
+		return s.loadGeneration(s.gen)
+	}
+	buf := make([]byte, size-s.off)
+	if _, err := s.logf.ReadAt(buf, s.off); err != nil {
+		return fmt.Errorf("store: log read: %w", err)
+	}
+	consumed := int64(0)
+	for {
+		nl := bytes.IndexByte(buf[consumed:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := buf[consumed : consumed+int64(nl)]
+		consumed += int64(nl) + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			s.opt.Warn(fmt.Sprintf("store: %s: skipping malformed record: %.120q", s.logPath(s.gen), line))
+			continue
+		}
+		switch {
+		case rec.Job != nil:
+			s.t.put(rec.Job)
+		case rec.Prune != nil:
+			s.t.remove(rec.Prune)
+		}
+	}
+	if consumed < size-s.off {
+		// Torn tail: the record never committed; truncate it away so
+		// the next append starts on a line boundary.
+		s.opt.Warn(fmt.Sprintf("store: %s: dropping torn final record (%d bytes) from a crashed writer",
+			s.logPath(s.gen), (size-s.off)-consumed))
+		s.opt.Control.AddTornTail()
+		if err := s.logf.Truncate(s.off + consumed); err != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	s.off += consumed
+	return nil
+}
+
+// appendRecords writes records to the log and compacts when it grew
+// past the threshold. Caller holds the flock and has refreshed.
+func (s *File) appendRecords(recs ...logRecord) error {
+	var buf bytes.Buffer
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("store: encode record: %w", err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	n, err := s.logf.Write(buf.Bytes())
+	s.off += int64(n)
+	if err != nil {
+		return fmt.Errorf("store: log append: %w", err)
+	}
+	if s.opt.Sync {
+		if err := s.logf.Sync(); err != nil {
+			return fmt.Errorf("store: log sync: %w", err)
+		}
+	}
+	if s.off > s.opt.CompactBytes {
+		return s.compact()
+	}
+	return nil
+}
+
+// compact writes the next generation's snapshot, starts a fresh log,
+// and flips MANIFEST. Caller holds the flock.
+func (s *File) compact() error {
+	next := s.gen + 1
+	sf := snapshotFile{Seq: s.t.seq, Jobs: s.t.order}
+	b, err := json.Marshal(sf)
+	if err != nil {
+		return fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	if err := s.writeAtomic(s.snapshotPath(next), b); err != nil {
+		return err
+	}
+	logf, err := os.OpenFile(s.logPath(next), os.O_CREATE|os.O_RDWR|os.O_TRUNC|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := s.writeManifest(next); err != nil {
+		logf.Close()
+		return err
+	}
+	// Old generation files are garbage now; removal is best-effort.
+	_ = os.Remove(s.snapshotPath(s.gen))
+	_ = os.Remove(s.logPath(s.gen))
+	s.logf.Close()
+	s.logf, s.gen, s.off = logf, next, 0
+	s.opt.Control.AddCompaction()
+	return nil
+}
+
+// do wraps one store operation in the process mutex + cross-process
+// flock + refresh.
+func (s *File) do(op func() error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lockf == nil {
+		return errors.New("store: closed")
+	}
+	if err := s.flock(); err != nil {
+		return err
+	}
+	defer s.funlock()
+	if err := s.refresh(); err != nil {
+		return err
+	}
+	return op()
+}
+
+// Create implements Store.
+func (s *File) Create(j *Job) error {
+	return s.do(func() error {
+		c := s.t.create(j)
+		j.ID, j.Seq, j.Kind, j.State = c.ID, c.Seq, c.Kind, c.State
+		return s.appendRecords(logRecord{Job: c})
+	})
+}
+
+// Get implements Store.
+func (s *File) Get(id string) (*Job, error) {
+	var out *Job
+	err := s.do(func() error {
+		j, err := s.t.get(id)
+		if err != nil {
+			return err
+		}
+		out = j.Clone()
+		return nil
+	})
+	return out, err
+}
+
+// List implements Store.
+func (s *File) List(f Filter) ([]*Job, error) {
+	var out []*Job
+	err := s.do(func() error {
+		out = s.t.list(f)
+		return nil
+	})
+	return out, err
+}
+
+// Counts implements Store.
+func (s *File) Counts() (map[State]int, error) {
+	var out map[State]int
+	err := s.do(func() error {
+		out = s.t.counts()
+		return nil
+	})
+	return out, err
+}
+
+// Claim implements Store.
+func (s *File) Claim(owner string, now time.Time, ttl time.Duration) (*Job, error) {
+	var out *Job
+	err := s.do(func() error {
+		j := s.t.claim(owner, now, ttl)
+		if j == nil {
+			return nil
+		}
+		out = j.Clone()
+		return s.appendRecords(logRecord{Job: j})
+	})
+	return out, err
+}
+
+// Heartbeat implements Store.
+func (s *File) Heartbeat(id, owner string, now time.Time, ttl time.Duration) (bool, error) {
+	var cancel bool
+	err := s.do(func() error {
+		j, c, err := s.t.heartbeat(id, owner, now, ttl)
+		if err != nil {
+			return err
+		}
+		cancel = c
+		return s.appendRecords(logRecord{Job: j})
+	})
+	return cancel, err
+}
+
+// Finish implements Store.
+func (s *File) Finish(id, owner string, state State, result json.RawMessage, errMsg string, now time.Time) error {
+	return s.do(func() error {
+		j, err := s.t.finish(id, owner, state, result, errMsg, now)
+		if err != nil {
+			return err
+		}
+		return s.appendRecords(logRecord{Job: j})
+	})
+}
+
+// Release implements Store.
+func (s *File) Release(id, owner string, now time.Time) error {
+	return s.do(func() error {
+		j, err := s.t.release(id, owner, now)
+		if err != nil {
+			return err
+		}
+		return s.appendRecords(logRecord{Job: j})
+	})
+}
+
+// RequestCancel implements Store.
+func (s *File) RequestCancel(id string, now time.Time) (*Job, bool, error) {
+	var out *Job
+	var did bool
+	err := s.do(func() error {
+		j, changed, err := s.t.requestCancel(id, now)
+		if err != nil {
+			return err
+		}
+		out = j.Clone()
+		did = changed
+		if !changed {
+			return nil
+		}
+		return s.appendRecords(logRecord{Job: j})
+	})
+	return out, did, err
+}
+
+// Prune implements Store.
+func (s *File) Prune(keep int) (int, error) {
+	var n int
+	err := s.do(func() error {
+		removed := s.t.prune(keep)
+		n = len(removed)
+		if n == 0 {
+			return nil
+		}
+		return s.appendRecords(logRecord{Prune: removed})
+	})
+	return n, err
+}
+
+// Durable implements Store: records survive the process.
+func (s *File) Durable() bool { return true }
+
+// Close implements Store.
+func (s *File) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lockf == nil {
+		return nil
+	}
+	if s.logf != nil {
+		s.logf.Close()
+		s.logf = nil
+	}
+	err := s.lockf.Close()
+	s.lockf = nil
+	return err
+}

@@ -1,0 +1,220 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"radiocolor/internal/obs"
+)
+
+func openFile(t *testing.T, dir string, opt FileOptions) *File {
+	t.Helper()
+	s, err := OpenFile(dir, opt)
+	if err != nil {
+		t.Fatalf("OpenFile(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestFileReopenPersists(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir, FileOptions{})
+	a := mustCreate(t, s, &Job{Spec: json.RawMessage(`{"n":64}`)})
+	b := mustCreate(t, s, &Job{})
+	if _, err := s.Claim("r1", base, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(a.ID, "r1", StateDone, json.RawMessage(`{"colors":5}`), "", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openFile(t, dir, FileOptions{})
+	got, err := s2.Get(a.ID)
+	if err != nil || got.State != StateDone || string(got.Result) != `{"colors":5}` {
+		t.Fatalf("reopened job a: %+v, %v", got, err)
+	}
+	if string(got.Spec) != `{"n":64}` {
+		t.Fatalf("spec lost across reopen: %s", got.Spec)
+	}
+	if got, _ := s2.Get(b.ID); got.State != StateQueued {
+		t.Fatalf("reopened job b: %+v", got)
+	}
+	// Sequence continues, no id reuse.
+	c := mustCreate(t, s2, &Job{})
+	if c.ID != "j-000003" {
+		t.Fatalf("seq after reopen: %s", c.ID)
+	}
+}
+
+func TestFileTornTailRepaired(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir, FileOptions{})
+	a := mustCreate(t, s, &Job{})
+	mustCreate(t, s, &Job{})
+	s.Close()
+
+	// Simulate a writer killed mid-append: a partial record with no
+	// trailing newline.
+	logPath := filepath.Join(dir, "log-0.jsonl")
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"job":{"id":"j-000001","seq":1,"kind":"job","state":"do`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var warns []string
+	ctrl := obs.NewControl()
+	s2 := openFile(t, dir, FileOptions{Control: ctrl, Warn: func(m string) { warns = append(warns, m) }})
+	got, err := s2.Get(a.ID)
+	if err != nil || got.State != StateQueued {
+		t.Fatalf("job after torn tail: %+v, %v", got, err)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "torn") {
+		t.Fatalf("warnings = %q", warns)
+	}
+	if ctrl.Snapshot().TornTails != 1 {
+		t.Fatalf("torn-tail counter = %d", ctrl.Snapshot().TornTails)
+	}
+	// The tail was physically truncated, so new appends land on a clean
+	// line boundary and survive a further reopen.
+	mustCreate(t, s2, &Job{})
+	s2.Close()
+	s3 := openFile(t, dir, FileOptions{})
+	all, err := s3.List(Filter{})
+	if err != nil || len(all) != 3 {
+		t.Fatalf("after repair+append: %d records, %v", len(all), err)
+	}
+}
+
+func TestFileMalformedLineSkippedWithWarning(t *testing.T) {
+	dir := t.TempDir()
+	s := openFile(t, dir, FileOptions{})
+	mustCreate(t, s, &Job{})
+	s.Close()
+
+	logPath := filepath.Join(dir, "log-0.jsonl")
+	f, _ := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	f.WriteString("this is not json\n")
+	f.Close()
+
+	var warns []string
+	s2 := openFile(t, dir, FileOptions{Warn: func(m string) { warns = append(warns, m) }})
+	all, err := s2.List(Filter{})
+	if err != nil || len(all) != 1 {
+		t.Fatalf("after malformed line: %d records, %v", len(all), err)
+	}
+	if len(warns) != 1 || !strings.Contains(warns[0], "malformed") {
+		t.Fatalf("warnings = %q", warns)
+	}
+}
+
+func TestFileCompactionRotatesGenerations(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny threshold: every few records trigger a compaction.
+	s := openFile(t, dir, FileOptions{CompactBytes: 512, Control: obs.NewControl()})
+	var ids []string
+	for i := 0; i < 20; i++ {
+		j := mustCreate(t, s, &Job{Spec: json.RawMessage(fmt.Sprintf(`{"i":%d}`, i))})
+		ids = append(ids, j.ID)
+	}
+	if s.gen == 0 {
+		t.Fatal("no compaction despite tiny threshold")
+	}
+	// Exactly one generation's files remain.
+	ents, _ := os.ReadDir(dir)
+	var logs, snaps []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "log-") {
+			logs = append(logs, e.Name())
+		}
+		if strings.HasPrefix(e.Name(), "snapshot-") {
+			snaps = append(snaps, e.Name())
+		}
+	}
+	if len(logs) != 1 || len(snaps) != 1 {
+		t.Fatalf("stale generation files: logs=%v snaps=%v", logs, snaps)
+	}
+	s.Close()
+
+	s2 := openFile(t, dir, FileOptions{})
+	for i, id := range ids {
+		j, err := s2.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s) after compaction: %v", id, err)
+		}
+		if want := fmt.Sprintf(`{"i":%d}`, i); string(j.Spec) != want {
+			t.Fatalf("spec %s = %s, want %s", id, j.Spec, want)
+		}
+	}
+}
+
+func TestFileCrossHandleVisibility(t *testing.T) {
+	dir := t.TempDir()
+	a := openFile(t, dir, FileOptions{})
+	b := openFile(t, dir, FileOptions{})
+
+	j := mustCreate(t, a, &Job{})
+	got, err := b.Get(j.ID)
+	if err != nil || got.State != StateQueued {
+		t.Fatalf("handle b missed create: %+v, %v", got, err)
+	}
+
+	claimed, err := b.Claim("rb", base, time.Hour)
+	if err != nil || claimed == nil || claimed.ID != j.ID {
+		t.Fatalf("handle b claim: %+v, %v", claimed, err)
+	}
+	// Handle a sees the live lease and cannot double-claim or commit.
+	if got, _ := a.Claim("ra", base.Add(time.Second), time.Hour); got != nil {
+		t.Fatalf("double claim across handles: %+v", got)
+	}
+	if err := a.Finish(j.ID, "ra", StateDone, nil, "", base); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("foreign finish across handles: %v", err)
+	}
+	if err := b.Finish(j.ID, "rb", StateDone, nil, "", base); err != nil {
+		t.Fatalf("owner finish: %v", err)
+	}
+	if got, _ := a.Get(j.ID); got.State != StateDone {
+		t.Fatalf("handle a missed finish: %+v", got)
+	}
+}
+
+func TestFileCrossHandleCompactionReload(t *testing.T) {
+	dir := t.TempDir()
+	a := openFile(t, dir, FileOptions{CompactBytes: 256})
+	b := openFile(t, dir, FileOptions{CompactBytes: 256})
+	var last *Job
+	for i := 0; i < 10; i++ {
+		last = mustCreate(t, a, &Job{})
+	}
+	if a.gen == 0 {
+		t.Fatal("no compaction")
+	}
+	// b's cached generation is stale; it must follow the MANIFEST flip.
+	got, err := b.Get(last.ID)
+	if err != nil || got.State != StateQueued {
+		t.Fatalf("handle b across compaction: %+v, %v", got, err)
+	}
+	if b.gen != a.gen {
+		t.Fatalf("handle b generation %d, want %d", b.gen, a.gen)
+	}
+	// And b can mutate in the new generation.
+	if _, err := b.Claim("rb", base, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := a.Get("j-000001"); got.State != StateRunning {
+		t.Fatalf("handle a missed post-compaction claim: %+v", got)
+	}
+}

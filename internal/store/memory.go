@@ -1,0 +1,116 @@
+package store
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"radiocolor/internal/obs"
+)
+
+// Memory is the process-local Store: the exact lease semantics of the
+// file backend without persistence. It backs colord when no store
+// directory is configured (single-replica, demo-grade) and serves as
+// the reference implementation for the conformance suite.
+type Memory struct {
+	mu sync.Mutex
+	t  *table
+}
+
+// NewMemory creates an empty in-memory store. ctrl may be nil.
+func NewMemory(ctrl *obs.Control) *Memory {
+	return &Memory{t: newTable(ctrl)}
+}
+
+// Create implements Store.
+func (m *Memory) Create(j *Job) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.t.create(j)
+	j.ID, j.Seq, j.Kind, j.State = c.ID, c.Seq, c.Kind, c.State
+	return nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, err := m.t.get(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.Clone(), nil
+}
+
+// List implements Store.
+func (m *Memory) List(f Filter) ([]*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t.list(f), nil
+}
+
+// Counts implements Store.
+func (m *Memory) Counts() (map[State]int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t.counts(), nil
+}
+
+// Claim implements Store.
+func (m *Memory) Claim(owner string, now time.Time, ttl time.Duration) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.t.claim(owner, now, ttl)
+	if j == nil {
+		return nil, nil
+	}
+	return j.Clone(), nil
+}
+
+// Heartbeat implements Store.
+func (m *Memory) Heartbeat(id, owner string, now time.Time, ttl time.Duration) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, cancel, err := m.t.heartbeat(id, owner, now, ttl)
+	return cancel, err
+}
+
+// Finish implements Store.
+func (m *Memory) Finish(id, owner string, state State, result json.RawMessage, errMsg string, now time.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := m.t.finish(id, owner, state, result, errMsg, now)
+	return err
+}
+
+// Release implements Store.
+func (m *Memory) Release(id, owner string, now time.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, err := m.t.release(id, owner, now)
+	return err
+}
+
+// RequestCancel implements Store.
+func (m *Memory) RequestCancel(id string, now time.Time) (*Job, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, changed, err := m.t.requestCancel(id, now)
+	if err != nil {
+		return nil, false, err
+	}
+	return j.Clone(), changed, nil
+}
+
+// Prune implements Store.
+func (m *Memory) Prune(keep int) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.t.prune(keep)), nil
+}
+
+// Durable implements Store: memory never survives the process.
+func (m *Memory) Durable() bool { return false }
+
+// Close implements Store.
+func (m *Memory) Close() error { return nil }

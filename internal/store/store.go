@@ -1,0 +1,501 @@
+// Package store is the durable job store behind colord: the control
+// plane that lets jobs survive process crashes and lets several
+// replicas share one backlog without double-running anything.
+//
+// A Store holds job records — spec, lifecycle state, lease, result —
+// and arbitrates work through a small lease state machine:
+//
+//	queued ──Claim──▶ running ──Finish──▶ done | failed | canceled | timed_out
+//	                    │  ▲
+//	          lease expiry │ Claim (reclaim; the signature of a crashed replica)
+//	                    ▼  │
+//	                   running (new owner)
+//
+// Claim leases the oldest eligible job to a replica until now+ttl;
+// Heartbeat extends the lease while the job runs and reports
+// cross-replica cancellation requests; Finish commits a terminal state
+// and is rejected with ErrLeaseLost if the lease moved — so at most
+// one replica's result ever commits, even when an expired lease made
+// two replicas run the same (deterministic) job. Release returns a
+// running job to the queue, preserving its attempt count (graceful
+// drain of a durable store).
+//
+// Two backends implement the interface. Memory is a process-local
+// store with the exact same semantics, used when colord runs without a
+// store directory and as the reference for the conformance suite. File
+// is the durable backend: an embedded append-log + snapshot store in
+// pure Go — every mutation appends one JSONL record under an exclusive
+// flock, so N processes sharing the directory observe a single
+// serialized history; the log compacts into a generation-numbered
+// snapshot when it grows. The interface is deliberately SQL-shaped
+// (CRUD + compare-and-set transitions keyed by owner) so a database
+// backend can slot in without touching the serving layer.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"radiocolor/internal/obs"
+)
+
+// State enumerates the job lifecycle. The strings are the wire
+// vocabulary of colord's API, shared with internal/serve.
+type State string
+
+const (
+	// StateQueued means the job is persisted and waiting to be claimed.
+	StateQueued State = "queued"
+	// StateRunning means a replica holds the job's lease.
+	StateRunning State = "running"
+	// StateDone means the job finished and Result is set.
+	StateDone State = "done"
+	// StateFailed means the job finished with an error.
+	StateFailed State = "failed"
+	// StateCanceled means the job was canceled before it finished.
+	StateCanceled State = "canceled"
+	// StateTimedOut means the job hit its wall-clock bound.
+	StateTimedOut State = "timed_out"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateTimedOut
+}
+
+// ParseState validates a state name (the list endpoint's filter).
+func ParseState(s string) (State, error) {
+	switch State(s) {
+	case StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateTimedOut:
+		return State(s), nil
+	}
+	return "", fmt.Errorf("store: unknown state %q", s)
+}
+
+// Job kinds: ordinary executable jobs and sweep parents (bookkeeping
+// records that fan out child jobs and hold the aggregate result; never
+// claimed).
+const (
+	KindJob   = "job"
+	KindSweep = "sweep"
+)
+
+// Job is one persisted record. All fields are exported for JSON; the
+// store owns the copies it returns (callers may mutate them freely).
+type Job struct {
+	// ID names the job ("j-000042", sweeps "s-000042"); assigned by
+	// Create from the store's sequence when empty.
+	ID string `json:"id"`
+	// Seq is the monotone admission sequence number — the deterministic
+	// order of List and Claim.
+	Seq uint64 `json:"seq"`
+	// Kind is KindJob or KindSweep.
+	Kind string `json:"kind"`
+	// Spec is the submission payload (a serve.JobRequest for jobs, a
+	// serve.SweepRequest for sweep parents), kept verbatim so any
+	// replica — or a rebooted process — can rebuild and run the job.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// State is the lifecycle state.
+	State State `json:"state"`
+	// Submitted, Started and Finished are lifecycle timestamps; Started
+	// is stamped by the first Claim.
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished"`
+	// Attempts counts claims — executions started, including reclaims
+	// after lease expiry.
+	Attempts int `json:"attempts,omitempty"`
+	// Owner is the replica currently holding the lease ("" unless
+	// running).
+	Owner string `json:"owner,omitempty"`
+	// LeaseUntil is the lease expiry; a running job whose lease passed
+	// is reclaimable.
+	LeaseUntil time.Time `json:"lease_until"`
+	// CancelRequested asks the owning replica to stop; it observes the
+	// flag at its next heartbeat.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+	// Error is the failure message for terminal non-done states.
+	Error string `json:"error,omitempty"`
+	// Result is the committed payload (a radiocolor.Outcome for jobs,
+	// an aggregate serve.SweepResult for sweep parents).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Parent is the sweep parent's ID for fan-out children.
+	Parent string `json:"parent,omitempty"`
+	// Cell is the child's index in its sweep grid.
+	Cell int `json:"cell,omitempty"`
+	// Cells is the child count on a sweep parent.
+	Cells int `json:"cells,omitempty"`
+}
+
+// Clone deep-copies the record.
+func (j *Job) Clone() *Job {
+	c := *j
+	c.Spec = append(json.RawMessage(nil), j.Spec...)
+	c.Result = append(json.RawMessage(nil), j.Result...)
+	return &c
+}
+
+// Filter selects jobs for List. Zero values mean "any".
+type Filter struct {
+	// State keeps only jobs in that state.
+	State State
+	// Kind keeps only KindJob or KindSweep records.
+	Kind string
+	// Parent keeps only children of that sweep.
+	Parent string
+	// Limit bounds the result count (0 = unlimited). Jobs are always
+	// returned in ascending Seq order, so a limited list is the
+	// deterministic prefix.
+	Limit int
+}
+
+// Sentinel errors. Callers branch on these with errors.Is.
+var (
+	// ErrNotFound reports an unknown job id.
+	ErrNotFound = errors.New("store: job not found")
+	// ErrLeaseLost reports an operation by a replica that no longer
+	// owns the job's lease — its work was reassigned and any result it
+	// produced must be discarded.
+	ErrLeaseLost = errors.New("store: lease lost")
+	// ErrTerminal reports a transition on an already-terminal job.
+	ErrTerminal = errors.New("store: job already terminal")
+)
+
+// Store is the pluggable durable job store. All implementations are
+// safe for concurrent use from one process; the file backend is
+// additionally safe across processes sharing a directory.
+type Store interface {
+	// Create persists a new record. When j.ID is empty it assigns the
+	// next sequence id ("j-…" / "s-…" by Kind); it always stamps j.Seq.
+	// The passed record is updated in place.
+	Create(j *Job) error
+	// Get returns a copy of the record, or ErrNotFound.
+	Get(id string) (*Job, error)
+	// List returns copies of matching records in ascending Seq order.
+	List(f Filter) ([]*Job, error)
+	// Counts returns the number of jobs per state (KindJob only — the
+	// admission gauge).
+	Counts() (map[State]int, error)
+	// Claim leases the oldest eligible job to owner until now+ttl and
+	// returns it, or (nil, nil) when nothing is claimable. Eligible:
+	// queued jobs and running jobs whose lease expired — never a live
+	// lease, not even the caller's own (one replica runs many claim
+	// loops under one owner name; a rebooted replica waits out its old
+	// lease). Sweep parents are never claimed.
+	Claim(owner string, now time.Time, ttl time.Duration) (*Job, error)
+	// Heartbeat extends the owner's lease to now+ttl and reports
+	// whether cancellation was requested. ErrLeaseLost when the job is
+	// no longer running under this owner.
+	Heartbeat(id, owner string, now time.Time, ttl time.Duration) (cancelRequested bool, err error)
+	// Finish commits a terminal state (and result) for a job the owner
+	// leases. An empty owner skips the lease check — used for sweep
+	// parents, which are never leased. ErrLeaseLost if the lease moved,
+	// ErrTerminal if something else already committed.
+	Finish(id, owner string, state State, result json.RawMessage, errMsg string, now time.Time) error
+	// Release returns the owner's running job to the queue (attempts
+	// preserved) so another replica — or the next boot — picks it up.
+	Release(id, owner string, now time.Time) error
+	// RequestCancel cancels a queued job immediately and flags a
+	// running one for its owner to stop; terminal jobs are left
+	// untouched. Returns the updated record and whether the call
+	// changed it (false for terminal and already-flagged jobs).
+	RequestCancel(id string, now time.Time) (*Job, bool, error)
+	// Prune drops the oldest terminal records beyond keep, never
+	// orphaning a live sweep: children are only pruned once their
+	// parent is terminal (the aggregate is committed by then), parents
+	// only together with their children. Returns the number removed.
+	Prune(keep int) (int, error)
+	// Durable reports whether records survive process exit. The
+	// serving layer keys its drain policy on it: queued jobs in a
+	// durable store outlive a graceful shutdown.
+	Durable() bool
+	// Close releases backend resources. The store is unusable after.
+	Close() error
+}
+
+// table is the in-memory state machine both backends share: a seq
+// counter plus records in admission order. It is not goroutine-safe;
+// each backend wraps it in its own locking. Every mutating method
+// returns the records it changed so the file backend can append
+// exactly those to its log.
+type table struct {
+	seq   uint64
+	jobs  map[string]*Job
+	order []*Job // ascending Seq
+	ctrl  *obs.Control
+}
+
+func newTable(ctrl *obs.Control) *table {
+	return &table{jobs: make(map[string]*Job), ctrl: ctrl}
+}
+
+// put installs a replayed record (last record for an id wins), keeping
+// order and the seq counter consistent. Used by log replay only.
+func (t *table) put(j *Job) {
+	if j.Seq > t.seq {
+		t.seq = j.Seq
+	}
+	if old, ok := t.jobs[j.ID]; ok {
+		*old = *j // keep the order slice's pointer
+		return
+	}
+	c := j.Clone()
+	t.jobs[j.ID] = c
+	// Replay is in append order and seqs are assigned monotonically, so
+	// appending keeps order sorted; tolerate out-of-order ids anyway.
+	if n := len(t.order); n > 0 && t.order[n-1].Seq > c.Seq {
+		i := n
+		for i > 0 && t.order[i-1].Seq > c.Seq {
+			i--
+		}
+		t.order = append(t.order, nil)
+		copy(t.order[i+1:], t.order[i:])
+		t.order[i] = c
+		return
+	}
+	t.order = append(t.order, c)
+}
+
+func (t *table) create(j *Job) *Job {
+	t.seq++
+	j.Seq = t.seq
+	if j.ID == "" {
+		prefix := "j"
+		if j.Kind == KindSweep {
+			prefix = "s"
+		}
+		j.ID = fmt.Sprintf("%s-%06d", prefix, t.seq)
+	}
+	if j.Kind == "" {
+		j.Kind = KindJob
+	}
+	if j.State == "" {
+		j.State = StateQueued
+	}
+	c := j.Clone()
+	t.jobs[c.ID] = c
+	t.order = append(t.order, c)
+	t.ctrl.AddStoreCreate()
+	return c
+}
+
+func (t *table) get(id string) (*Job, error) {
+	j, ok := t.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return j, nil
+}
+
+func (t *table) list(f Filter) []*Job {
+	var out []*Job
+	for _, j := range t.order {
+		if f.State != "" && j.State != f.State {
+			continue
+		}
+		if f.Kind != "" && j.Kind != f.Kind {
+			continue
+		}
+		if f.Parent != "" && j.Parent != f.Parent {
+			continue
+		}
+		out = append(out, j.Clone())
+		if f.Limit > 0 && len(out) == f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+func (t *table) counts() map[State]int {
+	m := make(map[State]int, 6)
+	for _, j := range t.order {
+		if j.Kind == KindJob {
+			m[j.State]++
+		}
+	}
+	return m
+}
+
+// claim picks the oldest eligible job; returns nil when none.
+func (t *table) claim(owner string, now time.Time, ttl time.Duration) *Job {
+	for _, j := range t.order {
+		if j.Kind != KindJob {
+			continue
+		}
+		reclaim := false
+		switch {
+		case j.State == StateQueued && !j.CancelRequested:
+		case j.State == StateRunning && j.LeaseUntil.Before(now):
+			// Expired lease: the owner is presumed dead. This is the only
+			// reclaim path — deliberately including a replica's own
+			// still-valid leases, because one replica runs many claim
+			// loops (worker goroutines) under a single owner name and an
+			// own-lease shortcut would let them steal each other's live
+			// jobs. A rebooted replica simply waits out its old lease.
+			reclaim = true
+		default:
+			continue
+		}
+		j.State = StateRunning
+		j.Owner = owner
+		j.LeaseUntil = now.Add(ttl)
+		j.Attempts++
+		if j.Started.IsZero() {
+			j.Started = now
+		}
+		t.ctrl.AddClaim()
+		if reclaim {
+			t.ctrl.AddReclaim()
+		}
+		return j
+	}
+	return nil
+}
+
+func (t *table) heartbeat(id, owner string, now time.Time, ttl time.Duration) (*Job, bool, error) {
+	j, err := t.get(id)
+	if err != nil {
+		return nil, false, err
+	}
+	if j.State != StateRunning || j.Owner != owner {
+		t.ctrl.AddLeaseLost()
+		return nil, false, fmt.Errorf("%w: %s is %s (owner %q)", ErrLeaseLost, id, j.State, j.Owner)
+	}
+	j.LeaseUntil = now.Add(ttl)
+	t.ctrl.AddHeartbeat()
+	return j, j.CancelRequested, nil
+}
+
+func (t *table) finish(id, owner string, state State, result json.RawMessage, errMsg string, now time.Time) (*Job, error) {
+	if !state.Terminal() {
+		return nil, fmt.Errorf("store: finish with non-terminal state %q", state)
+	}
+	j, err := t.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if j.State.Terminal() {
+		return nil, fmt.Errorf("%w: %s is %s", ErrTerminal, id, j.State)
+	}
+	if owner != "" && j.Owner != owner {
+		t.ctrl.AddLeaseLost()
+		return nil, fmt.Errorf("%w: %s owned by %q, not %q", ErrLeaseLost, id, j.Owner, owner)
+	}
+	j.State = state
+	j.Result = append(json.RawMessage(nil), result...)
+	j.Error = errMsg
+	j.Finished = now
+	j.Owner = ""
+	j.LeaseUntil = time.Time{}
+	t.ctrl.AddStoreFinish()
+	return j, nil
+}
+
+func (t *table) release(id, owner string, now time.Time) (*Job, error) {
+	j, err := t.get(id)
+	if err != nil {
+		return nil, err
+	}
+	if j.State != StateRunning || j.Owner != owner {
+		t.ctrl.AddLeaseLost()
+		return nil, fmt.Errorf("%w: cannot release %s (%s, owner %q)", ErrLeaseLost, id, j.State, j.Owner)
+	}
+	j.State = StateQueued
+	j.Owner = ""
+	j.LeaseUntil = time.Time{}
+	t.ctrl.AddRelease()
+	return j, nil
+}
+
+func (t *table) requestCancel(id string, now time.Time) (*Job, bool, error) {
+	j, err := t.get(id)
+	if err != nil {
+		return nil, false, err
+	}
+	changed := false
+	switch j.State {
+	case StateQueued:
+		j.State = StateCanceled
+		j.Finished = now
+		changed = true
+		t.ctrl.AddStoreCancel()
+	case StateRunning:
+		if !j.CancelRequested {
+			j.CancelRequested = true
+			changed = true
+			t.ctrl.AddStoreCancel()
+		}
+	}
+	return j, changed, nil
+}
+
+// remove drops records by id — the replay side of a prune tombstone.
+// Used by log replay only, so it bypasses the prunable checks (the
+// writer already made them).
+func (t *table) remove(ids []string) {
+	drop := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := t.jobs[id]; ok {
+			drop[id] = true
+			delete(t.jobs, id)
+		}
+	}
+	if len(drop) == 0 {
+		return
+	}
+	kept := t.order[:0]
+	for _, j := range t.order {
+		if !drop[j.ID] {
+			kept = append(kept, j)
+		}
+	}
+	t.order = kept
+}
+
+// prune removes the oldest terminal records beyond keep. A sweep's
+// children count as prunable only once the parent is terminal (its
+// aggregate result is committed by then); parents are pruned like any
+// other terminal record, oldest first — and since a parent only
+// becomes terminal after its children, the children are at least as
+// old and leave with or before it.
+func (t *table) prune(keep int) []string {
+	prunable := func(j *Job) bool {
+		if !j.State.Terminal() {
+			return false
+		}
+		if j.Parent != "" {
+			p, ok := t.jobs[j.Parent]
+			if ok && !p.State.Terminal() {
+				return false
+			}
+		}
+		return true
+	}
+	total := 0
+	for _, j := range t.order {
+		if prunable(j) {
+			total++
+		}
+	}
+	if total <= keep {
+		return nil
+	}
+	drop := total - keep
+	var removed []string
+	kept := t.order[:0]
+	for _, j := range t.order {
+		if drop > 0 && prunable(j) {
+			delete(t.jobs, j.ID)
+			removed = append(removed, j.ID)
+			drop--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	t.order = kept
+	t.ctrl.AddStorePrunes(int64(len(removed)))
+	return removed
+}

@@ -1,0 +1,441 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"radiocolor/internal/obs"
+)
+
+// The conformance suite runs every Store behavior against both
+// backends; Memory is the reference semantics, File must match.
+
+var base = time.Unix(1700000000, 0).UTC()
+
+func backends(t *testing.T) map[string]Store {
+	t.Helper()
+	f, err := OpenFile(t.TempDir(), FileOptions{Control: obs.NewControl()})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return map[string]Store{
+		"memory": NewMemory(obs.NewControl()),
+		"file":   f,
+	}
+}
+
+func mustCreate(t *testing.T, s Store, j *Job) *Job {
+	t.Helper()
+	if j.Submitted.IsZero() {
+		j.Submitted = base
+	}
+	if err := s.Create(j); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return j
+}
+
+func TestCreateAssignsIDsAndOrder(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			j1 := mustCreate(t, s, &Job{Spec: json.RawMessage(`{"n":1}`)})
+			j2 := mustCreate(t, s, &Job{})
+			sw := mustCreate(t, s, &Job{Kind: KindSweep})
+			if j1.ID != "j-000001" || j2.ID != "j-000002" || sw.ID != "s-000003" {
+				t.Fatalf("ids = %q %q %q", j1.ID, j2.ID, sw.ID)
+			}
+			if j1.Seq != 1 || j2.Seq != 2 || sw.Seq != 3 {
+				t.Fatalf("seqs = %d %d %d", j1.Seq, j2.Seq, sw.Seq)
+			}
+			if j1.State != StateQueued || j1.Kind != KindJob {
+				t.Fatalf("defaults: state=%s kind=%s", j1.State, j1.Kind)
+			}
+			all, err := s.List(Filter{})
+			if err != nil || len(all) != 3 {
+				t.Fatalf("List: %v, %d records", err, len(all))
+			}
+			for i, j := range all {
+				if j.Seq != uint64(i+1) {
+					t.Fatalf("List out of order at %d: seq %d", i, j.Seq)
+				}
+			}
+			got, err := s.Get(j1.ID)
+			if err != nil || string(got.Spec) != `{"n":1}` {
+				t.Fatalf("Get: %v spec=%s", err, got.Spec)
+			}
+			if _, err := s.Get("j-999999"); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get missing: %v", err)
+			}
+		})
+	}
+}
+
+func TestClaimLifecycle(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			a := mustCreate(t, s, &Job{})
+			b := mustCreate(t, s, &Job{})
+			ttl := 10 * time.Second
+
+			got, err := s.Claim("r1", base, ttl)
+			if err != nil || got == nil || got.ID != a.ID {
+				t.Fatalf("Claim = %v, %v (want %s)", got, err, a.ID)
+			}
+			if got.State != StateRunning || got.Owner != "r1" || got.Attempts != 1 {
+				t.Fatalf("claimed record: %+v", got)
+			}
+			if !got.LeaseUntil.Equal(base.Add(ttl)) || !got.Started.Equal(base) {
+				t.Fatalf("lease/start: %v %v", got.LeaseUntil, got.Started)
+			}
+
+			cancel, err := s.Heartbeat(a.ID, "r1", base.Add(time.Second), ttl)
+			if err != nil || cancel {
+				t.Fatalf("Heartbeat = %v, %v", cancel, err)
+			}
+			if j, _ := s.Get(a.ID); !j.LeaseUntil.Equal(base.Add(11 * time.Second)) {
+				t.Fatalf("lease not extended: %v", j.LeaseUntil)
+			}
+
+			res := json.RawMessage(`{"colors":7}`)
+			if err := s.Finish(a.ID, "r1", StateDone, res, "", base.Add(2*time.Second)); err != nil {
+				t.Fatalf("Finish: %v", err)
+			}
+			j, _ := s.Get(a.ID)
+			if j.State != StateDone || string(j.Result) != `{"colors":7}` || j.Owner != "" {
+				t.Fatalf("finished record: %+v", j)
+			}
+
+			got, err = s.Claim("r1", base.Add(3*time.Second), ttl)
+			if err != nil || got == nil || got.ID != b.ID {
+				t.Fatalf("second Claim = %v, %v (want %s)", got, err, b.ID)
+			}
+			if got, _ := s.Claim("r2", base.Add(3*time.Second), ttl); got != nil {
+				t.Fatalf("empty Claim returned %+v", got)
+			}
+		})
+	}
+}
+
+func TestClaimReclaimsExpiredLease(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			a := mustCreate(t, s, &Job{})
+			ttl := 5 * time.Second
+			if _, err := s.Claim("r1", base, ttl); err != nil {
+				t.Fatalf("Claim: %v", err)
+			}
+
+			// Lease still live: another replica gets nothing.
+			if got, _ := s.Claim("r2", base.Add(4*time.Second), ttl); got != nil {
+				t.Fatalf("live lease reclaimed: %+v", got)
+			}
+
+			// Expired: r2 takes over; r1's heartbeat and commit must fail.
+			late := base.Add(6 * time.Second)
+			got, err := s.Claim("r2", late, ttl)
+			if err != nil || got == nil || got.ID != a.ID || got.Attempts != 2 {
+				t.Fatalf("reclaim = %+v, %v", got, err)
+			}
+			if _, err := s.Heartbeat(a.ID, "r1", late, ttl); !errors.Is(err, ErrLeaseLost) {
+				t.Fatalf("stale heartbeat: %v", err)
+			}
+			if err := s.Finish(a.ID, "r1", StateDone, nil, "", late); !errors.Is(err, ErrLeaseLost) {
+				t.Fatalf("stale finish: %v", err)
+			}
+			if err := s.Finish(a.ID, "r2", StateDone, json.RawMessage(`1`), "", late); err != nil {
+				t.Fatalf("owner finish: %v", err)
+			}
+		})
+	}
+}
+
+func TestClaimOwnLeaseNotStolen(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			a := mustCreate(t, s, &Job{})
+			if _, err := s.Claim("r1", base, time.Hour); err != nil {
+				t.Fatalf("Claim: %v", err)
+			}
+			// A replica's own live lease is NOT reclaimable: one replica
+			// runs many worker loops under one owner name, and an
+			// own-lease shortcut would let them steal each other's jobs.
+			if got, err := s.Claim("r1", base.Add(time.Second), time.Hour); err != nil || got != nil {
+				t.Fatalf("own live lease stolen: %+v, %v", got, err)
+			}
+			// After expiry the same owner reclaims like anyone else (the
+			// rebooted-replica path).
+			got, err := s.Claim("r1", base.Add(2*time.Hour), time.Hour)
+			if err != nil || got == nil || got.ID != a.ID || got.Attempts != 2 {
+				t.Fatalf("own reclaim after expiry = %+v, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestFinishGuards(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			a := mustCreate(t, s, &Job{})
+			if _, err := s.Claim("r1", base, time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Finish(a.ID, "r1", StateRunning, nil, "", base); err == nil {
+				t.Fatal("Finish accepted non-terminal state")
+			}
+			if err := s.Finish(a.ID, "r1", StateFailed, nil, "boom", base); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Finish(a.ID, "r1", StateDone, nil, "", base); !errors.Is(err, ErrTerminal) {
+				t.Fatalf("double finish: %v", err)
+			}
+			// Owner "" bypasses the lease check (sweep parents).
+			sw := mustCreate(t, s, &Job{Kind: KindSweep})
+			if err := s.Finish(sw.ID, "", StateDone, json.RawMessage(`{}`), "", base); err != nil {
+				t.Fatalf("ownerless finish: %v", err)
+			}
+		})
+	}
+}
+
+func TestReleaseRequeues(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			a := mustCreate(t, s, &Job{})
+			if _, err := s.Claim("r1", base, time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Release(a.ID, "r2", base); !errors.Is(err, ErrLeaseLost) {
+				t.Fatalf("foreign release: %v", err)
+			}
+			if err := s.Release(a.ID, "r1", base); err != nil {
+				t.Fatalf("Release: %v", err)
+			}
+			j, _ := s.Get(a.ID)
+			if j.State != StateQueued || j.Owner != "" || j.Attempts != 1 {
+				t.Fatalf("released record: %+v", j)
+			}
+			got, err := s.Claim("r2", base.Add(time.Second), time.Hour)
+			if err != nil || got == nil || got.ID != a.ID || got.Attempts != 2 {
+				t.Fatalf("re-claim after release = %+v, %v", got, err)
+			}
+		})
+	}
+}
+
+func TestRequestCancel(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mustCreate(t, s, &Job{})
+			r := mustCreate(t, s, &Job{})
+
+			// Queued: canceled immediately and never claimable.
+			j, changed, err := s.RequestCancel(q.ID, base)
+			if err != nil || !changed || j.State != StateCanceled || j.Finished.IsZero() {
+				t.Fatalf("cancel queued = %+v, %v, %v", j, changed, err)
+			}
+
+			got, err := s.Claim("r1", base, time.Hour)
+			if err != nil || got == nil || got.ID != r.ID {
+				t.Fatalf("Claim after cancel = %+v, %v (want %s)", got, err, r.ID)
+			}
+			// Running: flagged, reported via heartbeat, still running.
+			j, changed, err = s.RequestCancel(r.ID, base)
+			if err != nil || !changed || j.State != StateRunning || !j.CancelRequested {
+				t.Fatalf("cancel running = %+v, %v, %v", j, changed, err)
+			}
+			cancel, err := s.Heartbeat(r.ID, "r1", base, time.Hour)
+			if err != nil || !cancel {
+				t.Fatalf("Heartbeat after cancel = %v, %v", cancel, err)
+			}
+			if err := s.Finish(r.ID, "r1", StateCanceled, nil, "canceled", base); err != nil {
+				t.Fatal(err)
+			}
+			// Terminal: no-op, state preserved.
+			j, changed, err = s.RequestCancel(r.ID, base)
+			if err != nil || changed || j.State != StateCanceled {
+				t.Fatalf("cancel terminal = %+v, %v, %v", j, changed, err)
+			}
+		})
+	}
+}
+
+func TestCountsExcludeSweepParents(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			mustCreate(t, s, &Job{})
+			mustCreate(t, s, &Job{})
+			mustCreate(t, s, &Job{Kind: KindSweep})
+			if _, err := s.Claim("r1", base, time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			c, err := s.Counts()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c[StateQueued] != 1 || c[StateRunning] != 1 || len(c) != 2 {
+				t.Fatalf("Counts = %v", c)
+			}
+		})
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			sw := mustCreate(t, s, &Job{Kind: KindSweep, Cells: 2})
+			mustCreate(t, s, &Job{Parent: sw.ID, Cell: 0})
+			mustCreate(t, s, &Job{Parent: sw.ID, Cell: 1})
+			mustCreate(t, s, &Job{})
+
+			kids, _ := s.List(Filter{Parent: sw.ID})
+			if len(kids) != 2 || kids[0].Cell != 0 || kids[1].Cell != 1 {
+				t.Fatalf("Parent filter: %+v", kids)
+			}
+			sweeps, _ := s.List(Filter{Kind: KindSweep})
+			if len(sweeps) != 1 || sweeps[0].ID != sw.ID {
+				t.Fatalf("Kind filter: %+v", sweeps)
+			}
+			queued, _ := s.List(Filter{State: StateQueued, Kind: KindJob, Limit: 2})
+			if len(queued) != 2 || queued[0].Cell != 0 || queued[1].Cell != 1 {
+				t.Fatalf("Limit prefix: %+v", queued)
+			}
+		})
+	}
+}
+
+func TestPruneKeepsLiveSweepChildren(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			// Four standalone terminal jobs, plus a live sweep whose
+			// terminal child must be immune until the parent finishes.
+			var plain []*Job
+			for i := 0; i < 4; i++ {
+				j := mustCreate(t, s, &Job{})
+				plain = append(plain, j)
+				if _, err := s.Claim("r1", base, time.Hour); err != nil {
+					t.Fatal(err)
+				}
+				if err := s.Finish(j.ID, "r1", StateDone, nil, "", base); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sw := mustCreate(t, s, &Job{Kind: KindSweep, Cells: 1})
+			kid := mustCreate(t, s, &Job{Parent: sw.ID})
+			if _, err := s.Claim("r1", base, time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Finish(kid.ID, "r1", StateDone, nil, "", base); err != nil {
+				t.Fatal(err)
+			}
+
+			// Prunable set is the 4 plain jobs only — the live sweep's
+			// child is protected — so keep=2 drops the 2 oldest.
+			n, err := s.Prune(2)
+			if err != nil || n != 2 {
+				t.Fatalf("Prune = %d, %v (want 2: child protected)", n, err)
+			}
+			if _, err := s.Get(plain[0].ID); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("oldest survived prune: %v", err)
+			}
+			if _, err := s.Get(kid.ID); err != nil {
+				t.Fatalf("live sweep's child pruned: %v", err)
+			}
+
+			// Parent terminal → child becomes prunable.
+			if err := s.Finish(sw.ID, "", StateDone, nil, "", base); err != nil {
+				t.Fatal(err)
+			}
+			if n, _ := s.Prune(0); n != 4 {
+				t.Fatalf("final prune = %d (want 4)", n)
+			}
+			left, _ := s.List(Filter{})
+			if len(left) != 0 {
+				t.Fatalf("records left: %+v", left)
+			}
+		})
+	}
+}
+
+func TestSeqSurvivesPrune(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			j := mustCreate(t, s, &Job{})
+			if _, err := s.Claim("r1", base, time.Hour); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Finish(j.ID, "r1", StateDone, nil, "", base); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Prune(0); err != nil {
+				t.Fatal(err)
+			}
+			next := mustCreate(t, s, &Job{})
+			if next.Seq != 2 || next.ID != "j-000002" {
+				t.Fatalf("seq reused after prune: %+v", next)
+			}
+		})
+	}
+}
+
+func TestParseState(t *testing.T) {
+	for _, ok := range []string{"queued", "running", "done", "failed", "canceled", "timed_out"} {
+		if _, err := ParseState(ok); err != nil {
+			t.Fatalf("ParseState(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParseState("exploded"); err == nil {
+		t.Fatal("ParseState accepted garbage")
+	}
+}
+
+func TestConcurrentClaimNoDuplicates(t *testing.T) {
+	for name, s := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			const jobs, workers = 40, 8
+			for i := 0; i < jobs; i++ {
+				mustCreate(t, s, &Job{})
+			}
+			claims := make(chan string, jobs*2)
+			done := make(chan struct{})
+			for w := 0; w < workers; w++ {
+				owner := fmt.Sprintf("r%d", w)
+				go func() {
+					defer func() { done <- struct{}{} }()
+					for {
+						j, err := s.Claim(owner, base, time.Hour)
+						if err != nil {
+							t.Errorf("Claim: %v", err)
+							return
+						}
+						if j == nil {
+							return
+						}
+						claims <- j.ID
+						if err := s.Finish(j.ID, owner, StateDone, nil, "", base); err != nil {
+							t.Errorf("Finish: %v", err)
+							return
+						}
+					}
+				}()
+			}
+			for w := 0; w < workers; w++ {
+				<-done
+			}
+			close(claims)
+			seen := make(map[string]bool)
+			for id := range claims {
+				if seen[id] {
+					t.Fatalf("job %s claimed twice", id)
+				}
+				seen[id] = true
+			}
+			if len(seen) != jobs {
+				t.Fatalf("claimed %d of %d jobs", len(seen), jobs)
+			}
+		})
+	}
+}
