@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short race bench fuzz chaos medium experiments examples serve replicas clean
+.PHONY: all build test short race bench fuzz chaos churn medium experiments examples serve replicas clean
 
 all: build test
 
@@ -27,11 +27,22 @@ fuzz:
 	$(GO) test -fuzz FuzzReadDeployment -fuzztime 30s ./internal/topology/
 	$(GO) test -fuzz FuzzParseProfile -fuzztime 30s ./internal/fault/
 	$(GO) test -fuzz FuzzParseSpec -fuzztime 30s ./internal/medium/
+	$(GO) test -fuzz FuzzParseSchedule -fuzztime 30s ./internal/churn/
+	$(GO) test -fuzz FuzzReadTrace -fuzztime 30s ./internal/topology/
+	$(GO) test -fuzz FuzzParseChurn -fuzztime 30s .
 
 # Chaos smoke: fault-injection property tests under the race detector.
 chaos:
 	$(GO) test -race -run 'TestSurvivorsProperlyColoredUnderFaults|TestSINRSurvivorsProperlyColored' ./internal/verify/
 	$(GO) test -race -run 'TestFault' ./internal/radio/ ./internal/fault/
+
+# Dynamic-topology suite: the churn schedule/plan layer, the engine's
+# churn seam, and the present-subgraph chaos property test under every
+# wakeup schedule — all under the race detector.
+churn:
+	$(GO) test -race ./internal/churn/ ./internal/baseline/cds/
+	$(GO) test -race -run 'TestChurn' ./internal/radio/ .
+	$(GO) test -race -run 'TestPresentProperlyColoredUnderChurn' ./internal/verify/
 
 # Reception-model suite: the medium seam, the SINR/multichannel engines,
 # the differential tests against the builtin kernel, and the FP baseline.

@@ -72,6 +72,8 @@ func BenchmarkE22Collection(b *testing.B)   { benchExperiment(b, "E22") }
 func BenchmarkE23Adversary(b *testing.B)    { benchExperiment(b, "E23") }
 func BenchmarkE24Faults(b *testing.B)       { benchExperiment(b, "E24") }
 func BenchmarkE25CrossModel(b *testing.B)   { benchExperiment(b, "E25") }
+func BenchmarkE26TiledKernel(b *testing.B)  { benchExperiment(b, "E26") }
+func BenchmarkE27RecolorChurn(b *testing.B) { benchExperiment(b, "E27") }
 
 // benchSuite runs a representative experiment subset end to end at the
 // given fleet worker count. The Sequential/Parallel pair measures the

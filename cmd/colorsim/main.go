@@ -8,6 +8,7 @@
 //	colorsim -topology big -walls 30 -n 150
 //	colorsim -topology clique -n 24 -v
 //	colorsim -faults loss=0.05,crash=3@500:900 -n 100
+//	colorsim -churn leave=3@500,join=3@900,move=7@1000:2:2 -n 100
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"syscall"
 	"time"
 
+	"radiocolor/internal/churn"
 	"radiocolor/internal/core"
 	"radiocolor/internal/experiment"
 	"radiocolor/internal/fault"
@@ -53,6 +55,7 @@ func main() {
 		benchK   = flag.Bool("bench-kernel", false, "time the CSR kernel against the reference slot loop on this deployment and exit")
 		tile     = flag.Int("tile", 0, "tiled slot kernel: -1 picks a tile count (~32k-node tiles), >1 fixes it, 0 untiled; first renumbers the deployment along the spatial locality pass, so printed node ids follow the relabeled order")
 		faults   = flag.String("faults", "", "inject faults, e.g. loss=0.05,burst=0.1/64,crash=3@500:900,jam=100:400,skew=0.25 (seed= defaults to -seed)")
+		churnF   = flag.String("churn", "", "dynamic topology, e.g. join=3@500,leave=7@900,move=0@1000:2:2,every=16,repair=retract|none (node ids follow -tile relabeling when tiled)")
 		mediumF  = flag.String("medium", "", "reception model: graph | sinr,alpha=4,beta=1.5,noise=-90 | multichannel,k=4 (empty = built-in graph rule)")
 		saveFile = flag.String("save", "", "write the generated deployment to this file and exit")
 		loadFile = flag.String("load", "", "load the deployment from this file instead of generating")
@@ -178,6 +181,37 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	// Dynamic topology: parse the schedule and compile it against the
+	// deployment (node positions feed waypoint mobility when present).
+	// Churn owns the graph's edge set mid-run, so it cannot combine
+	// with a medium (bound to a static graph) or clock skew (the
+	// half-slot engine has no churn seam).
+	var chSch *churn.Schedule
+	var chPlan *churn.Plan
+	if *churnF != "" {
+		chSch, err = churn.ParseSchedule(*churnF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+			os.Exit(2)
+		}
+		if inj.HasSkew() {
+			fmt.Fprintln(os.Stderr, "colorsim: -churn cannot combine with clock-skew faults (the half-slot engine has no churn seam)")
+			os.Exit(2)
+		}
+		env := churn.Env{G: d.G}
+		if len(chSch.Waypoints) > 0 {
+			if d.Points == nil {
+				fmt.Fprintln(os.Stderr, "colorsim: waypoint mobility needs a geometric topology (node positions)")
+				os.Exit(2)
+			}
+			env.Points, env.Radius = d.Points, d.Radius
+		}
+		chPlan, err = chSch.Compile(env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "colorsim:", err)
+			os.Exit(2)
+		}
+	}
 	// Reception medium: parse the spec, check it against the deployment
 	// (SINR needs positions, no medium composes with clock skew), and
 	// bind it for the run.
@@ -188,6 +222,10 @@ func main() {
 	} else if spec != nil {
 		if inj.HasSkew() {
 			fmt.Fprintln(os.Stderr, "colorsim: -medium cannot combine with clock-skew faults (the half-slot engine has no medium seam)")
+			os.Exit(2)
+		}
+		if chPlan != nil {
+			fmt.Fprintln(os.Stderr, "colorsim: -medium cannot combine with -churn (media bind to a static graph)")
 			os.Exit(2)
 		}
 		if spec.Kind == medium.KindSINR && d.Points == nil {
@@ -216,6 +254,7 @@ func main() {
 		Observer: radio.CollectorObserver(collector),
 		Metrics:  met,
 		Faults:   inj,
+		Churn:    chPlan,
 		Medium:   med,
 		Tiles:    *tile,
 	}
@@ -255,7 +294,13 @@ func main() {
 			leaders++
 		}
 	}
-	report := verify.Check(d.G, colors)
+	// A churned run is judged against the topology it ended with, not
+	// the one it started from: mobility and departures change both.
+	vg := d.G
+	if chPlan != nil {
+		vg = chPlan.FinalGraph(d.G)
+	}
+	report := verify.Check(vg, colors)
 
 	fmt.Printf("topology   : %s (n=%d, m=%d, Δ=%d, κ₁=%d, κ₂=%d)\n",
 		d.Name, d.N(), d.G.M(), par.Delta, par.Kappa1, par.Kappa2)
@@ -273,11 +318,19 @@ func main() {
 	fmt.Printf("coloring   : %v\n", report)
 	fmt.Printf("leaders    : %d (color 0)\n", leaders)
 	var srep *verify.SurvivorReport
-	if inj != nil {
-		srep = verify.CheckSurvivors(d.G, colors, verify.DownSet(d.N(), res.Down))
-		fmt.Printf("faults     : %s\n", prof)
-		fmt.Printf("             lost=%d jammed=%d crashes=%d restarts=%d down=%d\n",
-			res.Lost, res.Jammed, res.Crashes, res.Restarts, len(res.Down))
+	if inj != nil || chPlan != nil {
+		srep = verify.CheckSurvivorsScoped(vg, colors,
+			verify.DownSet(d.N(), res.Down), verify.DownSet(d.N(), res.Left))
+		if inj != nil {
+			fmt.Printf("faults     : %s\n", prof)
+			fmt.Printf("             lost=%d jammed=%d crashes=%d restarts=%d down=%d\n",
+				res.Lost, res.Jammed, res.Crashes, res.Restarts, len(res.Down))
+		}
+		if chPlan != nil {
+			fmt.Printf("churn      : %s\n", chSch)
+			fmt.Printf("             joins=%d leaves=%d repaired=%d left=%d\n",
+				res.Joins, res.Leaves, res.ConflictsRepaired, len(res.Left))
+		}
 		verdict := "graceful degradation"
 		if srep.Hard() {
 			verdict = "HARD FAILURE"
@@ -293,7 +346,7 @@ func main() {
 		fmt.Printf("latency T_v: mean=%.0f median=%.0f p90=%.0f max=%.0f slots\n",
 			s.Mean, s.Median, s.P90, s.Max)
 	}
-	if viol := verify.CheckLocality(d.G, colors, par.Kappa2); len(viol) == 0 {
+	if viol := verify.CheckLocality(vg, colors, par.Kappa2); len(viol) == 0 {
 		fmt.Println("locality   : φ_v ≤ (κ₂+1)·θ_v holds at every node (Theorem 4)")
 	} else {
 		fmt.Printf("locality   : %d violations (first: %+v)\n", len(viol), viol[0])
@@ -352,11 +405,11 @@ func main() {
 			fmt.Printf("svg        : wrote %s\n", *svgFile)
 		}
 	}
-	// Verdict: a faulted run may legitimately end incomplete (crashed
-	// nodes hold no color); only a hard violation — two live adjacent
-	// nodes sharing a color — fails it. Fault-free runs keep the strict
-	// completeness bar.
-	if inj != nil {
+	// Verdict: a faulted or churned run may legitimately end incomplete
+	// (crashed nodes hold no color, departed nodes left scope); only a
+	// hard violation — two live adjacent nodes sharing a color — fails
+	// it. Fault- and churn-free runs keep the strict completeness bar.
+	if inj != nil || chPlan != nil {
 		if srep.Hard() {
 			os.Exit(1)
 		}

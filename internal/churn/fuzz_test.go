@@ -1,0 +1,37 @@
+package churn
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSchedule checks that the parser never panics, that whatever
+// it accepts passes structural validation, and that String round-trips
+// through a second parse.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("")
+	f.Add("leave=3@500")
+	f.Add("join=12@200,leave=12@900,repair=retract")
+	f.Add("move=7@1000:2.5:3.5,move=7@2000:0:0,every=32")
+	f.Add("seed=42,join=0@1")
+	f.Add("join=1@5,leave=2@3,repair=none")
+	f.Add("move=1@5:NaN:2")
+	f.Add("leave=1@5,leave=1@9")
+	f.Add("join=,@@")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseSchedule(src)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(0); err != nil {
+			t.Fatalf("accepted schedule fails Validate: %v", err)
+		}
+		s2, err := ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("String() output %q does not reparse: %v", s.String(), err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", s, s2)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package churn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSchedule parses the compact textual churn syntax shared by
+// cmd/colorsim -churn and the serve job API's "churn" field:
+//
+//	schedule := term (',' term)*
+//	term     := "seed=" int
+//	          | "join=" node "@" slot
+//	          | "leave=" node "@" slot
+//	          | "move=" node "@" slot ":" x ":" y
+//	          | "every=" int
+//	          | "repair=" ("retract" | "none")
+//
+// A node whose first event is a join is absent from slot 0; joins and
+// leaves per node must alternate. "move" appends a waypoint: the node
+// travels linearly to (x, y), arriving at the given slot; multiple
+// moves for one node chain in slot order. Examples:
+//
+//	leave=3@500
+//	join=12@200,leave=12@900,repair=retract
+//	move=7@1000:2.5:3.5,move=7@2000:0:0,every=32
+//
+// An empty string parses to an inactive schedule. The result is
+// validated structurally; node ranges are checked at Compile time
+// when the graph is known.
+func ParseSchedule(s string) (*Schedule, error) {
+	sch := &Schedule{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return sch, nil
+	}
+	for _, term := range strings.Split(s, ",") {
+		term = strings.TrimSpace(term)
+		key, val, ok := strings.Cut(term, "=")
+		if !ok || val == "" {
+			return nil, fmt.Errorf("churn: term %q is not key=value", term)
+		}
+		var err error
+		switch key {
+		case "seed":
+			sch.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "join":
+			var e Event
+			if e, err = parseEvent(val); err == nil {
+				sch.Joins = append(sch.Joins, e)
+			}
+		case "leave":
+			var e Event
+			if e, err = parseEvent(val); err == nil {
+				sch.Leaves = append(sch.Leaves, e)
+			}
+		case "move":
+			err = parseMove(sch, val)
+		case "every":
+			sch.Every, err = strconv.ParseInt(val, 10, 64)
+		case "repair":
+			sch.Repair, err = ParseRepairMode(val)
+		default:
+			return nil, fmt.Errorf("churn: unknown term %q (want seed, join, leave, move, every, or repair)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("churn: term %q: %w", term, err)
+		}
+	}
+	if err := sch.Validate(0); err != nil {
+		return nil, err
+	}
+	return sch, nil
+}
+
+func parseEvent(val string) (Event, error) {
+	nodeStr, atStr, ok := strings.Cut(val, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("want node@slot")
+	}
+	var e Event
+	var err error
+	if e.Node, err = strconv.Atoi(nodeStr); err != nil {
+		return Event{}, err
+	}
+	if e.At, err = strconv.ParseInt(atStr, 10, 64); err != nil {
+		return Event{}, err
+	}
+	return e, nil
+}
+
+func parseMove(sch *Schedule, val string) error {
+	nodeStr, rest, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want node@slot:x:y")
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want node@slot:x:y")
+	}
+	var w Waypoint
+	var err error
+	if w.Node, err = strconv.Atoi(nodeStr); err != nil {
+		return err
+	}
+	if w.At, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+		return err
+	}
+	if w.X, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return err
+	}
+	if w.Y, err = strconv.ParseFloat(parts[2], 64); err != nil {
+		return err
+	}
+	if !isFinite(w.X) || !isFinite(w.Y) {
+		return fmt.Errorf("non-finite coordinates (%g, %g)", w.X, w.Y)
+	}
+	sch.Waypoints = append(sch.Waypoints, w)
+	return nil
+}
+
+// String renders the schedule back in ParseSchedule's syntax; an
+// inactive schedule renders as "". Parse(s.String()) reproduces s.
+func (s *Schedule) String() string {
+	if s == nil {
+		return ""
+	}
+	var terms []string
+	for _, e := range s.Joins {
+		terms = append(terms, fmt.Sprintf("join=%d@%d", e.Node, e.At))
+	}
+	for _, e := range s.Leaves {
+		terms = append(terms, fmt.Sprintf("leave=%d@%d", e.Node, e.At))
+	}
+	for _, w := range s.Waypoints {
+		terms = append(terms, fmt.Sprintf("move=%d@%d:%g:%g", w.Node, w.At, w.X, w.Y))
+	}
+	if s.Every > 0 {
+		terms = append(terms, fmt.Sprintf("every=%d", s.Every))
+	}
+	if s.Repair != RepairRetract {
+		terms = append(terms, fmt.Sprintf("repair=%s", s.Repair))
+	}
+	if s.Seed != 0 {
+		terms = append(terms, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	return strings.Join(terms, ",")
+}

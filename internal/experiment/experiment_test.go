@@ -79,8 +79,8 @@ func TestTrialSeedDistinct(t *testing.T) {
 }
 
 func TestLookupAndRegistry(t *testing.T) {
-	if len(Registry) != 26 {
-		t.Fatalf("registry has %d entries, want 26", len(Registry))
+	if len(Registry) != 27 {
+		t.Fatalf("registry has %d entries, want 27", len(Registry))
 	}
 	seen := map[string]bool{}
 	for _, e := range Registry {
@@ -125,6 +125,17 @@ func TestE26Smoke(t *testing.T) {
 	// the experiment's contract at every scale, including smoke scale.
 	if !strings.Contains(tb.String(), "/1") || strings.Contains(tb.String(), "0/1") {
 		t.Errorf("tiled run not identical to untiled:\n%s", tb)
+	}
+}
+
+func TestE27Smoke(t *testing.T) {
+	tb := E27RecolorChurn(quickOpts())
+	checkTable(t, tb, 2)
+	// The experiment's contract: every trial repairs to a proper
+	// coloring strictly faster than the cold start converged (the
+	// `proper` column counts trials satisfying both), at every scale.
+	if !strings.Contains(tb.String(), "/1") || strings.Contains(tb.String(), "0/1") {
+		t.Errorf("perturbation repair not strictly faster than cold start:\n%s", tb)
 	}
 }
 

@@ -2,8 +2,11 @@ package experiment
 
 import (
 	"fmt"
+	"math/rand"
 	"reflect"
 
+	"radiocolor/internal/baseline/cds"
+	"radiocolor/internal/churn"
 	"radiocolor/internal/core"
 	"radiocolor/internal/geom"
 	"radiocolor/internal/graph"
@@ -180,6 +183,154 @@ func E26TiledKernel(o Options) *stats.Table {
 			fmt.Sprintf("%d", slots/tn), fmt.Sprintf("%d", int64(colors)/tn),
 			fmt.Sprintf("%d", deliveries/tn), fmt.Sprintf("%d", collisions/tn),
 			fmt.Sprintf("%d/%d", identical, o.Trials))
+	}
+	return t
+}
+
+// E27RecolorChurn measures how much cheaper repairing a perturbed
+// coloring is than producing one from scratch, on the standard UDG
+// sweep. Each trial first runs the protocol cold and records its
+// convergence time; then it re-runs the identical execution with a
+// churn schedule appended — after convergence, ~5% of the nodes leave
+// and immediately rejoin, losing their colors (retract-repair
+// semantics) — and records how long the network takes to become fully
+// colored again. The perturbation re-contends against an already-quiet
+// neighborhood, so recoloring k ≪ n nodes should beat the cold start's
+// max-over-n convergence by a wide margin; the `speedup` column
+// quantifies it. The last two columns repeat the comparison in the
+// clean message-passing world via the CdS color-fixing baseline
+// (internal/baseline/cds): rounds to fix a monochromatic start vs
+// rounds to fix the same k-node perturbation of a proper coloring.
+// The `proper` column counts trials whose repaired coloring is proper
+// AND strictly faster than its own cold start, over the trials whose
+// cold run converged properly at all — a seed the base protocol fails
+// cold (whp, see E2) has no converged coloring to perturb and is
+// excluded rather than averaged in as zeros.
+func E27RecolorChurn(o Options) *stats.Table {
+	o = o.normalized()
+	t := stats.NewTable("E27: recolor after perturbation vs cold start (churn rejoin + CdS baseline)",
+		"n", "perturbed", "cold slots", "recolor slots", "speedup", "cds cold", "cds fix", "proper")
+	sizes := []int{o.scale(110, 40), o.scale(250, 80)}
+	type trialRes struct {
+		k                int
+		coldOK           bool
+		cold, recolor    float64
+		cdsCold, cdsFix  float64
+		proper, strictly bool
+	}
+	grid := parTrials(o, "E27", len(sizes), o.Trials, func(ci, tr int) trialRes {
+		seed := trialSeed(o.Seed, 2700+ci, tr)
+		n := sizes[ci]
+		d := topology.RandomUDG(topology.UDGConfig{N: n, Side: 6, Radius: 1.2, Seed: seed})
+		par := MeasureParams(d)
+		budget := defaultBudget(par)
+		runOnce := func(plan *churn.Plan, maxSlots int64) (*radio.Result, []int32) {
+			nodes, protos := core.Nodes(d.N(), seed, par, core0)
+			res, err := radio.Run(radio.Config{
+				G: d.G, Protocols: protos, Wake: radio.WakeSynchronous(d.N()),
+				MaxSlots: maxSlots, NEstimate: par.N,
+				Churn: plan,
+			})
+			if err != nil {
+				panic(err)
+			}
+			cs := make([]int32, d.N())
+			for i, v := range nodes {
+				cs[i] = v.Color()
+			}
+			return res, cs
+		}
+		coldRes, coldCols := runOnce(nil, budget)
+		if !coldRes.AllDone || !verify.Check(d.G, coldCols).OK() {
+			// The BASE protocol failed this seed (its correctness is
+			// whp — E2 records the rate). There is no converged
+			// coloring to perturb, so the trial says nothing about
+			// repair; it is excluded rather than averaged in as zeros.
+			return trialRes{}
+		}
+		coldT := coldRes.MaxLatency()
+
+		// Perturb ~5% of the nodes: leave right after convergence,
+		// rejoin one slot later with cleared protocol state. Until the
+		// first batch slot the churned run replays the cold run
+		// bit-identically (same seed, same coins), so the measured
+		// recolor window starts from exactly the converged coloring.
+		k := n/20 + 2
+		rng := rand.New(rand.NewSource(seed ^ 0x0c0ffee))
+		victims := rng.Perm(n)[:k]
+		at := coldT + 16
+		sch := &churn.Schedule{}
+		for _, v := range victims {
+			sch.Leaves = append(sch.Leaves, churn.Event{Node: v, At: at})
+			sch.Joins = append(sch.Joins, churn.Event{Node: v, At: at + 1})
+		}
+		plan, err := sch.Compile(churn.Env{G: d.G})
+		if err != nil {
+			panic(err)
+		}
+		chRes, chCols := runOnce(plan, at+1+budget)
+		r := trialRes{k: k, coldOK: true, cold: float64(coldT)}
+		if !chRes.AllDone {
+			return r
+		}
+		var recolor int64
+		for _, v := range victims {
+			if lat := chRes.DecideSlot[v] - (at + 1); lat > recolor {
+				recolor = lat
+			}
+		}
+		r.recolor = float64(recolor)
+		r.proper = verify.Check(d.G, chCols).OK()
+		r.strictly = recolor < coldT
+
+		// CdS comparator: fix-from-monochromatic (every node color 0 —
+		// the worst cold start) vs fixing the same k victims after each
+		// copies a neighbor's color (a guaranteed conflict per victim).
+		maxRounds := 64*n + 1024
+		cold, _, err := cds.Fix(d.G, make([]int32, n), seed, maxRounds)
+		if err != nil {
+			panic(err)
+		}
+		warm := append([]int32(nil), coldCols...)
+		for _, v := range victims {
+			if adj := d.G.Adj(v); len(adj) > 0 {
+				warm[v] = coldCols[adj[0]]
+			}
+		}
+		fix, _, err := cds.Fix(d.G, warm, seed, maxRounds)
+		if err != nil {
+			panic(err)
+		}
+		r.cdsCold = float64(cold.Rounds)
+		r.cdsFix = float64(fix.Rounds)
+		return r
+	})
+	for ci, n := range sizes {
+		proper, valid := 0, 0
+		var cold, recolor, cdsCold, cdsFix []float64
+		k := 0
+		for _, r := range grid[ci] {
+			if !r.coldOK {
+				continue // cold-start whp failure: nothing to repair
+			}
+			valid++
+			if r.proper && r.strictly {
+				proper++
+			}
+			k = r.k
+			cold = append(cold, r.cold)
+			recolor = append(recolor, r.recolor)
+			cdsCold = append(cdsCold, r.cdsCold)
+			cdsFix = append(cdsFix, r.cdsFix)
+		}
+		speedup := 0.0
+		if m := stats.Mean(recolor); m > 0 {
+			speedup = stats.Mean(cold) / m
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
+			stats.Mean(cold), stats.Mean(recolor), speedup,
+			stats.Mean(cdsCold), stats.Mean(cdsFix),
+			fmt.Sprintf("%d/%d", proper, valid))
 	}
 	return t
 }

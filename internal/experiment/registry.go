@@ -45,6 +45,7 @@ var Registry = []Entry{
 	{"E24", "Extension: fault injection — loss sweep with crashes, graceful degradation", E24FaultInjection},
 	{"E25", "Extension: reception models — graph rule vs SINR vs multi-channel", E25CrossModel},
 	{"E26", "Extension: tiled cache-blocked slot kernel vs the untiled loop, bit-identity checked", E26TiledKernel},
+	{"E27", "Extension: dynamic topology — recolor after perturbation vs cold start, with CdS baseline", E27RecolorChurn},
 }
 
 // Lookup finds an experiment by id, or nil.

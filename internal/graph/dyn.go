@@ -1,0 +1,241 @@
+package graph
+
+import "fmt"
+
+// Dyn is a mutable CSR view supporting incremental edge addition and
+// removal without full rebuilds — the substrate of the dynamic-topology
+// (churn/mobility) subsystem. Rows keep the static CSR's sorted-ascending
+// invariant, so every consumer of the flat layout (the slot kernel's
+// resolve loops, the tiled kernel's lowerBound32 row splits) works
+// unchanged on a Dyn's arrays.
+//
+// Layout: row v occupies edges[off[v] : off[v]+cap[v]], with the live
+// neighbors in edges[off[v] : end[v]] (sorted ascending) and slack
+// behind them. Inserts and deletes memmove within the row; a row that
+// outgrows its capacity is relocated to the tail of the edge array with
+// doubled capacity (the abandoned span becomes dead slack — Dyn never
+// compacts, trading memory for strictly local, allocation-amortized
+// updates). The off and end headers are allocated once and mutated in
+// place, so callers may alias them (the engine's rowStart/rowEnd views
+// stay valid across every Apply); the edges array may be reallocated by
+// a relocation, so callers must refresh that slice after each Apply.
+type Dyn struct {
+	n     int
+	off   []int32
+	end   []int32
+	cap   []int32
+	edges []int32
+}
+
+// Delta is one batch of undirected edge changes. Applying a delta and
+// then its Inverse restores the prior edge set exactly (changes that
+// were no-ops — adding a present edge, deleting a missing one — are
+// excluded from the inverse by Apply).
+type Delta struct {
+	// Adds and Dels list undirected edges as (u, v) pairs; orientation
+	// is irrelevant (both half-edges are updated).
+	Adds, Dels [][2]int32
+}
+
+// Inverse returns the delta undoing d.
+func (d Delta) Inverse() Delta { return Delta{Adds: d.Dels, Dels: d.Adds} }
+
+// Empty reports whether the delta changes nothing.
+func (d Delta) Empty() bool { return len(d.Adds) == 0 && len(d.Dels) == 0 }
+
+// dynSlack is the per-row slack NewDyn reserves beyond each row's
+// current degree, so the first few inserts into a row never relocate.
+const dynSlack = 4
+
+// NewDyn builds a dynamic view of g's edge set. The graph itself is
+// not retained or modified.
+func NewDyn(g *Graph) *Dyn {
+	n := g.N()
+	csr := g.CSR()
+	d := &Dyn{
+		n:   n,
+		off: make([]int32, n),
+		end: make([]int32, n),
+		cap: make([]int32, n),
+	}
+	total := 0
+	for v := 0; v < n; v++ {
+		total += int(csr.Offsets[v+1]-csr.Offsets[v]) + dynSlack
+	}
+	d.edges = make([]int32, 0, total)
+	for v := 0; v < n; v++ {
+		row := csr.Edges[csr.Offsets[v]:csr.Offsets[v+1]]
+		d.off[v] = int32(len(d.edges))
+		d.edges = append(d.edges, row...)
+		d.end[v] = int32(len(d.edges))
+		d.cap[v] = int32(len(row) + dynSlack)
+		d.edges = d.edges[:int(d.off[v]+d.cap[v])]
+	}
+	return d
+}
+
+// N returns the vertex count.
+func (d *Dyn) N() int { return d.n }
+
+// RowBounds returns the standing row-start and row-end headers. They
+// are mutated in place by Apply and never reallocated, so callers may
+// hold them for the Dyn's lifetime.
+func (d *Dyn) RowBounds() (off, end []int32) { return d.off, d.end }
+
+// EdgeArray returns the current backing edge array. It may be
+// reallocated by Apply (row relocation), so callers must re-fetch it
+// after every Apply.
+func (d *Dyn) EdgeArray() []int32 { return d.edges }
+
+// Row returns v's live neighbors, sorted ascending. The slice aliases
+// the backing array and is invalidated by the next Apply.
+func (d *Dyn) Row(v int32) []int32 { return d.edges[d.off[v]:d.end[v]] }
+
+// Degree returns v's live neighbor count.
+func (d *Dyn) Degree(v int32) int { return int(d.end[v] - d.off[v]) }
+
+// Graph materializes the current edge set as an immutable Graph — the
+// snapshot a verification oracle needs to judge a coloring against the
+// topology a dynamic run actually ended with.
+func (d *Dyn) Graph() *Graph {
+	b := NewBuilder(d.n)
+	for v := 0; v < d.n; v++ {
+		for _, u := range d.Row(int32(v)) {
+			if int(u) > v {
+				b.AddEdge(v, int(u))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Has reports whether the undirected edge (u, v) is live.
+func (d *Dyn) Has(u, v int32) bool {
+	row := d.Row(u)
+	i := searchInt32(row, v)
+	return i < len(row) && row[i] == v
+}
+
+// Apply applies the batch: every edge in delta.Dels is removed and
+// every edge in delta.Adds inserted (both half-edges each). Changes
+// that are already in effect are skipped silently. It returns the
+// inverse delta (exactly the changes that took effect, reversed) and
+// the sorted, de-duplicated list of rows whose neighbor sets changed,
+// appended to the caller-provided touched scratch (pass touched[:0] to
+// reuse an existing buffer).
+func (d *Dyn) Apply(delta Delta, touched []int32) (inv Delta, newTouched []int32) {
+	for _, e := range delta.Dels {
+		u, v := e[0], e[1]
+		d.check(u, v)
+		if u == v || !d.del(u, v) {
+			continue
+		}
+		d.del(v, u)
+		inv.Adds = append(inv.Adds, e)
+		touched = append(touched, u, v)
+	}
+	for _, e := range delta.Adds {
+		u, v := e[0], e[1]
+		d.check(u, v)
+		if u == v || !d.add(u, v) {
+			continue
+		}
+		d.add(v, u)
+		inv.Dels = append(inv.Dels, e)
+		touched = append(touched, u, v)
+	}
+	return inv, dedupSorted32(touched)
+}
+
+func (d *Dyn) check(u, v int32) {
+	if u < 0 || int(u) >= d.n || v < 0 || int(v) >= d.n {
+		panic(fmt.Sprintf("graph: dyn edge (%d,%d) out of range [0,%d)", u, v, d.n))
+	}
+}
+
+// add inserts v into u's row, keeping it sorted. Reports false if the
+// edge was already present.
+func (d *Dyn) add(u, v int32) bool {
+	row := d.edges[d.off[u]:d.end[u]]
+	i := searchInt32(row, v)
+	if i < len(row) && row[i] == v {
+		return false
+	}
+	if d.end[u]-d.off[u] == d.cap[u] {
+		d.relocate(u)
+		row = d.edges[d.off[u]:d.end[u]]
+	}
+	// Shift the tail up one and drop v into its slot.
+	pos := int(d.off[u]) + i
+	d.end[u]++
+	copy(d.edges[pos+1:d.end[u]], d.edges[pos:])
+	d.edges[pos] = v
+	return true
+}
+
+// del removes v from u's row. Reports false if the edge was absent.
+func (d *Dyn) del(u, v int32) bool {
+	row := d.edges[d.off[u]:d.end[u]]
+	i := searchInt32(row, v)
+	if i >= len(row) || row[i] != v {
+		return false
+	}
+	pos := int(d.off[u]) + i
+	copy(d.edges[pos:], d.edges[pos+1:d.end[u]])
+	d.end[u]--
+	return true
+}
+
+// relocate moves u's full row to the tail of the edge array with
+// doubled capacity. The old span becomes dead slack.
+func (d *Dyn) relocate(u int32) {
+	degree := d.end[u] - d.off[u]
+	newCap := d.cap[u] * 2
+	if newCap < dynSlack {
+		newCap = dynSlack
+	}
+	base := len(d.edges)
+	if int64(base)+int64(newCap) > int64(1<<31-1) {
+		panic("graph: dyn edge array exceeds int32 offsets")
+	}
+	d.edges = append(d.edges, make([]int32, newCap)...)
+	copy(d.edges[base:], d.edges[d.off[u]:d.end[u]])
+	d.off[u] = int32(base)
+	d.end[u] = int32(base) + degree
+	d.cap[u] = newCap
+}
+
+// searchInt32 returns the insertion index of v in the ascending row.
+func searchInt32(row []int32, v int32) int {
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// dedupSorted32 sorts ids ascending and removes duplicates in place.
+func dedupSorted32(ids []int32) []int32 {
+	if len(ids) < 2 {
+		return ids
+	}
+	// Insertion sort: touched lists are small (a batch's endpoints).
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	w := 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1] {
+			ids[w] = ids[i]
+			w++
+		}
+	}
+	return ids[:w]
+}

@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// rebuild materializes the Dyn's current edge set as a static Graph,
+// the oracle the incremental path is checked against.
+func rebuildFromDyn(d *Dyn) *Graph {
+	b := NewBuilder(d.N())
+	for v := 0; v < d.N(); v++ {
+		for _, u := range d.Row(int32(v)) {
+			b.AddEdge(v, int(u))
+		}
+	}
+	return b.Build()
+}
+
+func sameEdges(t *testing.T, d *Dyn, g *Graph) {
+	t.Helper()
+	for v := 0; v < d.N(); v++ {
+		want := g.Adj(v)
+		got := d.Row(int32(v))
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(append([]int32(nil), got...), append([]int32(nil), want...)) {
+			t.Fatalf("row %d: dyn %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestDynMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 60
+	b := NewBuilder(n)
+	for i := 0; i < 150; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	g := b.Build()
+	d := NewDyn(g)
+	sameEdges(t, d, g)
+
+	// Random add/del batches, checked against a full rebuild each time.
+	for step := 0; step < 40; step++ {
+		var delta Delta
+		for i := 0; i < 10; i++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				delta.Adds = append(delta.Adds, [2]int32{u, v})
+			} else {
+				delta.Dels = append(delta.Dels, [2]int32{u, v})
+			}
+		}
+		_, touched := d.Apply(delta, nil)
+		for i := 1; i < len(touched); i++ {
+			if touched[i] <= touched[i-1] {
+				t.Fatalf("touched not sorted-unique: %v", touched)
+			}
+		}
+		sameEdges(t, d, rebuildFromDyn(d))
+		// Rows stay sorted and self-loop-free.
+		for v := 0; v < n; v++ {
+			row := d.Row(int32(v))
+			for i, u := range row {
+				if u == int32(v) {
+					t.Fatalf("self-loop in row %d", v)
+				}
+				if i > 0 && row[i-1] >= u {
+					t.Fatalf("row %d not strictly ascending: %v", v, row)
+				}
+			}
+		}
+	}
+}
+
+func TestDynInverseRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 40
+	b := NewBuilder(n)
+	for i := 0; i < 80; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	g := b.Build()
+	d := NewDyn(g)
+
+	before := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		before[v] = append([]int32(nil), d.Row(int32(v))...)
+	}
+	delta := Delta{
+		Adds: [][2]int32{{0, 1}, {2, 3}, {0, 1}, {5, 5}},
+		Dels: [][2]int32{{1, 2}, {38, 39}},
+	}
+	inv, _ := d.Apply(delta, nil)
+	_, _ = d.Apply(inv, nil)
+	for v := 0; v < n; v++ {
+		got := append([]int32(nil), d.Row(int32(v))...)
+		if !reflect.DeepEqual(got, before[v]) {
+			t.Fatalf("row %d after apply+inverse: %v, want %v", v, got, before[v])
+		}
+	}
+}
+
+func TestDynNoOpsExcludedFromInverse(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	d := NewDyn(b.Build())
+	inv, touched := d.Apply(Delta{
+		Adds: [][2]int32{{0, 1}}, // already present
+		Dels: [][2]int32{{2, 3}}, // already absent
+	}, nil)
+	if !inv.Empty() || len(touched) != 0 {
+		t.Fatalf("no-op batch produced inverse %+v touched %v", inv, touched)
+	}
+}
+
+func TestDynRelocationGrowsRow(t *testing.T) {
+	// Start from an empty graph and grow node 0's row far past the
+	// initial slack; relocation must keep every row intact.
+	d := NewDyn(NewBuilder(64).Build())
+	var delta Delta
+	for v := int32(1); v < 64; v++ {
+		delta.Adds = append(delta.Adds, [2]int32{0, v})
+	}
+	_, _ = d.Apply(delta, nil)
+	if d.Degree(0) != 63 {
+		t.Fatalf("degree 63 expected, got %d", d.Degree(0))
+	}
+	row := d.Row(0)
+	for i, u := range row {
+		if u != int32(i+1) {
+			t.Fatalf("row[%d] = %d, want %d", i, u, i+1)
+		}
+	}
+	for v := int32(1); v < 64; v++ {
+		if !d.Has(v, 0) || d.Degree(v) != 1 {
+			t.Fatalf("node %d lost its back-edge", v)
+		}
+	}
+}
+
+func TestDynHeadersStableAcrossApply(t *testing.T) {
+	// The off/end headers must be mutated in place (engine aliases them).
+	b := NewBuilder(8)
+	b.AddEdge(0, 1)
+	d := NewDyn(b.Build())
+	off, end := d.RowBounds()
+	var delta Delta
+	for v := int32(1); v < 8; v++ {
+		delta.Adds = append(delta.Adds, [2]int32{0, v})
+	}
+	_, _ = d.Apply(delta, nil)
+	off2, end2 := d.RowBounds()
+	if &off[0] != &off2[0] || &end[0] != &end2[0] {
+		t.Fatal("RowBounds headers were reallocated by Apply")
+	}
+	if int(end[0]-off[0]) != 7 {
+		t.Fatalf("aliased header does not reflect the new degree: %d", end[0]-off[0])
+	}
+}

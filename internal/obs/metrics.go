@@ -33,6 +33,9 @@ type Metrics struct {
 	jammed        atomic.Int64
 	crashes       atomic.Int64
 	restarts      atomic.Int64
+	joins         atomic.Int64
+	leaves        atomic.Int64
+	conflictsRep  atomic.Int64
 	drowned       atomic.Int64
 	belowNoise    atomic.Int64
 	phase         [NumPhases]atomic.Int64
@@ -88,6 +91,37 @@ func (m *Metrics) AddCrash() { m.crashes.Add(1) }
 // AddRestart counts one crashed node rejoining with cleared state.
 func (m *Metrics) AddRestart() { m.restarts.Add(1) }
 
+// AddJoin counts one node joining the network under a churn schedule.
+func (m *Metrics) AddJoin() { m.joins.Add(1) }
+
+// AddLeave counts one node leaving the network under a churn schedule.
+func (m *Metrics) AddLeave() { m.leaves.Add(1) }
+
+// AddConflictRepaired counts one decision retracted by the churn
+// layer's self-stabilizing repair (a topology change had created a
+// monochromatic edge).
+func (m *Metrics) AddConflictRepaired() { m.conflictsRep.Add(1) }
+
+// AddFaultTotals folds a completed run's fault-seam totals into the
+// registry. The engine's per-event adders only reach the registry the
+// run was configured with; an aggregating registry (a server scraping
+// many runs) merges each finished run with one call.
+func (m *Metrics) AddFaultTotals(lost, jammed, crashes, restarts int64) {
+	m.lost.Add(lost)
+	m.jammed.Add(jammed)
+	m.crashes.Add(crashes)
+	m.restarts.Add(restarts)
+}
+
+// AddChurnTotals folds a completed run's churn-seam totals (joins,
+// leaves, conflict repairs) into the registry — the churn counterpart
+// of AddFaultTotals.
+func (m *Metrics) AddChurnTotals(joins, leaves, repaired int64) {
+	m.joins.Add(joins)
+	m.leaves.Add(leaves)
+	m.conflictsRep.Add(repaired)
+}
+
 // AddDecision counts one node's irrevocable decision.
 func (m *Metrics) AddDecision() { m.decisions.Add(1) }
 
@@ -134,6 +168,9 @@ type Snapshot struct {
 	// Lost, Jammed, Crashes and Restarts count injected fault events
 	// (zero unless a run has a fault profile).
 	Lost, Jammed, Crashes, Restarts int64
+	// Joins, Leaves and ConflictsRepaired count dynamic-topology events
+	// (zero unless a run has a churn schedule).
+	Joins, Leaves, ConflictsRepaired int64
 	// Drowned and BelowNoise count SINR-medium reception losses:
 	// interference-buried and under-the-noise-floor respectively (zero
 	// unless a run uses a SINR medium).
@@ -161,9 +198,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		Jammed:        m.jammed.Load(),
 		Crashes:       m.crashes.Load(),
 		Restarts:      m.restarts.Load(),
-		Drowned:       m.drowned.Load(),
-		BelowNoise:    m.belowNoise.Load(),
-		At:            time.Now(),
+		Joins:         m.joins.Load(),
+		Leaves:        m.leaves.Load(),
+
+		ConflictsRepaired: m.conflictsRep.Load(),
+
+		Drowned:    m.drowned.Load(),
+		BelowNoise: m.belowNoise.Load(),
+		At:         time.Now(),
 	}
 	if ns := m.startNanos.Load(); ns != 0 {
 		s.Start = time.Unix(0, ns)
@@ -215,6 +257,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d.Jammed -= prev.Jammed
 	d.Crashes -= prev.Crashes
 	d.Restarts -= prev.Restarts
+	d.Joins -= prev.Joins
+	d.Leaves -= prev.Leaves
+	d.ConflictsRepaired -= prev.ConflictsRepaired
 	d.Drowned -= prev.Drowned
 	d.BelowNoise -= prev.BelowNoise
 	d.Start = prev.At
@@ -222,7 +267,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 }
 
 // Export calls fn once per metric in a fixed, documented order: the
-// fourteen monotone counters first (Counter true), then the per-phase
+// seventeen monotone counters first (Counter true), then the per-phase
 // occupancy gauges (Counter false). It is the deterministic export hook
 // text encoders build on — the Prometheus exposition of internal/serve
 // and the Map/String renderings here all derive from it, so the
@@ -240,6 +285,9 @@ func (s Snapshot) Export(fn func(name string, value int64, counter bool)) {
 	fn("jammed", s.Jammed, true)
 	fn("crashes", s.Crashes, true)
 	fn("restarts", s.Restarts, true)
+	fn("joins", s.Joins, true)
+	fn("leaves", s.Leaves, true)
+	fn("conflicts_repaired", s.ConflictsRepaired, true)
 	fn("drowned", s.Drowned, true)
 	fn("below_noise", s.BelowNoise, true)
 	for i, v := range s.PhaseNodes {
@@ -250,7 +298,7 @@ func (s Snapshot) Export(fn func(name string, value int64, counter bool)) {
 // Map renders the registry as name → value, the stable export format
 // (names are the JSONL/summary vocabulary).
 func (s Snapshot) Map() map[string]int64 {
-	m := make(map[string]int64, 14+NumPhases)
+	m := make(map[string]int64, 17+NumPhases)
 	s.Export(func(name string, v int64, _ bool) { m[name] = v })
 	return m
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"radiocolor/internal/churn"
 	"radiocolor/internal/fault"
 	"radiocolor/internal/graph"
 	"radiocolor/internal/medium"
@@ -75,6 +76,20 @@ type Config struct {
 	// fault suppression (jam, loss) applies per reception after the
 	// medium resolves, exactly as on the built-in path.
 	Medium medium.Instance
+	// Churn, when non-nil, threads the dynamic-topology layer through
+	// the slot loop: a compiled churn.Plan's batches of node joins,
+	// leaves and mobility-derived edge deltas apply incrementally to a
+	// dynamic CSR at the start of their slot, before fault events and
+	// wake-ups (see internal/churn). nil (the default) disables the
+	// seam entirely — the hot path pays one nil check per phase and the
+	// output is bit-identical to the static engine. Batches apply
+	// single-threaded, so churned runs are bit-identical at any Workers
+	// and Tiles setting. Compile the plan for exactly G.N() nodes;
+	// churn cannot be combined with a pluggable Medium or with
+	// RunUnaligned, joining nodes' protocols must implement Restartable,
+	// retraction repair additionally needs Colored, and a node cannot be
+	// both a fault crash/restart victim and a churn subject.
+	Churn *churn.Plan
 	// Workers > 1 runs the per-slot Send, resolve and deliver phases on
 	// that many goroutines. Results are bit-identical to the sequential
 	// engine: every node owns an independent random stream, the resolve
@@ -126,9 +141,17 @@ type Engine struct {
 	decided []bool
 	res     Result
 
-	// CSR view of cfg.G, hoisted out of the per-edge hot path.
-	offsets []int32
-	edges   []int32
+	// CSR view of the topology, hoisted out of the per-edge hot path:
+	// node v's neighbors are edges[rowStart[v]:rowEnd[v]]. On a static
+	// run rowStart and rowEnd alias the graph's offsets array
+	// (rowStart = offsets[:n], rowEnd = offsets[1:]), so every read
+	// hits the exact addresses the offsets-based kernel read; under
+	// churn they alias the dynamic CSR's headers, which graph.Dyn
+	// mutates in place (only the edges array must be re-fetched after
+	// a delta, because a row relocation may reallocate it).
+	rowStart []int32
+	rowEnd   []int32
+	edges    []int32
 
 	// Compact activity lists, all in ascending node order. Ascending
 	// matters: protocol state and per-node RNG arrays are allocated
@@ -161,6 +184,28 @@ type Engine struct {
 
 	// Fault-injection state; nil unless Config.Faults is set (fault.go).
 	fs *faultState
+
+	// Dynamic-topology state; nil unless Config.Churn is set (churn.go).
+	cs *churnState
+
+	// off is the combined exclusion filter the protocol phases consult:
+	// off[v] is true while v is crashed (faults) or absent (churn).
+	// nil unless at least one of those seams is active — the plain hot
+	// path keeps its single nil check — and the two node sets are
+	// validated disjoint, so each seam owns its members' bits.
+	off []bool
+	// everWoke tracks membership in awakeList∪pending (entries are
+	// never removed from those lists), so a fault restart or churn
+	// rejoin knows whether the node must be re-inserted or is merely
+	// reactivated in place. Allocated with off.
+	everWoke []bool
+	// woken, rejoinU and rejoinA are slot-prologue scratch shared by
+	// the fault and churn seams (both run sequentially, each flushing
+	// before the other starts): the surviving wake block, re-inserts
+	// into undecided, and re-inserts into the awake lists.
+	woken   []int32
+	rejoinU []int32
+	rejoinA []int32
 
 	// Tiled-kernel state; nil unless Config.Tiles > 1 selected the tiled
 	// slot loop (tiled.go). silent marks nodes whose protocols declared
@@ -233,7 +278,8 @@ func newEngine(cfg Config, allowSkew bool) (*Engine, error) {
 		awake:     make([]bool, n),
 		out:       make([]Message, n),
 		decided:   make([]bool, n),
-		offsets:   csr.Offsets,
+		rowStart:  csr.Offsets[:n],
+		rowEnd:    csr.Offsets[1:],
 		edges:     csr.Edges,
 		awakeList: make([]int32, 0, n),
 		undecided: make([]int32, 0, n),
@@ -244,12 +290,35 @@ func newEngine(cfg Config, allowSkew bool) (*Engine, error) {
 	}
 	e.order = wakeOrder(cfg.Wake)
 	e.res = newResult(cfg.Wake)
+	if cfg.Faults != nil || cfg.Churn != nil {
+		e.off = make([]bool, n)
+		e.everWoke = make([]bool, n)
+	}
 	if cfg.Faults != nil {
 		fs, err := newFaultState(cfg.Faults, &e.cfg, n, allowSkew)
 		if err != nil {
 			return nil, err
 		}
 		e.fs = fs
+	}
+	if cfg.Churn != nil {
+		if allowSkew {
+			return nil, errors.New("radio: churn cannot run through RunUnaligned (the half-slot resolver has a static neighbor view)")
+		}
+		cs, err := newChurnState(cfg.Churn, &e.cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		e.cs = cs
+		// Re-aim the CSR view at the dynamic graph: the row-bound
+		// headers are mutated in place across deltas, and nodes absent
+		// at slot 0 are excluded before anything runs.
+		e.rowStart, e.rowEnd = cs.dyn.RowBounds()
+		e.edges = cs.dyn.EdgeArray()
+		for _, v := range cfg.Churn.InitialAbsent {
+			cs.absent[v] = true
+			e.off[v] = true
+		}
 	}
 	if cfg.Medium != nil {
 		if cfg.Medium.N() != n {
@@ -266,13 +335,15 @@ func newEngine(cfg Config, allowSkew bool) (*Engine, error) {
 		// A pluggable medium replaces the resolve and deliver phases
 		// wholesale, so there is nothing left to tile; such runs keep
 		// the untiled loop (bit-identical either way).
-		e.ts = newTileState(cfg.Tiles, n, e.offsets, e.edges)
-		if cfg.Faults == nil {
+		e.ts = newTileState(cfg.Tiles, n, e.rowStart, e.rowEnd, e.edges)
+		if cfg.Faults == nil && cfg.Churn == nil {
 			// The quiescence seam (tiled.go): allocated up front so
-			// parallel tile workers never race to create it. Fault
-			// profiles disable it — a restart must be able to revive
-			// any node, and restarted nodes re-enter via the pending
-			// list only if they never left the activity lists.
+			// parallel tile workers never race to create it. Fault and
+			// churn profiles disable it — a restart or rejoin must be
+			// able to revive any node, and revived nodes re-enter via
+			// the pending list only if they never left the activity
+			// lists (conflict repair likewise re-contends a silenced
+			// node).
 			e.silent = make([]bool, n)
 		}
 	}
@@ -416,8 +487,8 @@ func (e *Engine) Step() bool {
 		for _, v := range e.tx {
 			e.noteTx(t, v, e.out[v], ob, met)
 		}
-	} else if e.fs != nil {
-		e.faultSend(t, ob, met)
+	} else if e.off != nil {
+		e.filteredSend(t, ob, met)
 	} else {
 		protos := e.cfg.Protocols
 		for _, i := range e.awakeList {
@@ -448,7 +519,7 @@ func (e *Engine) Step() bool {
 		e.parallelResolve()
 	} else {
 		for _, v := range e.tx {
-			row := e.edges[e.offsets[v]:e.offsets[v+1]]
+			row := e.edges[e.rowStart[v]:e.rowEnd[v]]
 			for _, u := range row {
 				r := &e.rs[u]
 				if r.count == 0 {
@@ -537,10 +608,10 @@ func (e *Engine) Step() bool {
 	e.tx = e.tx[:0]
 
 	// Decision detection over the compact undecided list. The
-	// fault-aware variant keeps crashed nodes in the list (they may
-	// restart) without polling them.
-	if e.fs != nil {
-		e.faultDecide(t, ob, met)
+	// filtered variant keeps crashed and absent nodes in the list
+	// (they may restart or rejoin) without polling them.
+	if e.off != nil {
+		e.filteredDecide(t, ob, met)
 	} else {
 		w := 0
 		protos := e.cfg.Protocols
@@ -569,8 +640,12 @@ func (e *Engine) Step() bool {
 // wakePhase applies the slot's fault events and wake-ups: the shared
 // head of the untiled and tiled slot loops.
 func (e *Engine) wakePhase(t int64, ob Observer, met *obs.Metrics) {
-	// Fault events (crash/restart) take effect at the start of the
-	// slot, before any protocol runs.
+	// Topology batches (joins/leaves/edge deltas) and fault events
+	// (crash/restart) take effect at the start of the slot, before any
+	// protocol runs.
+	if e.cs != nil {
+		e.churnBeginSlot(t, ob, met)
+	}
 	if e.fs != nil {
 		e.faultBeginSlot(t, ob, met)
 	}
@@ -578,10 +653,11 @@ func (e *Engine) wakePhase(t int64, ob Observer, met *obs.Metrics) {
 	// Wake-ups scheduled for this slot. The block e.order[prevNext:next]
 	// is in ascending id order (wakeOrder sorts stably, so ties keep id
 	// order), letting the sorted activity lists absorb it with one
-	// backward merge each. The fault-aware variant additionally filters
-	// nodes that are crashed at their wake slot.
-	if e.fs != nil {
-		e.faultWake(t, ob, met)
+	// backward merge each. The filtered variant additionally consumes
+	// nodes that are crashed or absent at their wake slot without
+	// starting them.
+	if e.off != nil {
+		e.filteredWake(t, ob, met)
 		return
 	}
 	prevNext := e.next
@@ -622,14 +698,29 @@ func (e *Engine) finishSlot(t int64, ob Observer, met *obs.Metrics) bool {
 	e.slot++
 	simulatedSlots.Add(1)
 	e.res.Slots = e.slot
+	if e.cs != nil && e.slot <= e.cs.last {
+		// Churn batches remain: a scheduled perturbation (join, leave,
+		// or mobility delta) must not be skipped by early termination,
+		// even if every currently present node has decided. This is
+		// what lets one run measure recolor convergence after a
+		// perturbation of an already converged coloring.
+		return e.slot < e.cfg.MaxSlots
+	}
 	if e.numDone == e.n {
 		e.res.AllDone = true
 		return false
 	}
-	if e.fs != nil && e.numDone+e.fs.neverDone == e.n {
+	never := 0
+	if e.fs != nil {
+		never += e.fs.neverDone
+	}
+	if e.cs != nil {
+		never += e.cs.neverDone
+	}
+	if never > 0 && e.numDone+never == e.n {
 		// Graceful degradation: every node that can still decide has;
-		// the remainder are down for good. AllDone stays false so
-		// callers see the run as incomplete.
+		// the remainder are down or gone for good. AllDone stays false
+		// so callers see the run as incomplete.
 		return false
 	}
 	return e.slot < e.cfg.MaxSlots
@@ -717,10 +808,7 @@ func workerRanges(n, workers int) [][2]int {
 // goroutines. Each worker appends its transmitters to a private list;
 // the lists are concatenated in worker order, so tx is deterministic.
 func (e *Engine) parallelSend(t int64, awakeIDs []int32) {
-	var crashed []bool
-	if e.fs != nil {
-		crashed = e.fs.crashed
-	}
+	off := e.off
 	ranges := workerRanges(len(awakeIDs), e.cfg.Workers)
 	txLocal := make([][]int32, len(ranges))
 	var wg sync.WaitGroup
@@ -730,7 +818,7 @@ func (e *Engine) parallelSend(t int64, awakeIDs []int32) {
 			defer wg.Done()
 			var local []int32
 			for _, i := range ids {
-				if crashed != nil && crashed[i] {
+				if off != nil && off[i] {
 					continue
 				}
 				if msg := e.cfg.Protocols[i].Send(t); msg != nil {
@@ -769,7 +857,7 @@ func (e *Engine) parallelResolve() {
 	// Partition tx at row granularity by cumulative edge count.
 	total := 0
 	for _, v := range e.tx {
-		total += int(e.offsets[v+1] - e.offsets[v])
+		total += int(e.rowEnd[v] - e.rowStart[v])
 	}
 	target := (total + workers - 1) / workers
 	if target < 1 {
@@ -779,7 +867,7 @@ func (e *Engine) parallelResolve() {
 	var spans []span
 	lo, acc := 0, 0
 	for i, v := range e.tx {
-		acc += int(e.offsets[v+1] - e.offsets[v])
+		acc += int(e.rowEnd[v] - e.rowStart[v])
 		if acc >= target && len(spans) < workers-1 {
 			spans = append(spans, span{lo, i + 1})
 			lo, acc = i+1, 0
@@ -796,7 +884,7 @@ func (e *Engine) parallelResolve() {
 			defer wg.Done()
 			ws.touched = ws.touched[:0]
 			for _, v := range txs {
-				row := e.edges[e.offsets[v]:e.offsets[v+1]]
+				row := e.edges[e.rowStart[v]:e.rowEnd[v]]
 				for _, u := range row {
 					r := &ws.rs[u]
 					if r.count == 0 {
@@ -925,9 +1013,24 @@ func (e *Engine) parallelDeliver(t int64) {
 // the run finishes (Step returned false) and between steps.
 func (e *Engine) Result() *Result {
 	if e.fs != nil {
-		e.res.Down = e.fs.downList(e.res.Down[:0])
+		e.res.Down = e.downList(e.res.Down[:0])
+	}
+	if e.cs != nil {
+		e.res.Left = e.cs.leftList(e.res.Left[:0])
 	}
 	return &e.res
+}
+
+// downList appends the currently crashed nodes to dst in ascending
+// order: the combined off filter minus the churn layer's absentees
+// (the two sets are disjoint by validation).
+func (e *Engine) downList(dst []int32) []int32 {
+	for i, o := range e.off {
+		if o && (e.cs == nil || !e.cs.absent[i]) {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
 }
 
 // Slot returns the next slot to be simulated.

@@ -9,36 +9,30 @@ import (
 
 // Restartable is implemented by protocols whose state can be cleared
 // back to the pre-Start condition. A fault profile that schedules a
-// node restart requires the victim's protocol to implement it: a
-// restarted node rejoins as if waking for the first time, with no
-// memory of the run so far (fail-stop semantics).
+// node restart — and a churn schedule that rejoins a node — requires
+// the victim's protocol to implement it: a restarted node rejoins as
+// if waking for the first time, with no memory of the run so far
+// (fail-stop semantics).
 type Restartable interface {
 	Reset()
 }
 
 // faultState is the engine's per-run mutable view of a compiled fault
-// injector: which nodes are currently crashed, the event cursor, and
-// small scratch lists reused across slots. It exists only when
-// Config.Faults is set, so the fault seam costs the fault-free hot
-// path exactly one nil check per phase (the same discipline as the
-// Observer seam, pinned by the AllocsPerRun tests).
+// injector: the event cursor and the graceful-degradation counter. It
+// exists only when Config.Faults is set, so the fault seam costs the
+// fault-free hot path exactly one nil check per phase (the same
+// discipline as the Observer seam, pinned by the AllocsPerRun tests).
+// The crashed-node bits live in the engine's combined off filter,
+// shared with the churn seam's absentees (the node sets are validated
+// disjoint).
 type faultState struct {
-	inj     *fault.Injector
-	events  []fault.Event
-	next    int    // cursor into events
-	crashed []bool // node is currently fail-stopped
-	// everWoke tracks membership in awakeList∪pending (entries are
-	// never removed from those lists), so a restart knows whether the
-	// node must be re-inserted or is merely reactivated in place.
-	everWoke []bool
+	inj    *fault.Injector
+	events []fault.Event
+	next   int // cursor into events
 	// neverDone counts nodes that are down for good without having
 	// decided; numDone + neverDone == n ends the run (graceful
 	// degradation: every node that still can decide has).
 	neverDone int
-
-	woken   []int32 // scratch: this slot's surviving wake block
-	rejoinU []int32 // scratch: restarts to merge into undecided
-	rejoinA []int32 // scratch: restarts to insert into the awake lists
 }
 
 // newFaultState validates the injector against the run and prepares
@@ -61,10 +55,8 @@ func newFaultState(inj *fault.Injector, cfg *Config, n int, allowSkew bool) (*fa
 		}
 	}
 	return &faultState{
-		inj:      inj,
-		events:   inj.Events(),
-		crashed:  make([]bool, n),
-		everWoke: make([]bool, n),
+		inj:    inj,
+		events: inj.Events(),
 	}, nil
 }
 
@@ -80,17 +72,17 @@ func (e *Engine) faultBeginSlot(t int64, ob Observer, met *obs.Metrics) {
 	if fs.next >= len(fs.events) || fs.events[fs.next].Slot > t {
 		return
 	}
-	fs.rejoinU = fs.rejoinU[:0]
-	fs.rejoinA = fs.rejoinA[:0]
+	e.rejoinU = e.rejoinU[:0]
+	e.rejoinA = e.rejoinA[:0]
 	for fs.next < len(fs.events) && fs.events[fs.next].Slot == t {
 		ev := fs.events[fs.next]
 		fs.next++
 		v := ev.Node
 		if ev.Kind == fault.EventCrash {
-			if fs.crashed[v] {
+			if e.off[v] {
 				continue
 			}
-			fs.crashed[v] = true
+			e.off[v] = true
 			e.res.Crashes++
 			if met != nil {
 				met.AddCrash()
@@ -105,10 +97,10 @@ func (e *Engine) faultBeginSlot(t int64, ob Observer, met *obs.Metrics) {
 			continue
 		}
 		// Restart.
-		if !fs.crashed[v] {
+		if !e.off[v] {
 			continue
 		}
-		fs.crashed[v] = false
+		e.off[v] = false
 		e.res.Restarts++
 		if met != nil {
 			met.AddRestart()
@@ -118,13 +110,13 @@ func (e *Engine) faultBeginSlot(t int64, ob Observer, met *obs.Metrics) {
 			// loop will start it on schedule.
 			continue
 		}
-		wasWoke := fs.everWoke[v]
+		wasWoke := e.everWoke[v]
 		if wasWoke {
 			e.cfg.Protocols[v].(Restartable).Reset()
 		}
 		e.awake[v] = true
 		e.rs[v].count = 0
-		fs.everWoke[v] = true
+		e.everWoke[v] = true
 		if ob != nil {
 			ob.OnWake(t, NodeID(v))
 		}
@@ -140,39 +132,38 @@ func (e *Engine) faultBeginSlot(t int64, ob Observer, met *obs.Metrics) {
 			needUndecided = true
 		}
 		if needUndecided {
-			fs.rejoinU = append(fs.rejoinU, v)
+			e.rejoinU = append(e.rejoinU, v)
 		}
 		if !wasWoke {
-			fs.rejoinA = append(fs.rejoinA, v)
+			e.rejoinA = append(e.rejoinA, v)
 		}
 	}
-	if len(fs.rejoinU) > 0 {
-		sortInt32s(fs.rejoinU)
-		e.undecided = mergeSorted(e.undecided, fs.rejoinU)
+	if len(e.rejoinU) > 0 {
+		sortInt32s(e.rejoinU)
+		e.undecided = mergeSorted(e.undecided, e.rejoinU)
 	}
-	if len(fs.rejoinA) > 0 {
+	if len(e.rejoinA) > 0 {
 		// The pending list is sorted at flush time, so insertion order
 		// is free.
-		e.pending = append(e.pending, fs.rejoinA...)
+		e.pending = append(e.pending, e.rejoinA...)
 	}
 }
 
-// faultWake is the fault-aware wake loop: nodes that are crashed at
-// their wake slot are consumed from the order without starting (their
-// restart, if any, rejoins them), so they never enter the activity
-// lists.
-func (e *Engine) faultWake(t int64, ob Observer, met *obs.Metrics) {
-	fs := e.fs
-	fs.woken = fs.woken[:0]
+// filteredWake is the off-aware wake loop: nodes that are crashed or
+// absent at their wake slot are consumed from the order without
+// starting (their restart or join, if any, rejoins them), so they
+// never enter the activity lists.
+func (e *Engine) filteredWake(t int64, ob Observer, met *obs.Metrics) {
+	e.woken = e.woken[:0]
 	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
 		id := e.order[e.next]
 		e.next++
-		if fs.crashed[id] {
+		if e.off[id] {
 			continue
 		}
 		e.awake[id] = true
 		e.rs[id].count = 0
-		fs.everWoke[id] = true
+		e.everWoke[id] = true
 		if ob != nil {
 			ob.OnWake(t, NodeID(id))
 		}
@@ -180,22 +171,22 @@ func (e *Engine) faultWake(t int64, ob Observer, met *obs.Metrics) {
 			met.AddWakeup()
 		}
 		e.cfg.Protocols[id].Start(t)
-		fs.woken = append(fs.woken, id)
+		e.woken = append(e.woken, id)
 	}
-	if len(fs.woken) > 0 {
-		e.undecided = mergeSorted(e.undecided, fs.woken)
-		e.pending = append(e.pending, fs.woken...)
+	if len(e.woken) > 0 {
+		e.undecided = mergeSorted(e.undecided, e.woken)
+		e.pending = append(e.pending, e.woken...)
 	}
 }
 
-// faultSend is the fault-aware sequential Send sweep: identical to the
-// plain sweep but skipping crashed nodes (their entries remain in the
-// lists; crash flags filter them).
-func (e *Engine) faultSend(t int64, ob Observer, met *obs.Metrics) {
+// filteredSend is the off-aware sequential Send sweep: identical to
+// the plain sweep but skipping crashed and absent nodes (their entries
+// remain in the lists; the off flags filter them).
+func (e *Engine) filteredSend(t int64, ob Observer, met *obs.Metrics) {
 	protos := e.cfg.Protocols
-	crashed := e.fs.crashed
+	off := e.off
 	for _, i := range e.awakeList {
-		if crashed[i] {
+		if off[i] {
 			continue
 		}
 		if msg := protos[i].Send(t); msg != nil {
@@ -206,7 +197,7 @@ func (e *Engine) faultSend(t int64, ob Observer, met *obs.Metrics) {
 		}
 	}
 	for _, i := range e.pending {
-		if crashed[i] {
+		if off[i] {
 			continue
 		}
 		if msg := protos[i].Send(t); msg != nil {
@@ -218,14 +209,15 @@ func (e *Engine) faultSend(t int64, ob Observer, met *obs.Metrics) {
 	}
 }
 
-// faultDecide is the fault-aware decision sweep: crashed nodes stay in
-// the undecided list (they may restart) but are never polled.
-func (e *Engine) faultDecide(t int64, ob Observer, met *obs.Metrics) {
+// filteredDecide is the off-aware decision sweep: crashed and absent
+// nodes stay in the undecided list (they may restart or rejoin) but
+// are never polled.
+func (e *Engine) filteredDecide(t int64, ob Observer, met *obs.Metrics) {
 	w := 0
 	protos := e.cfg.Protocols
-	crashed := e.fs.crashed
+	off := e.off
 	for _, i := range e.undecided {
-		if !crashed[i] && protos[i].Done() {
+		if !off[i] && protos[i].Done() {
 			e.decided[i] = true
 			e.numDone++
 			e.res.DecideSlot[i] = t
@@ -284,15 +276,4 @@ func (e *Engine) faultSuppressed(t int64, from, to int32, jammed, lost *int64, m
 		return true
 	}
 	return false
-}
-
-// downList appends the currently crashed nodes to dst in ascending
-// order.
-func (fs *faultState) downList(dst []int32) []int32 {
-	for i, c := range fs.crashed {
-		if c {
-			dst = append(dst, int32(i))
-		}
-	}
-	return dst
 }

@@ -173,6 +173,20 @@ type Result struct {
 	// Down lists the nodes that are crashed as of the last simulated
 	// slot (nil when Config.Faults is unset or nobody is down).
 	Down []int32
+
+	// Churn-layer counters, all zero unless Config.Churn is set. Joins
+	// and Leaves count presence changes actually applied; a node that
+	// leaves and rejoins counts once in each. ConflictsRepaired counts
+	// decisions retracted by the self-stabilizing repair because a
+	// topology change created a monochromatic edge.
+	Joins, Leaves     int64
+	ConflictsRepaired int64
+	// Left lists the nodes absent from the network as of the last
+	// simulated slot (nil when Config.Churn is unset or everyone is
+	// present). Distinct from Down: a left node departed on schedule
+	// and its color went out of scope with it, while a down node
+	// fail-stopped.
+	Left []int32
 }
 
 // Latency returns T_v for node v: slots between wake-up and decision

@@ -141,8 +141,11 @@ type tileState struct {
 }
 
 // newTileState precomputes the partition for a run: tile bounds and
-// the per-node intra-tile row spans.
-func newTileState(tiles, n int, offsets, edges []int32) *tileState {
+// the per-node intra-tile row spans. Row bounds come as the engine's
+// rowStart/rowEnd view (aliasing either the static offsets array or
+// the dynamic CSR's headers); under churn, refreshRows re-derives the
+// spans of rows a delta changed.
+func newTileState(tiles, n int, rowStart, rowEnd, edges []int32) *tileState {
 	size := (n + tiles - 1) / tiles
 	tiles = (n + size - 1) / size // drop empty trailing tiles
 	ts := &tileState{
@@ -162,7 +165,7 @@ func newTileState(tiles, n int, offsets, edges []int32) *tileState {
 		uLen:     make([]int, tiles),
 	}
 	for v := 0; v < n; v++ {
-		lo, hi := offsets[v], offsets[v+1]
+		lo, hi := rowStart[v], rowEnd[v]
 		tile := int32(v) / ts.size
 		start, end := tile*ts.size, (tile+1)*ts.size
 		ts.rowLo[v] = lowerBound32(edges, lo, hi, start)
@@ -170,6 +173,23 @@ func newTileState(tiles, n int, offsets, edges []int32) *tileState {
 		ts.interior[v] = ts.rowLo[v] == lo && ts.rowHi[v] == hi
 	}
 	return ts
+}
+
+// refreshRows re-derives the intra-tile spans and interior flags of
+// the given rows after a churn delta changed them. Runs in the slot
+// prologue, single-threaded, before any tile sweep reads the spans.
+// An added cross-tile edge can demote an interior node to the boundary
+// ring, and a removed one promote it back; both directions are exact
+// recomputation, so tiled and untiled churned runs stay bit-identical.
+func (ts *tileState) refreshRows(rows []int32, rowStart, rowEnd, edges []int32) {
+	for _, v := range rows {
+		lo, hi := rowStart[v], rowEnd[v]
+		tile := v / ts.size
+		start, end := tile*ts.size, (tile+1)*ts.size
+		ts.rowLo[v] = lowerBound32(edges, lo, hi, start)
+		ts.rowHi[v] = lowerBound32(edges, ts.rowLo[v], hi, end)
+		ts.interior[v] = ts.rowLo[v] == lo && ts.rowHi[v] == hi
+	}
 }
 
 // lowerBound32 returns the first index in [lo, hi) whose edge value is
@@ -386,10 +406,7 @@ func (e *Engine) parallelTiles(workers int, t int64, fn func(*Engine, int, int64
 func (e *Engine) tileSendResolve(k int, t int64) {
 	ts := e.ts
 	protos := e.cfg.Protocols
-	var crashed []bool
-	if e.fs != nil {
-		crashed = e.fs.crashed
-	}
+	off := e.off
 	sil := e.silent
 
 	tl := &ts.tallies[k]
@@ -402,7 +419,7 @@ func (e *Engine) tileSendResolve(k int, t int64) {
 	}
 	for _, ids := range lists {
 		for _, i := range ids {
-			if crashed != nil && crashed[i] {
+			if off != nil && off[i] {
 				continue
 			}
 			if sil != nil && sil[i] {
@@ -428,7 +445,7 @@ func (e *Engine) tileSendResolve(k int, t int64) {
 	size := ts.size
 	tiles := ts.tiles
 	for _, v := range txs {
-		lo, hi := e.offsets[v], e.offsets[v+1]
+		lo, hi := e.rowStart[v], e.rowEnd[v]
 		rlo, rhi := ts.rowLo[v], ts.rowHi[v]
 		for _, u := range e.edges[rlo:rhi] {
 			r := &e.rs[u]
@@ -482,7 +499,7 @@ func (e *Engine) tileSendResolve(k int, t int64) {
 		lo, hi := ts.uSeg[k], ts.uSeg[k+1]
 		wr := lo
 		for _, i := range e.undecided[lo:hi] {
-			if interior[i] && (crashed == nil || !crashed[i]) && protos[i].Done() {
+			if interior[i] && (off == nil || !off[i]) && protos[i].Done() {
 				e.decided[i] = true
 				tl.decisions++
 				e.res.DecideSlot[i] = t
@@ -558,10 +575,7 @@ func (e *Engine) tileDeliverDecide(k int, t int64) {
 	// the segments. When sweep 1 ran the fused interior pass, interior
 	// survivors are carried through without a second Done poll (a
 	// protocol must see exactly one poll per slot, like untiled).
-	var crashed []bool
-	if e.fs != nil {
-		crashed = e.fs.crashed
-	}
+	off := e.off
 	fused := ob == nil
 	interior := ts.interior
 	lo := ts.uSeg[k]
@@ -573,7 +587,7 @@ func (e *Engine) tileDeliverDecide(k int, t int64) {
 			w++
 			continue
 		}
-		if (crashed == nil || !crashed[i]) && protos[i].Done() {
+		if (off == nil || !off[i]) && protos[i].Done() {
 			e.decided[i] = true
 			tl.decisions++
 			e.res.DecideSlot[i] = t

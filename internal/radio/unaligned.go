@@ -131,12 +131,12 @@ func (u *unaligned) step() bool {
 	for e.next < e.n && e.cfg.Wake[e.order[e.next]] == t {
 		id := e.order[e.next]
 		e.next++
-		if e.fs != nil && e.fs.crashed[id] {
+		if e.off != nil && e.off[id] {
 			continue // fail-stopped before waking; restart handles rejoin
 		}
 		e.awake[id] = true
-		if e.fs != nil {
-			e.fs.everWoke[id] = true
+		if e.everWoke != nil {
+			e.everWoke[id] = true
 		}
 		if ob != nil {
 			ob.OnWake(t, NodeID(id))
@@ -177,7 +177,7 @@ func (u *unaligned) step() bool {
 		}
 		for _, h := range [2]int64{h0, h0 + 1} {
 			u.selfTx[i][h&7] = true
-			for _, w := range e.edges[e.offsets[i]:e.offsets[i+1]] {
+			for _, w := range e.edges[e.rowStart[i]:e.rowEnd[i]] {
 				u.occ[w][h&7]++
 			}
 		}
@@ -187,7 +187,7 @@ func (u *unaligned) step() bool {
 	// (2(t−1) .. 2t) are now finalized.
 	for _, tx := range u.prev {
 		v := int(tx.node)
-		for _, w := range e.edges[e.offsets[v]:e.offsets[v+1]] {
+		for _, w := range e.edges[e.rowStart[v]:e.rowEnd[v]] {
 			if !e.awake[w] {
 				continue
 			}

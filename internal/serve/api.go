@@ -83,6 +83,12 @@ type JobRequest struct {
 	// syntax (e.g. "loss=0.05,crash=3@500:900"). The outcome then
 	// carries the fault counters and the graceful-degradation verdict.
 	Faults string `json:"faults,omitempty"`
+	// Churn changes the topology mid-run, in radiocolor.ParseChurn
+	// syntax (e.g. "join=3@500,leave=7@900,move=0@1000:2:2"), so
+	// long-running jobs accept topology deltas. Waypoint mobility needs
+	// node positions, so it requires the points input. The outcome then
+	// carries the churn counters and the present-subgraph verdict.
+	Churn string `json:"churn,omitempty"`
 	// Medium selects the reception model, in radiocolor.ParseMedium
 	// syntax (e.g. "sinr,alpha=4,beta=1.5,noise=-90" or
 	// "multichannel,k=4"). A "sinr" medium needs node positions, so it
@@ -235,6 +241,16 @@ func (r *JobRequest) validate() (radiocolor.Options, error) {
 			return opt, err
 		}
 		opt.Faults = fc
+	}
+	if r.Churn != "" {
+		cc, err := radiocolor.ParseChurn(r.Churn)
+		if err != nil {
+			return opt, err
+		}
+		if cc != nil && len(cc.Waypoints) > 0 && r.Points == nil {
+			return opt, errors.New("serve: churn mobility needs node positions; submit the points input")
+		}
+		opt.Churn = cc
 	}
 	if r.Medium != "" {
 		mc, err := radiocolor.ParseMedium(r.Medium)

@@ -130,6 +130,12 @@ func TestJobRequestValidate(t *testing.T) {
 		{"sinr on points", JobRequest{Points: [][2]float64{{0, 0}, {0.5, 0}}, Radius: 1, Medium: "sinr,alpha=3"}, true},
 		{"multichannel on adjacency", JobRequest{Adjacency: [][]int{{1}, {0}}, Medium: "multichannel,k=4"}, true},
 		{"medium plus skew", JobRequest{Adjacency: [][]int{{1}, {0}}, Medium: "multichannel,k=2", Faults: "skew=0.5"}, false},
+		{"churn on adjacency", JobRequest{Adjacency: [][]int{{1}, {0}}, Churn: "leave=0@10"}, true},
+		{"bad churn", JobRequest{Adjacency: [][]int{{1}, {0}}, Churn: "teleport=1@5"}, false},
+		{"churn mobility on adjacency", JobRequest{Adjacency: [][]int{{1}, {0}}, Churn: "move=0@10:1:1"}, false},
+		{"churn mobility on points", JobRequest{Points: [][2]float64{{0, 0}, {0.5, 0}}, Radius: 1, Churn: "move=0@10:1:1"}, true},
+		{"churn plus medium", JobRequest{Adjacency: [][]int{{1}, {0}}, Churn: "leave=0@10", Medium: "multichannel,k=2"}, false},
+		{"churn plus skew", JobRequest{Adjacency: [][]int{{1}, {0}}, Churn: "leave=0@10", Faults: "skew=0.5"}, false},
 	}
 	for _, c := range cases {
 		opt, err := c.req.validate()

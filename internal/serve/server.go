@@ -706,10 +706,28 @@ func (s *Server) runJob(ctx context.Context, j *job) (*radiocolor.Outcome, error
 	}()
 	opt := j.opt
 	opt.Observer = obsFeed{a: j.metrics, b: s.obsReg}
+	var out *radiocolor.Outcome
+	var err error
 	if j.points != nil {
-		return radiocolor.ColorUnitDiskContext(ctx, j.points, j.radius, opt)
+		out, err = radiocolor.ColorUnitDiskContext(ctx, j.points, j.radius, opt)
+	} else {
+		out, err = radiocolor.ColorGraphContext(ctx, j.adj, opt)
 	}
-	return radiocolor.ColorGraphContext(ctx, j.adj, opt)
+	// The fault and churn seams count events on the run's own registry,
+	// not through the Observer hooks the feed above sees — fold their
+	// totals from the outcome so the streamed and scraped registries
+	// carry them too.
+	if out != nil {
+		if f := out.Faults; f != nil {
+			j.metrics.AddFaultTotals(f.Lost, f.Jammed, f.Crashes, f.Restarts)
+			s.obsReg.AddFaultTotals(f.Lost, f.Jammed, f.Crashes, f.Restarts)
+		}
+		if c := out.Churn; c != nil {
+			j.metrics.AddChurnTotals(c.Joins, c.Leaves, c.ConflictsRepaired)
+			s.obsReg.AddChurnTotals(c.Joins, c.Leaves, c.ConflictsRepaired)
+		}
+	}
+	return out, err
 }
 
 // obsFeed fans simulation events into two metrics registries: the

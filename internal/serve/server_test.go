@@ -938,6 +938,68 @@ func TestFaultsJob(t *testing.T) {
 	}
 }
 
+func TestChurnJob(t *testing.T) {
+	// A long-running job accepts topology deltas: a node leaves, a new
+	// one joins, and the outcome carries the churn counters plus the
+	// present-subgraph verdict.
+	_, ts := newTestServer(t, Config{Workers: 1})
+	_, st := submit(t, ts, JobRequest{Adjacency: ringAdjacency(12), Seed: 5, Churn: "leave=2@50,join=7@80"})
+	fin := waitTerminal(t, ts, st.ID)
+	if fin.State != StateDone {
+		t.Fatalf("churned job: state = %s (err %q)", fin.State, fin.Error)
+	}
+	out := fin.Outcome
+	if out == nil || out.Churn == nil {
+		t.Fatalf("outcome missing churn report: %+v", out)
+	}
+	if out.Churn.Joins != 1 || out.Churn.Leaves != 1 {
+		t.Fatalf("churn counters: %+v, want 1 join / 1 leave", out.Churn)
+	}
+	if !out.Churn.Graceful || out.Churn.HardViolations != 0 {
+		t.Fatalf("churned ring not graceful: %+v", out.Churn)
+	}
+	if len(out.Churn.Left) != 1 || out.Churn.Left[0] != 2 {
+		t.Fatalf("Left = %v, want [2]", out.Churn.Left)
+	}
+
+	// The churn totals reach the server-aggregate registry: the /metrics
+	// scrape must carry the finished job's joins and leaves.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbuf := new(bytes.Buffer)
+	if _, err := mbuf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	for _, want := range []string{
+		"radiocolor_joins_total 1",
+		"radiocolor_leaves_total 1",
+		"radiocolor_conflicts_repaired_total 0",
+	} {
+		if !strings.Contains(mbuf.String(), want) {
+			t.Errorf("metrics scrape missing %q", want)
+		}
+	}
+
+	// Malformed churn specs are rejected at submission.
+	post := func(body string) int {
+		resp, err := ts.Client().Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(`{"adjacency":[[1],[0]],"churn":"teleport=1@5"}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown churn key: %d, want 400", code)
+	}
+	if code := post(`{"adjacency":[[1],[0]],"churn":"move=0@10:1:1"}`); code != http.StatusBadRequest {
+		t.Fatalf("mobility without positions: %d, want 400", code)
+	}
+}
+
 func TestMediumJob(t *testing.T) {
 	// A points job under the SINR medium runs end to end and matches the
 	// direct library call; a sinr request without positions is rejected

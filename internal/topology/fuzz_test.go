@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -40,6 +41,45 @@ func FuzzReadDeployment(f *testing.F) {
 		}
 		if back.G.N() != d.G.N() || back.G.M() != d.G.M() || len(back.Points) != len(d.Points) {
 			t.Fatal("round-trip changed shape")
+		}
+	})
+}
+
+// FuzzReadTrace hardens the mobility-trace parser: arbitrary input must
+// never panic, every accepted trace must validate as a churn schedule,
+// and accepted traces must round-trip exactly.
+func FuzzReadTrace(f *testing.F) {
+	var b strings.Builder
+	if err := WriteTrace(&b, sampleTrace()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b.String())
+	f.Add("trace \"x\"\n")
+	f.Add("trace \"x\"\nseed 7\nevery 32\nrepair none\njoins 1\n0 10\n")
+	f.Add("trace \"x\"\nleaves 1\n3 40\njoins 1\n3 90\nwaypoints 2\n5 10 0 0\n5 90 2 2\n")
+	f.Add("# comment\ntrace \"x\"\n\nleaves 1\n1 5\n")
+	f.Add("trace \"x\"\njoins 99999999\n")
+	f.Add("trace \"x\"\nwaypoints 1\n1 10 NaN 0\n")
+	f.Add("trace \"x\"\nleaves 2\n1 10\n1 20\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadTrace(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := tr.Schedule.Validate(0); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		var out strings.Builder
+		if err := WriteTrace(&out, tr); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadTrace(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v", err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatal("round trip changed the trace")
 		}
 	})
 }

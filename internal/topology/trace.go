@@ -1,0 +1,272 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"radiocolor/internal/churn"
+)
+
+// Mobility-trace serialization. A trace stores a churn.Schedule — the
+// declarative join/leave/waypoint script of a dynamic-topology run — so
+// that perturbation experiments are reproducible outside this process,
+// exactly as WriteDeployment does for static geometry:
+//
+//	trace <name-with-no-spaces-or-quoted>
+//	seed <n>                  (omitted when 0)
+//	every <slots>             (omitted when 0, i.e. the default cadence)
+//	repair <mode>             (omitted for the default retract mode)
+//	joins <count>             (omitted when there are none)
+//	<node> <slot>
+//	...
+//	leaves <count>            (omitted when there are none)
+//	<node> <slot>
+//	...
+//	waypoints <count>         (omitted when there are none)
+//	<node> <slot> <x> <y>
+//	...
+//
+// Blank lines and '#' comments are skipped anywhere. Every malformed
+// line is rejected with its position (the entry index within its
+// section), never silently dropped: a trace drives topology mutation
+// mid-run, so a misread line would quietly change which nodes churn.
+
+// Trace is a named mobility/churn schedule, the dynamic counterpart of
+// Deployment.
+type Trace struct {
+	// Name labels the trace ("unnamed" when empty on write).
+	Name string
+	// Schedule is the churn script the trace stores. Never nil after a
+	// successful ReadTrace; an empty schedule (no events) is valid and
+	// round-trips to a header-only file.
+	Schedule *churn.Schedule
+}
+
+// WriteTrace serializes tr.
+func WriteTrace(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	name := tr.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	s := tr.Schedule
+	if s == nil {
+		s = &churn.Schedule{}
+	}
+	if _, err := fmt.Fprintf(bw, "trace %q\n", name); err != nil {
+		return err
+	}
+	if s.Seed != 0 {
+		if _, err := fmt.Fprintf(bw, "seed %d\n", s.Seed); err != nil {
+			return err
+		}
+	}
+	if s.Every != 0 {
+		if _, err := fmt.Fprintf(bw, "every %d\n", s.Every); err != nil {
+			return err
+		}
+	}
+	if s.Repair != churn.RepairRetract {
+		if _, err := fmt.Fprintf(bw, "repair %s\n", s.Repair); err != nil {
+			return err
+		}
+	}
+	writeEvents := func(kind string, evs []churn.Event) error {
+		if len(evs) == 0 {
+			return nil
+		}
+		if _, err := fmt.Fprintf(bw, "%s %d\n", kind, len(evs)); err != nil {
+			return err
+		}
+		for _, e := range evs {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", e.Node, e.At); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeEvents("joins", s.Joins); err != nil {
+		return err
+	}
+	if err := writeEvents("leaves", s.Leaves); err != nil {
+		return err
+	}
+	if len(s.Waypoints) > 0 {
+		if _, err := fmt.Fprintf(bw, "waypoints %d\n", len(s.Waypoints)); err != nil {
+			return err
+		}
+		for _, wp := range s.Waypoints {
+			if _, err := fmt.Fprintf(bw, "%d %d %g %g\n", wp.Node, wp.At, wp.X, wp.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses the format written by WriteTrace. The returned
+// schedule passes churn (*Schedule).Validate(0); node ranges against a
+// concrete graph are checked later, at compile time.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	tr := &Trace{Schedule: &churn.Schedule{}}
+	s := tr.Schedule
+
+	readLine := func() (string, error) {
+		for {
+			line, err := br.ReadString('\n')
+			line = strings.TrimSpace(line)
+			if err != nil && line == "" {
+				return "", err
+			}
+			if line == "" || line[0] == '#' {
+				if err != nil {
+					return "", err
+				}
+				continue
+			}
+			return line, nil
+		}
+	}
+
+	line, err := readLine()
+	if err != nil {
+		return nil, fmt.Errorf("topology: missing trace header: %w", err)
+	}
+	if _, err := fmt.Sscanf(line, "trace %q", &tr.Name); err != nil {
+		return nil, fmt.Errorf("topology: bad trace header %q: %w", line, err)
+	}
+	if tr.Name == "" {
+		// Write normalizes an empty name the same way, so accepted
+		// traces always round-trip exactly.
+		tr.Name = "unnamed"
+	}
+
+	// parseInt64 rejects the junk Sscanf tolerates (trailing garbage).
+	parseInt64 := func(f string) (int64, error) { return strconv.ParseInt(f, 10, 64) }
+
+	readEvents := func(kind string, count int) ([]churn.Event, error) {
+		if count == 0 {
+			// An explicit empty section reads back as nil, matching the
+			// omitted-section form Write produces.
+			return nil, nil
+		}
+		evs := make([]churn.Event, count)
+		for i := range evs {
+			line, err = readLine()
+			if err != nil {
+				return nil, fmt.Errorf("topology: truncated %s: %w", kind, err)
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("topology: %s entry %d: want `<node> <slot>`, got %q", kind, i, line)
+			}
+			node, errN := parseInt64(fields[0])
+			at, errA := parseInt64(fields[1])
+			if errN != nil || errA != nil {
+				return nil, fmt.Errorf("topology: %s entry %d: bad line %q", kind, i, line)
+			}
+			if node < 0 || node > maxReadItems {
+				return nil, fmt.Errorf("topology: %s entry %d: node %d out of range", kind, i, node)
+			}
+			if at < 0 {
+				return nil, fmt.Errorf("topology: %s entry %d: negative slot %d", kind, i, at)
+			}
+			evs[i] = churn.Event{Node: int(node), At: at}
+		}
+		return evs, nil
+	}
+
+	// Optional lines and sections, each at most once, in any order.
+	seen := map[string]bool{}
+	for {
+		line, err = readLine()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("topology: reading trace: %w", err)
+		}
+		fields := strings.Fields(line)
+		key := fields[0]
+		if seen[key] {
+			return nil, fmt.Errorf("topology: duplicate %q section in trace", key)
+		}
+		seen[key] = true
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("topology: bad trace line %q", line)
+		}
+		switch key {
+		case "seed":
+			if s.Seed, err = parseInt64(fields[1]); err != nil {
+				return nil, fmt.Errorf("topology: bad seed line %q", line)
+			}
+		case "every":
+			if s.Every, err = parseInt64(fields[1]); err != nil || s.Every < 0 {
+				return nil, fmt.Errorf("topology: bad every line %q", line)
+			}
+		case "repair":
+			if s.Repair, err = churn.ParseRepairMode(fields[1]); err != nil {
+				return nil, fmt.Errorf("topology: bad repair line %q: %w", line, err)
+			}
+		case "joins", "leaves":
+			count, errC := strconv.Atoi(fields[1])
+			if errC != nil || count < 0 || count > maxReadItems {
+				return nil, fmt.Errorf("topology: bad %s header %q", key, line)
+			}
+			evs, err := readEvents(key, count)
+			if err != nil {
+				return nil, err
+			}
+			if key == "joins" {
+				s.Joins = evs
+			} else {
+				s.Leaves = evs
+			}
+		case "waypoints":
+			count, errC := strconv.Atoi(fields[1])
+			if errC != nil || count < 0 || count > maxReadItems {
+				return nil, fmt.Errorf("topology: bad waypoints header %q", line)
+			}
+			if count == 0 {
+				continue
+			}
+			s.Waypoints = make([]churn.Waypoint, count)
+			for i := range s.Waypoints {
+				line, err = readLine()
+				if err != nil {
+					return nil, fmt.Errorf("topology: truncated waypoints: %w", err)
+				}
+				f := strings.Fields(line)
+				if len(f) != 4 {
+					return nil, fmt.Errorf("topology: waypoint %d: want `<node> <slot> <x> <y>`, got %q", i, line)
+				}
+				node, errN := parseInt64(f[0])
+				at, errA := parseInt64(f[1])
+				x, errX := strconv.ParseFloat(f[2], 64)
+				y, errY := strconv.ParseFloat(f[3], 64)
+				if errN != nil || errA != nil || errX != nil || errY != nil {
+					return nil, fmt.Errorf("topology: waypoint %d: bad line %q", i, line)
+				}
+				if node < 0 || node > maxReadItems {
+					return nil, fmt.Errorf("topology: waypoint %d: node %d out of range", i, node)
+				}
+				// ParseFloat accepts NaN and ±Inf, but a non-finite target
+				// would corrupt every interpolated position after it.
+				if !isFinite(x) || !isFinite(y) {
+					return nil, fmt.Errorf("topology: waypoint %d has non-finite coordinates %q", i, line)
+				}
+				s.Waypoints[i] = churn.Waypoint{Node: int(node), At: at, X: x, Y: y}
+			}
+		default:
+			return nil, fmt.Errorf("topology: unknown trace section %q", line)
+		}
+	}
+	if err := s.Validate(0); err != nil {
+		return nil, fmt.Errorf("topology: invalid trace: %w", err)
+	}
+	return tr, nil
+}

@@ -1,0 +1,137 @@
+package topology
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"radiocolor/internal/churn"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Name: "roaming pair",
+		Schedule: &churn.Schedule{
+			Seed:   42,
+			Joins:  []churn.Event{{Node: 3, At: 120}, {Node: 9, At: 400}},
+			Leaves: []churn.Event{{Node: 3, At: 40}, {Node: 5, At: 900}},
+			Waypoints: []churn.Waypoint{
+				{Node: 7, At: 100, X: 1.5, Y: 2.25},
+				{Node: 7, At: 600, X: 0, Y: 0},
+			},
+			Every:  32,
+			Repair: churn.RepairNone,
+		},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var b strings.Builder
+	if err := WriteTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("re-read failed: %v\nfile:\n%s", err, b.String())
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Errorf("round trip changed the trace:\n want %+v %+v\n got  %+v %+v",
+			tr, tr.Schedule, back, back.Schedule)
+	}
+}
+
+func TestTraceRoundTripDefaults(t *testing.T) {
+	// A zero schedule (no events, default repair/cadence) writes a
+	// header-only file and reads back equal.
+	tr := &Trace{Name: "empty", Schedule: &churn.Schedule{}}
+	var b strings.Builder
+	if err := WriteTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.String(), "trace \"empty\"\n"; got != want {
+		t.Errorf("empty trace serialized as %q, want %q", got, want)
+	}
+	back, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Errorf("round trip changed the trace: %+v vs %+v", tr.Schedule, back.Schedule)
+	}
+
+	// A nil schedule and an empty name normalize on write.
+	var b2 strings.Builder
+	if err := WriteTrace(&b2, &Trace{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadTrace(strings.NewReader(b2.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "unnamed" || back.Schedule == nil {
+		t.Errorf("nil-schedule trace read back as %+v", back)
+	}
+}
+
+func TestTraceSkipsCommentsAndBlanks(t *testing.T) {
+	const in = `# mobility trace for the E27 sweep
+trace "commented"
+
+# one node leaves...
+leaves 1
+4 250
+
+# ...and returns
+joins 1
+4 700
+`
+	tr, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &churn.Schedule{
+		Joins:  []churn.Event{{Node: 4, At: 700}},
+		Leaves: []churn.Event{{Node: 4, At: 250}},
+	}
+	if tr.Name != "commented" || !reflect.DeepEqual(tr.Schedule, want) {
+		t.Errorf("parsed %q %+v, want %q %+v", tr.Name, tr.Schedule, "commented", want)
+	}
+}
+
+// TestTraceRejectsMalformed exercises the rejection paths; every error
+// must carry enough position to find the offending line.
+func TestTraceRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "trace header"},
+		{"bad header", "deployment \"x\"\n", "trace header"},
+		{"unknown section", "trace \"x\"\nvelocity 3\n", "unknown trace section"},
+		{"bad seed", "trace \"x\"\nseed ten\n", "bad seed"},
+		{"negative every", "trace \"x\"\nevery -4\n", "bad every"},
+		{"bad repair", "trace \"x\"\nrepair magic\n", "repair"},
+		{"duplicate section", "trace \"x\"\nevery 8\nevery 8\n", "duplicate \"every\""},
+		{"huge joins header", "trace \"x\"\njoins 99999999\n", "bad joins header"},
+		{"truncated joins", "trace \"x\"\njoins 2\n1 10\n", "truncated joins"},
+		{"join arity", "trace \"x\"\njoins 1\n1 10 99\n", "joins entry 0"},
+		{"join junk", "trace \"x\"\njoins 1\none 10\n", "joins entry 0"},
+		{"join negative node", "trace \"x\"\njoins 1\n-2 10\n", "joins entry 0"},
+		{"leave negative slot", "trace \"x\"\nleaves 1\n2 -10\n", "leaves entry 0"},
+		{"second leave bad", "trace \"x\"\nleaves 2\n2 10\n3 x\n", "leaves entry 1"},
+		{"waypoint arity", "trace \"x\"\nwaypoints 1\n1 10 0.5\n", "waypoint 0"},
+		{"waypoint NaN", "trace \"x\"\nwaypoints 1\n1 10 NaN 0\n", "non-finite"},
+		{"waypoint Inf", "trace \"x\"\nwaypoints 2\n1 10 0 0\n1 20 +Inf 0\n", "waypoint 1"},
+		{"truncated waypoints", "trace \"x\"\nwaypoints 3\n1 10 0 0\n", "truncated waypoints"},
+		{"semantic: double leave", "trace \"x\"\nleaves 2\n1 10\n1 20\n", "alternate"},
+		{"semantic: waypoint order", "trace \"x\"\nwaypoints 2\n1 20 0 0\n1 10 1 1\n", "increasing slot order"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadTrace(strings.NewReader(c.in))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}

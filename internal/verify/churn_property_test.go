@@ -1,0 +1,115 @@
+package verify_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"radiocolor/internal/churn"
+	"radiocolor/internal/core"
+	"radiocolor/internal/fault"
+	"radiocolor/internal/radio"
+	"radiocolor/internal/verify"
+)
+
+// Chaos property test for the dynamic-topology layer: under a random
+// join/leave schedule composed with link loss, across every wakeup
+// schedule, the run may leave departed nodes uncolored — but two
+// PRESENT adjacent nodes must never share a color in the topology the
+// run ended with. The verdict graph is Plan.FinalGraph, not the base
+// graph: permanent departures change which edges are in scope.
+
+// randomChurn makes ~10% of the nodes leave at random slots; half of
+// the victims rejoin later and re-contend (retract-repair semantics).
+// Deterministic in seed.
+func randomChurn(n int, budget int64, seed int64) *churn.Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	victims := rng.Perm(n)[:n/10+1]
+	s := &churn.Schedule{Seed: seed}
+	for i, v := range victims {
+		at := 1 + rng.Int63n(budget/2)
+		s.Leaves = append(s.Leaves, churn.Event{Node: v, At: at})
+		if i%2 == 1 {
+			s.Joins = append(s.Joins, churn.Event{Node: v, At: at + 1 + rng.Int63n(budget/4)})
+		}
+	}
+	return s
+}
+
+func TestPresentProperlyColoredUnderChurn(t *testing.T) {
+	g := propertyGraph(t)
+	par := propertyParams(g)
+	const budget = 120_000
+	rates := []float64{0, 0.10}
+	if testing.Short() {
+		rates = rates[1:]
+	}
+	for _, pat := range radio.WakePatterns {
+		for _, loss := range rates {
+			pat, loss := pat, loss
+			t.Run(fmt.Sprintf("%s/loss%g", pat.Name, loss), func(t *testing.T) {
+				t.Parallel()
+				seed := int64(43)
+				sch := randomChurn(g.N(), budget/2, seed)
+				plan, err := sch.Compile(churn.Env{G: g})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var inj *fault.Injector
+				if loss > 0 {
+					// Loss has no per-node victims, so it composes with any
+					// churn schedule (crash victims would have to stay
+					// disjoint from the churn subjects).
+					inj, err = (&fault.Profile{Seed: seed, Loss: loss}).Compile(g.N())
+					if err != nil {
+						t.Fatal(err)
+					}
+				}
+				nodes, protos := core.Nodes(g.N(), seed, par, core.Ablation{})
+				cfg := radio.Config{
+					G: g, Protocols: protos,
+					Wake:     pat.Make(g.N(), par.WaitSlots(), seed),
+					MaxSlots: budget, NEstimate: par.N,
+					Faults: inj,
+					Churn:  plan,
+				}
+				res, err := radio.Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				colors := make([]int32, len(nodes))
+				for i, v := range nodes {
+					colors[i] = v.Color()
+				}
+				final := plan.FinalGraph(g)
+				rep := verify.CheckSurvivorsScoped(final, colors,
+					verify.DownSet(g.N(), res.Down), verify.DownSet(g.N(), res.Left))
+				if rep.Hard() {
+					t.Errorf("loss=%g: hard violations (present adjacent nodes share a color): %v\n%s",
+						loss, rep.HardViolations, rep)
+				}
+				// Guard against a vacuous pass: churn must have fired, the
+				// permanent leavers must be out of scope, and a meaningful
+				// share of present nodes must hold colors.
+				if res.Leaves == 0 || res.Joins == 0 {
+					t.Fatalf("loss=%g: no churn applied (leaves=%d joins=%d); test is vacuous",
+						loss, res.Leaves, res.Joins)
+				}
+				if loss > 0 && res.Lost == 0 {
+					t.Fatalf("loss=%g: no losses injected; test is vacuous", loss)
+				}
+				if want := len(sch.Leaves) - len(sch.Joins); rep.LeftNodes != want {
+					t.Errorf("loss=%g: %d nodes out of scope, want the %d permanent leavers",
+						loss, rep.LeftNodes, want)
+				}
+				if rep.Survivors == 0 || rep.SurvivorsColored == 0 {
+					t.Fatalf("loss=%g: nobody present/colored (%s); test is vacuous", loss, rep)
+				}
+				if rep.SurvivorsColored*2 < rep.Survivors {
+					t.Errorf("loss=%g: only %d of %d present nodes colored — degradation is not graceful (%s)",
+						loss, rep.SurvivorsColored, rep.Survivors, rep)
+				}
+			})
+		}
+	}
+}

@@ -14,8 +14,12 @@ import (
 // because the protocol's safety argument (Theorem 2's independence)
 // never relies on every node surviving.
 type SurvivorReport struct {
-	// Survivors counts live nodes; DownNodes counts crashed ones.
-	Survivors, DownNodes int
+	// Survivors counts live, present nodes; DownNodes counts crashed
+	// ones; LeftNodes counts nodes that departed on a churn schedule.
+	// Down and left nodes are both out of scope for violations and
+	// degradation, but for different reasons: a crashed node's color is
+	// lost to a fault, a left node's color left the network with it.
+	Survivors, DownNodes, LeftNodes int
 	// HardViolations lists edges between two live nodes sharing a
 	// color — hard failures (capped at 64).
 	HardViolations []Violation
@@ -41,8 +45,8 @@ func (r *SurvivorReport) Graceful() bool { return !r.Hard() }
 
 // String implements fmt.Stringer.
 func (r *SurvivorReport) String() string {
-	return fmt.Sprintf("survivors=%d down=%d colored=%d degraded=%d hard=%d colors=%d max=%d",
-		r.Survivors, r.DownNodes, r.SurvivorsColored, len(r.Degraded),
+	return fmt.Sprintf("survivors=%d down=%d left=%d colored=%d degraded=%d hard=%d colors=%d max=%d",
+		r.Survivors, r.DownNodes, r.LeftNodes, r.SurvivorsColored, len(r.Degraded),
 		len(r.HardViolations), r.NumColors, r.MaxColor)
 }
 
@@ -51,17 +55,40 @@ func (r *SurvivorReport) String() string {
 // down, reducing to Check's completeness view). colors[v] is node v's
 // color or Uncolored, as in Check.
 func CheckSurvivors(g *graph.Graph, colors []int32, down []bool) *SurvivorReport {
+	return CheckSurvivorsScoped(g, colors, down, nil)
+}
+
+// CheckSurvivorsScoped is CheckSurvivors for dynamic topologies: left[v]
+// marks node v as departed on a churn schedule (e.g. radio.Result.Left)
+// as of the end of the run. A left node is out of scope exactly like a
+// down node — it is not a survivor, its color (a leftover of its last
+// stay) cannot violate anything, and its missing color is not
+// degradation — but it is tallied separately as LeftNodes, because
+// leaving is scheduled behavior while crashing is a fault. A node
+// marked both down and left counts as left (the churn and fault layers
+// reject overlapping subjects, so the double marking itself indicates a
+// caller bug elsewhere).
+func CheckSurvivorsScoped(g *graph.Graph, colors []int32, down, left []bool) *SurvivorReport {
 	if len(colors) != g.N() {
 		panic(fmt.Sprintf("verify: %d colors for %d nodes", len(colors), g.N()))
 	}
 	if down != nil && len(down) != g.N() {
 		panic(fmt.Sprintf("verify: %d down flags for %d nodes", len(down), g.N()))
 	}
+	if left != nil && len(left) != g.N() {
+		panic(fmt.Sprintf("verify: %d left flags for %d nodes", len(left), g.N()))
+	}
 	r := &SurvivorReport{MaxColor: -1}
 	used := make(map[int32]bool)
-	isDown := func(v int32) bool { return down != nil && down[v] }
+	isOut := func(v int32) bool {
+		return (down != nil && down[v]) || (left != nil && left[v])
+	}
 	for v := 0; v < g.N(); v++ {
-		if isDown(int32(v)) {
+		if left != nil && left[v] {
+			r.LeftNodes++
+			continue
+		}
+		if down != nil && down[v] {
 			r.DownNodes++
 			continue
 		}
@@ -82,7 +109,7 @@ func CheckSurvivors(g *graph.Graph, colors []int32, down []bool) *SurvivorReport
 			}
 		}
 		for _, u := range g.Adj(v) {
-			if int(u) > v && !isDown(u) && colors[u] == c {
+			if int(u) > v && !isOut(u) && colors[u] == c {
 				if len(r.HardViolations) < capList {
 					r.HardViolations = append(r.HardViolations, Violation{U: int32(v), V: u, Color: c})
 				}
@@ -92,8 +119,8 @@ func CheckSurvivors(g *graph.Graph, colors []int32, down []bool) *SurvivorReport
 	return r
 }
 
-// DownSet converts a crashed-node id list (e.g. radio.Result.Down) to
-// the boolean mask CheckSurvivors takes.
+// DownSet converts a node id list (radio.Result.Down or .Left) to the
+// boolean mask CheckSurvivors and CheckSurvivorsScoped take.
 func DownSet(n int, ids []int32) []bool {
 	if len(ids) == 0 {
 		return nil

@@ -1,0 +1,83 @@
+package verify
+
+import "testing"
+
+func TestCheckSurvivorsDownOutOfScope(t *testing.T) {
+	// 0-1-2 path, nodes 0 and 1 share a color but 1 is down: no hard
+	// violation, and the down node is neither a survivor nor degraded.
+	g := pathGraph(3)
+	r := CheckSurvivors(g, []int32{5, 5, 0}, []bool{false, true, false})
+	if r.Hard() || !r.Graceful() {
+		t.Fatalf("down node's stale color judged hard: %v", r)
+	}
+	if r.Survivors != 2 || r.DownNodes != 1 || r.LeftNodes != 0 {
+		t.Errorf("survivors=%d down=%d left=%d, want 2/1/0", r.Survivors, r.DownNodes, r.LeftNodes)
+	}
+	if len(r.Degraded) != 0 {
+		t.Errorf("degraded = %v, want none", r.Degraded)
+	}
+}
+
+func TestCheckSurvivorsScopedLeftOutOfScope(t *testing.T) {
+	// Node 1 left on schedule holding a color that conflicts with both
+	// neighbors, and node 2 left without ever deciding: neither is a
+	// violation or degradation — their colors went out of scope with
+	// them — and they tally as left, not down.
+	g := pathGraph(4)
+	colors := []int32{5, 5, Uncolored, 5}
+	left := []bool{false, true, true, false}
+	r := CheckSurvivorsScoped(g, colors, nil, left)
+	if r.Hard() {
+		t.Fatalf("left node's leftover color judged hard: %v", r)
+	}
+	if r.Survivors != 2 || r.DownNodes != 0 || r.LeftNodes != 2 {
+		t.Errorf("survivors=%d down=%d left=%d, want 2/0/2", r.Survivors, r.DownNodes, r.LeftNodes)
+	}
+	if len(r.Degraded) != 0 {
+		t.Errorf("undecided leaver listed as degraded: %v", r.Degraded)
+	}
+	if r.SurvivorsColored != 2 || r.NumColors != 1 {
+		t.Errorf("colored=%d colors=%d, want 2/1", r.SurvivorsColored, r.NumColors)
+	}
+}
+
+func TestCheckSurvivorsScopedDistinguishesDownFromLeft(t *testing.T) {
+	// Same mask shape, opposite report fields — the semantics are
+	// explicit, not interchangeable labels.
+	g := pathGraph(3)
+	colors := []int32{0, 1, 0}
+	mask := []bool{false, false, true}
+	asDown := CheckSurvivorsScoped(g, colors, mask, nil)
+	asLeft := CheckSurvivorsScoped(g, colors, nil, mask)
+	if asDown.DownNodes != 1 || asDown.LeftNodes != 0 {
+		t.Errorf("down mask: down=%d left=%d", asDown.DownNodes, asDown.LeftNodes)
+	}
+	if asLeft.DownNodes != 0 || asLeft.LeftNodes != 1 {
+		t.Errorf("left mask: down=%d left=%d", asLeft.DownNodes, asLeft.LeftNodes)
+	}
+	if asDown.Survivors != asLeft.Survivors {
+		t.Errorf("scoping differs: %d vs %d survivors", asDown.Survivors, asLeft.Survivors)
+	}
+}
+
+func TestCheckSurvivorsScopedLiveConflictStillHard(t *testing.T) {
+	// Scoping out node 3 must not excuse the live 0-1 conflict.
+	g := pathGraph(4)
+	r := CheckSurvivorsScoped(g, []int32{5, 5, 0, 1}, nil, []bool{false, false, false, true})
+	if !r.Hard() || len(r.HardViolations) != 1 {
+		t.Fatalf("live conflict not flagged: %v", r)
+	}
+	v := r.HardViolations[0]
+	if v.U != 0 || v.V != 1 || v.Color != 5 {
+		t.Errorf("violation = %+v, want edge (0,1) color 5", v)
+	}
+}
+
+func TestCheckSurvivorsScopedPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on short left mask")
+		}
+	}()
+	CheckSurvivorsScoped(pathGraph(3), []int32{0, 1, 0}, nil, []bool{false})
+}

@@ -112,6 +112,15 @@ type Options struct {
 	// the injected-event counts and the graceful-degradation verdict.
 	Faults *FaultConfig
 
+	// Churn, when non-nil, changes the topology mid-run — late joins,
+	// scheduled departures, rejoins, waypoint mobility — with optional
+	// self-stabilizing conflict repair (see ChurnConfig). The Outcome
+	// then carries a ChurnOutcome with the applied-event counts and the
+	// proper-coloring verdict over the nodes still present. Mobility
+	// needs positions (geometric entry points only), and Churn cannot
+	// combine with a Medium or clock-skew faults.
+	Churn *ChurnConfig
+
 	// Medium, when non-nil, swaps the reception model — SINR with
 	// cumulative interference, multi-channel hopping — in place of the
 	// paper's exactly-one-transmitter rule (see MediumConfig). nil keeps
@@ -202,6 +211,24 @@ func (o Options) Validate() error {
 		}
 		if o.Faults != nil && o.Faults.SkewProb > 0 {
 			return errors.New("radiocolor: a Medium cannot combine with clock-skew faults (the half-slot engine has no medium seam)")
+		}
+	}
+	if c := o.Churn; c.active() {
+		sch, err := c.schedule()
+		if err != nil {
+			return err
+		}
+		// Structural validation only; node ranges and the geometry
+		// requirement are checked when the schedule is compiled against
+		// the graph.
+		if err := sch.Validate(0); err != nil {
+			return fmt.Errorf("radiocolor: %w", err)
+		}
+		if o.Medium != nil {
+			return errors.New("radiocolor: Churn cannot combine with a Medium (media bind to a static graph)")
+		}
+		if o.Faults != nil && o.Faults.SkewProb > 0 {
+			return errors.New("radiocolor: Churn cannot combine with clock-skew faults (the half-slot engine has no churn seam)")
 		}
 	}
 	if t := o.Trace; t != nil {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 
+	"radiocolor/internal/churn"
 	"radiocolor/internal/core"
 	"radiocolor/internal/fault"
 	"radiocolor/internal/geom"
@@ -72,6 +73,10 @@ type Outcome struct {
 	// Faults reports the injected fault events and the
 	// graceful-degradation verdict. Nil unless Options.Faults was set.
 	Faults *FaultOutcome
+	// Churn reports the applied topology changes and the
+	// proper-coloring verdict over the nodes still present. Nil unless
+	// Options.Churn was set.
+	Churn *ChurnOutcome
 
 	g *graph.Graph
 }
@@ -153,7 +158,7 @@ func ColorGraphContext(ctx context.Context, adj [][]int, opt Options) (*Outcome,
 			b.AddEdge(v, u)
 		}
 	}
-	return colorGraph(ctx, b.Build(), nil, opt)
+	return colorGraph(ctx, b.Build(), nil, 0, opt)
 }
 
 // ColorUnitDisk places the given points in the plane, connects pairs
@@ -181,13 +186,14 @@ func ColorUnitDiskContext(ctx context.Context, points [][2]float64, radius float
 			}
 		}
 	}
-	return colorGraph(ctx, b.Build(), pts, opt)
+	return colorGraph(ctx, b.Build(), pts, radius, opt)
 }
 
 // colorGraph runs the protocol on the built graph. pts carries the
 // nodes' positions when the caller came through a geometric entry point
-// (nil otherwise); geometric media (SINR) require them.
-func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Options) (*Outcome, error) {
+// (nil otherwise, with radius 0); geometric media (SINR) and churn
+// mobility require them.
+func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, radius float64, opt Options) (*Outcome, error) {
 	// Validation precedes the graph parameter measurement below: Kappa
 	// alone can burn its full search budget before a typo'd option
 	// would surface.
@@ -309,6 +315,42 @@ func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Optio
 		}
 	}
 
+	// Compile the churn schedule against the concrete (possibly
+	// relabeled) graph. Mobility needs the geometry, so the points and
+	// radius of a geometric entry point thread through here; on a tiled
+	// run both the schedule's node references and the points move into
+	// the relabeled id space first, mirroring the fault permutation
+	// above.
+	var plan *churn.Plan
+	if c := opt.Churn; c.active() {
+		sch, cerr := c.schedule() // validated above
+		if cerr != nil {
+			return nil, cerr
+		}
+		env := churn.Env{G: runG}
+		if len(sch.Waypoints) > 0 {
+			if pts == nil {
+				return nil, errors.New("radiocolor: churn mobility needs node positions; use ColorUnitDisk (or the points job input)")
+			}
+			envPts := pts
+			if tilePerm != nil {
+				envPts = make([]geom.Point, len(pts))
+				for i, pt := range pts {
+					envPts[tilePerm.Forward[i]] = pt
+				}
+			}
+			env.Points = envPts
+			env.Radius = radius
+		}
+		if tilePerm != nil {
+			sch = sch.Permute(tilePerm.Forward)
+		}
+		plan, cerr = sch.Compile(env)
+		if cerr != nil {
+			return nil, fmt.Errorf("radiocolor: %w", cerr)
+		}
+	}
+
 	// Bind the reception medium (if any) against the concrete graph and
 	// placement. Validate() already rejected the medium+skew combination
 	// and malformed parameters; what is left is the environment check —
@@ -381,6 +423,7 @@ func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Optio
 		Metrics:   met,
 		Faults:    inj,
 		Medium:    med,
+		Churn:     plan,
 	}
 	var res *radio.Result
 	var err error
@@ -434,7 +477,18 @@ func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Optio
 			out.Leaders = append(out.Leaders, i)
 		}
 	}
-	rep := verify.Check(g, colors)
+	// The verdict graph: churned runs are judged against the topology
+	// they ended with (replayed from the plan), mapped back to caller
+	// ids on a tiled run; static runs against the input graph.
+	vg := g
+	if plan != nil {
+		vg = plan.FinalGraph(runG)
+		if tilePerm != nil {
+			back := graph.Permutation{Forward: tilePerm.Inverse, Inverse: tilePerm.Forward}
+			vg = back.Apply(vg)
+		}
+	}
+	rep := verify.Check(vg, colors)
 	out.Proper = rep.Proper
 	out.Complete = rep.Complete && res.AllDone
 	out.NumColors = rep.NumColors
@@ -442,21 +496,41 @@ func colorGraph(ctx context.Context, g *graph.Graph, pts []geom.Point, opt Optio
 	if met != nil {
 		out.Stats = buildStats(met, timeline)
 	}
-	if inj != nil {
-		srep := verify.CheckSurvivors(g, colors, verify.DownSet(g.N(), res.Down))
-		fo := &FaultOutcome{
-			Lost: res.Lost, Jammed: res.Jammed,
-			Crashes: res.Crashes, Restarts: res.Restarts,
-			Survivors:        srep.Survivors,
-			SurvivorsColored: srep.SurvivorsColored,
-			Degraded:         len(srep.Degraded),
-			HardViolations:   len(srep.HardViolations),
-			Graceful:         srep.Graceful(),
+	if inj != nil || plan != nil {
+		// One scoped verdict serves both reports: crashed nodes and
+		// departed nodes are each out of scope, for their own reason.
+		srep := verify.CheckSurvivorsScoped(vg, colors,
+			verify.DownSet(g.N(), res.Down), verify.DownSet(g.N(), res.Left))
+		if inj != nil {
+			fo := &FaultOutcome{
+				Lost: res.Lost, Jammed: res.Jammed,
+				Crashes: res.Crashes, Restarts: res.Restarts,
+				Survivors:        srep.Survivors,
+				SurvivorsColored: srep.SurvivorsColored,
+				Degraded:         len(srep.Degraded),
+				HardViolations:   len(srep.HardViolations),
+				Graceful:         srep.Graceful(),
+			}
+			for _, v := range res.Down {
+				fo.Down = append(fo.Down, int(v))
+			}
+			out.Faults = fo
 		}
-		for _, v := range res.Down {
-			fo.Down = append(fo.Down, int(v))
+		if plan != nil {
+			co := &ChurnOutcome{
+				Joins: res.Joins, Leaves: res.Leaves,
+				ConflictsRepaired: res.ConflictsRepaired,
+				Present:           srep.Survivors,
+				PresentColored:    srep.SurvivorsColored,
+				Degraded:          len(srep.Degraded),
+				HardViolations:    len(srep.HardViolations),
+				Graceful:          srep.Graceful(),
+			}
+			for _, v := range res.Left {
+				co.Left = append(co.Left, int(v))
+			}
+			out.Churn = co
 		}
-		out.Faults = fo
 	}
 	return out, nil
 }

@@ -242,3 +242,64 @@ func TestTilingPublic(t *testing.T) {
 		t.Error("Tiling=-2 accepted")
 	}
 }
+
+func TestTilingCrashRestartRegression(t *testing.T) {
+	// fault.Profile.Permute under Options.Tiling, composed with a
+	// restart schedule: the crash victim's id must follow it through
+	// the relabeling, the restarted node must re-decide, and every
+	// report must speak caller ids. Regression guard for the permute ×
+	// restart × tiling composition, which no other test exercised. The
+	// restart slot (2500) sits far past cold convergence (~850 slots on
+	// this ring), so a decision after it can only belong to the victim
+	// or a neighbor stalled waiting on it — anything else is an id
+	// mapped back through the wrong permutation.
+	adj := [][]int{}
+	const n = 48
+	for i := 0; i < n; i++ {
+		adj = append(adj, []int{(i + n - 1) % n, (i + 1) % n})
+	}
+	fc, err := ParseFaults("crash=5@40:2500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ColorGraph(adj, Options{Seed: 7, Tiling: 4, Faults: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo := out.Faults
+	if fo == nil || fo.Crashes != 1 || fo.Restarts != 1 {
+		t.Fatalf("fault counters: %+v", fo)
+	}
+	if len(fo.Down) != 0 {
+		t.Errorf("restarted node still down: %v", fo.Down)
+	}
+	if !out.OK() {
+		t.Fatalf("restarted run not OK: proper=%v complete=%v", out.Proper, out.Complete)
+	}
+	// The victim's decision postdates its restart (latency counts from
+	// its original wake at slot 0).
+	if out.PerNodeLatency[5] < 2500 {
+		t.Errorf("node 5 latency %d predates its restart at slot 2500", out.PerNodeLatency[5])
+	}
+	// Only the victim's 2-hop ring neighborhood may be dragged past the
+	// restart slot by waiting on it.
+	for v, l := range out.PerNodeLatency {
+		if l >= 2500 && (v < 3 || v > 7) {
+			t.Errorf("node %d latency %d postdates the restart (id mapping)", v, l)
+		}
+	}
+
+	// Untiled reference: the same schedule without relabeling agrees on
+	// the fault verdict (executions differ numerically; the contract is
+	// the verdict, not the colors).
+	ref, err := ColorGraph(adj, Options{Seed: 7, Faults: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Faults == nil || ref.Faults.Crashes != 1 || ref.Faults.Restarts != 1 || !ref.OK() {
+		t.Fatalf("untiled reference disagrees: %+v ok=%v", ref.Faults, ref.OK())
+	}
+	if ref.PerNodeLatency[5] < 2500 {
+		t.Errorf("untiled node 5 latency %d predates its restart", ref.PerNodeLatency[5])
+	}
+}

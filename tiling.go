@@ -87,6 +87,14 @@ func mapTiledResult(res *radio.Result, p graph.Permutation) *radio.Result {
 		sortInt32Asc(down)
 		mapped.Down = down
 	}
+	if len(res.Left) > 0 {
+		left := make([]int32, len(res.Left))
+		for i, v := range res.Left {
+			left[i] = p.Inverse[v]
+		}
+		sortInt32Asc(left)
+		mapped.Left = left
+	}
 	return &mapped
 }
 
